@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tsvd::bench {
+
+// Environment-variable overrides so CI can shrink or grow experiments:
+//   TSVD_BENCH_MODULES, TSVD_BENCH_RUNS, TSVD_BENCH_SCALE, TSVD_BENCH_SEED
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace tsvd::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

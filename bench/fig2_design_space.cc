@@ -1,0 +1,99 @@
+// Reproduces Figure 2's design-space axes as microbenchmarks: the per-OnCall cost of
+// identifying delay locations for each technique (x axis) — google-benchmark — and,
+// as a secondary table, the number of delay locations each technique considers
+// eligible (y axis) on a fixed synthetic access trace.
+//
+// Expected ordering of per-call analysis cost:
+//   DynamicRandom < DataCollider < TSVD (near-miss + phase + inference) << TSVDHB
+//   (vector clocks), with TSVDHB also needing every fork/join/lock event.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/common/config.h"
+#include "src/core/detector.h"
+#include "src/core/random_detectors.h"
+#include "src/core/tsvd_detector.h"
+#include "src/hb/tsvd_hb_detector.h"
+
+namespace {
+
+using namespace tsvd;
+
+Config BenchConfig() {
+  Config cfg;
+  // The microbench calls Detector::OnCall directly, which only *decides*; nothing
+  // sleeps because the trap framework (which performs the delay) is never invoked.
+  cfg.delay_us = 1000;
+  return cfg;
+}
+
+Access MakeAccess(uint64_t i) {
+  Access access;
+  access.tid = 1 + (i % 3);
+  access.obj = 0x1000 + (i % 16) * 64;
+  access.op = static_cast<OpId>(i % 24);
+  access.kind = (i % 4 == 0) ? OpKind::kWrite : OpKind::kRead;
+  access.time = static_cast<Micros>(i * 7);
+  access.ctx = 1 + (i % 5);
+  access.concurrent_phase = true;
+  return access;
+}
+
+template <typename D>
+void RunOnCall(benchmark::State& state) {
+  const Config cfg = BenchConfig();
+  D detector(cfg);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const Access access = MakeAccess(i++);
+    benchmark::DoNotOptimize(detector.OnCall(access));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+
+void BM_OnCall_DynamicRandom(benchmark::State& state) {
+  RunOnCall<DynamicRandomDetector>(state);
+}
+void BM_OnCall_DataCollider(benchmark::State& state) {
+  RunOnCall<StaticRandomDetector>(state);
+}
+void BM_OnCall_TSVD(benchmark::State& state) { RunOnCall<TsvdDetector>(state); }
+void BM_OnCall_TSVDHB(benchmark::State& state) { RunOnCall<TsvdHbDetector>(state); }
+
+BENCHMARK(BM_OnCall_DynamicRandom);
+BENCHMARK(BM_OnCall_DataCollider);
+BENCHMARK(BM_OnCall_TSVD);
+BENCHMARK(BM_OnCall_TSVDHB);
+
+// TSVDHB additionally pays for every synchronization event.
+void BM_OnSync_TSVDHB(benchmark::State& state) {
+  const Config cfg = BenchConfig();
+  TsvdHbDetector detector(cfg);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    SyncEvent event;
+    switch (i % 4) {
+      case 0:
+        event = SyncEvent{SyncEventType::kTaskCreate, 100 + i, 1 + (i % 5), 0};
+        break;
+      case 1:
+        event = SyncEvent{SyncEventType::kTaskJoin, 1 + (i % 5), 100 + i - 1, 0};
+        break;
+      case 2:
+        event = SyncEvent{SyncEventType::kLockAcquire, 1 + (i % 5), kInvalidCtx, 0xbeef};
+        break;
+      default:
+        event = SyncEvent{SyncEventType::kLockRelease, 1 + (i % 5), kInvalidCtx, 0xbeef};
+        break;
+    }
+    detector.OnSync(event);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_OnSync_TSVDHB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// Reproduces Figure 9: sensitivity analysis of TSVD's parameters, subplots (a)-(h).
+//
+//   (a) variance across 12 tries        (e) HB inference window k_hb
+//   (b) per-object history N_nm         (f) phase buffer size
+//   (c) near-miss window T_nm           (g) decay factor
+//   (d) HB blocking threshold delta_hb  (h) delay time
+//
+// Expected knees (paper): N_nm=1 or T_nm=1ms miss bugs; defaults find almost all with
+// small overhead; larger values only add overhead. delta_hb=0 infers spurious HB and
+// misses bugs. Large k_hb prunes too much. Large phase buffers add overhead, tiny
+// ones miss concurrency. Decay factor 0 (no decay) explodes overhead. Longer delays
+// find slightly more bugs at more cost.
+//
+// Run a single subplot with argv[1] in {a..h}; no argument runs all.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workload/corpus.h"
+#include "src/workload/scaling.h"
+#include "src/workload/stats.h"
+
+namespace {
+
+using namespace tsvd;
+using namespace tsvd::workload;
+
+std::vector<ModuleSpec> MakeCorpus(int num_modules, double scale, uint64_t seed) {
+  CorpusOptions options;
+  options.num_modules = num_modules;
+  options.seed = seed;
+  options.params = ScaledParams(scale);
+  return GenerateCorpus(options);
+}
+
+void RunSweep(const char* title, const std::vector<ModuleSpec>& corpus,
+              const std::vector<std::pair<std::string, Config>>& points, uint64_t seed) {
+  bench::PrintHeader(title);
+  std::printf("%-16s %8s %10s %10s\n", "value", "bugs", "overhead", "#delay");
+  for (const auto& [label, cfg] : points) {
+    const ExperimentResult result = RunCorpusExperiment(corpus, "TSVD", cfg, 2, seed);
+    std::printf("%-16s %8llu %9.0f%% %10llu\n", label.c_str(),
+                static_cast<unsigned long long>(result.BugsTotal()), result.OverheadPct(),
+                static_cast<unsigned long long>(result.DelaysInjected()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_modules = bench::EnvInt("TSVD_BENCH_MODULES", 60);
+  const double scale = bench::EnvDouble("TSVD_BENCH_SCALE", 0.02);
+  const uint64_t seed = static_cast<uint64_t>(bench::EnvInt("TSVD_BENCH_SEED", 42));
+  const std::string which = argc > 1 ? argv[1] : "all";
+  auto want = [&](const char* sub) { return which == "all" || which == sub; };
+
+  const std::vector<ModuleSpec> corpus = MakeCorpus(num_modules, scale, seed);
+  const Config base = ScaledConfig(scale);
+
+  if (want("a")) {
+    bench::PrintHeader("Fig 9(a): variance across 12 tries (default parameters)");
+    std::printf("%-6s %8s %10s\n", "try", "bugs", "overhead");
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      Config cfg = base;
+      cfg.seed = seed + 100 + attempt;
+      const ExperimentResult result =
+          RunCorpusExperiment(corpus, "TSVD", cfg, 2, seed + 100 + attempt);
+      std::printf("%-6d %8llu %9.0f%%\n", attempt + 1,
+                  static_cast<unsigned long long>(result.BugsTotal()),
+                  result.OverheadPct());
+    }
+  }
+
+  if (want("b")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (int n : {1, 2, 5, 10, 20}) {
+      Config cfg = base;
+      cfg.nearmiss_history = n;
+      points.emplace_back("N_nm=" + std::to_string(n), cfg);
+    }
+    RunSweep("Fig 9(b): per-object history N_nm (default 5)", corpus, points, seed);
+  }
+
+  if (want("c")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (double f : {0.01, 0.1, 0.5, 1.0, 2.0, 4.0}) {
+      Config cfg = base;
+      cfg.nearmiss_window_us = static_cast<Micros>(static_cast<double>(base.nearmiss_window_us) * f);
+      points.emplace_back("T_nm=" + std::to_string(cfg.nearmiss_window_us) + "us", cfg);
+    }
+    RunSweep("Fig 9(c): near-miss window T_nm (default = delay length)", corpus, points,
+             seed);
+  }
+
+  if (want("d")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (double t : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+      Config cfg = base;
+      cfg.hb_blocking_threshold = t;
+      points.emplace_back("delta_hb=" + std::to_string(t).substr(0, 3), cfg);
+    }
+    RunSweep("Fig 9(d): HB blocking threshold delta_hb (default 0.5)", corpus, points,
+             seed);
+  }
+
+  if (want("e")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (int k : {0, 2, 5, 20, 100}) {
+      Config cfg = base;
+      cfg.hb_inference_window = k;
+      points.emplace_back("k_hb=" + std::to_string(k), cfg);
+    }
+    RunSweep("Fig 9(e): HB inference window k_hb (default 5)", corpus, points, seed);
+  }
+
+  if (want("f")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (int b : {2, 4, 16, 64}) {
+      Config cfg = base;
+      cfg.phase_buffer_size = b;
+      points.emplace_back("buffer=" + std::to_string(b), cfg);
+    }
+    RunSweep("Fig 9(f): phase buffer size (default 16)", corpus, points, seed);
+  }
+
+  if (want("g")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (double d : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+      Config cfg = base;
+      cfg.decay_factor = d;
+      points.emplace_back("decay=" + std::to_string(d).substr(0, 3), cfg);
+    }
+    RunSweep("Fig 9(g): decay factor (0 = no decay; default 0.7)", corpus, points, seed);
+  }
+
+  if (want("h")) {
+    std::vector<std::pair<std::string, Config>> points;
+    for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      Config cfg = base;
+      cfg.delay_us = static_cast<Micros>(static_cast<double>(base.delay_us) * f);
+      points.emplace_back("delay=" + std::to_string(cfg.delay_us) + "us", cfg);
+    }
+    RunSweep("Fig 9(h): delay time (default = scaled 100ms)", corpus, points, seed);
+  }
+  return 0;
+}

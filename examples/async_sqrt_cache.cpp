@@ -1,0 +1,77 @@
+// Fig. 3: the async sqrt cache — unstructured task parallelism with async/await.
+//
+// getSqrt(x) returns a cached value or forks background work and caches the result.
+// Two awaited calls race on the cache Dictionary (write-write on Add/Set, read-write
+// on ContainsKey vs Set). The demo runs the same workload twice:
+//   - with the .NET-style inline fast path (the bug cannot manifest under test), and
+//   - with TSVD's force-async instrumentation (the bug is caught),
+// reproducing the Section 4 observation that motivated force-async.
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+
+namespace {
+
+using namespace tsvd;
+
+size_t RunWorkload(Runtime& runtime) {
+  Runtime::Installation install(runtime);
+  Dictionary<int, double> dict;  // the shared cache
+
+  auto get_sqrt = [&](int x) {
+    return tasks::Async(
+        [&dict, x] {
+          TSVD_SCOPE("getSqrt");
+          if (dict.ContainsKey(x)) {
+            return dict.Get(x);  // fetch from cache
+          }
+          const double s = std::sqrt(static_cast<double>(x));  // background work
+          SleepMicros(200);
+          dict.Set(x, s);  // save to cache
+          return s;
+        },
+        "getSqrt");
+  };
+
+  for (int round = 0; round < 6; ++round) {
+    TSVD_SCOPE("ComputeBatch");
+    tasks::Task<double> sqrt_a = get_sqrt(100 * round + 2);
+    tasks::Task<double> sqrt_b = get_sqrt(100 * round + 3);
+    const double total = tasks::Await(sqrt_a) + tasks::Await(sqrt_b);  // blocks
+    (void)total;
+    SleepMicros(1000);
+  }
+  return runtime.Summary().unique_pairs.size();
+}
+
+}  // namespace
+
+int main() {
+  Config config;
+  config.delay_us = 2000;
+  config.nearmiss_window_us = 2000;
+
+  tasks::SetForceAsync(false);  // the .NET optimization: fast async runs synchronously
+  Runtime inline_runtime(config, std::make_unique<TsvdDetector>(config));
+  const size_t bugs_inline = RunWorkload(inline_runtime);
+  std::printf("with inline async fast path:  %zu violation(s) caught "
+              "(the bug hides under test)\n",
+              bugs_inline);
+
+  tasks::SetForceAsync(true);  // TSVD instrumentation forces real asynchrony
+  Runtime forced_runtime(config, std::make_unique<TsvdDetector>(config));
+  const size_t bugs_forced = RunWorkload(forced_runtime);
+  tasks::SetForceAsync(false);
+  std::printf("with force-async (Section 4): %zu violation(s) caught\n", bugs_forced);
+
+  for (const BugReport& report : forced_runtime.Reports()) {
+    std::printf("\n%s", report.ToString().c_str());
+    break;
+  }
+  return bugs_forced > 0 ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Fig. 10(a): the Device Manager bug.
+//
+// A listener thread creates an asynchronous task per client message; each task updates
+// GlobalStatus[clientID]. Two clients messaging at about the same time cause two
+// concurrent Dictionary writes, silently corrupting the status table in production.
+// TSVD catches it during the (mock) unit test.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+
+namespace {
+
+using namespace tsvd;
+
+class DeviceManager {
+ public:
+  // Called from the listener thread whenever a client message arrives; returns the
+  // async status-update task, like the C# snippet's `async Task ClientStatusUpdate`.
+  tasks::Task<void> ClientStatusUpdate(int client_id, int status) {
+    return tasks::Async(
+        [this, client_id, status] {
+          TSVD_SCOPE("ClientStatusUpdate");
+          SleepMicros(900);                      // parse / validate the message
+          global_status_.Set(client_id, status);  // TSV: concurrent Dictionary writes
+        },
+        "ClientStatusUpdate");
+  }
+
+  size_t KnownClients() { return global_status_.Count(); }
+
+ private:
+  Dictionary<int, int> global_status_;
+};
+
+}  // namespace
+
+int main() {
+  Config config;
+  config.delay_us = 2000;
+  config.nearmiss_window_us = 2000;
+  Runtime runtime(config, std::make_unique<TsvdDetector>(config));
+  Runtime::Installation install(runtime);
+  // Without force-async, the fast mock handlers complete synchronously and the bug
+  // never manifests under test — the exact problem Section 4 describes.
+  tasks::SetForceAsync(true);
+
+  DeviceManager manager;
+  // The listener loop: two chatty clients stream messages, interleaved a few hundred
+  // microseconds apart — each message spawns an async status update.
+  for (int wave = 0; wave < 3; ++wave) {
+    TSVD_SCOPE("ListenerLoop");
+    std::vector<tasks::Task<void>> updates;
+    for (int msg = 0; msg < 3; ++msg) {
+      updates.push_back(manager.ClientStatusUpdate(7, wave * 10 + msg));
+      SleepMicros(400);  // the second client is a moment behind
+      updates.push_back(manager.ClientStatusUpdate(8, wave * 10 + msg));
+      SleepMicros(300);
+    }
+    tasks::WaitAll(updates);
+    SleepMicros(1500);
+  }
+  tasks::SetForceAsync(false);
+
+  const RunSummary summary = runtime.Summary();
+  std::printf("device manager handled %zu clients; TSVD reports %zu violation(s)\n\n",
+              manager.KnownClients(), summary.unique_pairs.size());
+  for (const BugReport& report : summary.reports) {
+    std::printf("%s\n", report.ToString().c_str());
+    break;  // one representative report
+  }
+  return summary.unique_pairs.empty() ? 1 : 0;
+}

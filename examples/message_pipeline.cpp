@@ -1,0 +1,65 @@
+// Message-passing pipeline: TSVD's HB inference vs. sync it cannot see.
+//
+// A producer stages records in a Dictionary and sends a message; the consumer
+// receives and post-processes the same records. The accesses conflict and happen
+// close together (a near miss), but they are genuinely ordered — by a channel TSVD
+// never instruments. TSVD arms the pair, injects one delay at the producer's write,
+// observes the consumer stall proportionally (the message arrives late), infers the
+// happens-before edge, prunes the pair, and reports nothing. No synchronization
+// modeling, no false positive, no lasting overhead (Section 3.4.4, Fig. 6).
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/channel.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+#include "src/tasks/thread_pool.h"
+
+int main() {
+  using namespace tsvd;
+
+  Config config;
+  config.delay_us = 2000;
+  config.nearmiss_window_us = 2000;
+  Runtime runtime(config, std::make_unique<TsvdDetector>(config));
+  Runtime::Installation install(runtime);
+  tasks::SetForceAsync(true);
+
+  Dictionary<int, int> staging;
+  tasks::Channel<int> ready;
+
+  for (int batch = 0; batch < 6; ++batch) {
+    TSVD_SCOPE("PipelineBatch");
+    tasks::Task<void> producer = tasks::Run(
+        [&, batch] {
+          TSVD_SCOPE("StageBatch");
+          staging.Set(batch, batch * 10);  // write, then signal
+          ready.Send(batch);
+        },
+        tasks::TaskTraits{.label = "producer"});
+    tasks::Task<void> consumer = tasks::Run(
+        [&] {
+          TSVD_SCOPE("ProcessBatch");
+          const int id = ready.Receive();     // ordered by the message...
+          staging.Set(id, staging.Get(id) + 1);  // ...so these cannot race
+        },
+        tasks::TaskTraits{.label = "consumer"});
+    producer.Wait();
+    consumer.Wait();
+  }
+  tasks::ThreadPool::Instance().WaitIdle();
+  tasks::SetForceAsync(false);
+
+  auto& detector = static_cast<TsvdDetector&>(runtime.detector());
+  const RunSummary summary = runtime.Summary();
+  std::printf("instrumented calls: %llu, delays injected: %llu\n",
+              static_cast<unsigned long long>(summary.oncall_count),
+              static_cast<unsigned long long>(summary.delays_injected));
+  std::printf("inferred happens-before edges: %llu\n",
+              static_cast<unsigned long long>(detector.InferredHbEdges()));
+  std::printf("violations reported: %zu (must be 0: the channel orders the accesses)\n",
+              summary.unique_pairs.size());
+  return summary.unique_pairs.empty() ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "src/common/callsite.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+namespace tsvd {
+
+std::string CallSite::Signature() const {
+  std::string s;
+  s.reserve(file.size() + api.size() + 16);
+  s += file;
+  s += ':';
+  s += std::to_string(line);
+  s += ' ';
+  s += api;
+  return s;
+}
+
+CallSiteRegistry& CallSiteRegistry::Instance() {
+  static CallSiteRegistry* instance = new CallSiteRegistry();
+  return *instance;
+}
+
+OpId CallSiteRegistry::Intern(const std::source_location& loc, std::string_view api,
+                              OpKind kind) {
+  return InternRaw(loc.file_name(), loc.line(), api, kind);
+}
+
+OpId CallSiteRegistry::InternRaw(std::string_view file, uint32_t line, std::string_view api,
+                                 OpKind kind) {
+  std::string key;
+  key.reserve(file.size() + api.size() + 16);
+  key.append(file);
+  key += ':';
+  key += std::to_string(line);
+  key += ' ';
+  key.append(api);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    return it->second;
+  }
+  const OpId id = static_cast<OpId>(count_);
+  if (count_ % kChunk == 0) {
+    chunks_.push_back(std::make_unique<CallSite[]>(kChunk));
+  }
+  CallSite& site = chunks_[count_ / kChunk][count_ % kChunk];
+  site.file = std::string(file);
+  site.line = line;
+  site.api = std::string(api);
+  site.kind = kind;
+  ++count_;
+  by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+const CallSite& CallSiteRegistry::Get(OpId id) const {
+  // Ids are handed out only after the slot is fully initialized under the lock, and
+  // chunks are never moved, so unlocked reads of an existing id are safe in practice;
+  // we still take the lock to be strictly correct (contention here is negligible:
+  // Get() is only called on the reporting path, not the OnCall hot path).
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < count_);
+  return chunks_[id / kChunk][id % kChunk];
+}
+
+size_t CallSiteRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+OpId CallSiteRegistry::FindBySignature(const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(signature);
+  return it == by_key_.end() ? kInvalidOp : it->second;
+}
+
+}  // namespace tsvd

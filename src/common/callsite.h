@@ -1,0 +1,67 @@
+// Call-site interning: the C++ analogue of the paper's static binary instrumentation.
+//
+// The TSVD instrumenter rewrites every call site of a thread-unsafe API into a proxy
+// that reports a stable op_id (Fig. 7). Here, instrumented container methods capture the
+// *caller's* std::source_location and intern (file, line, api) into a dense OpId. The
+// signature string "file:line api" is stable across runs of the same binary, which is
+// what the trap file (Section 3.4.6, "Multiple testing runs") relies on.
+#ifndef SRC_COMMON_CALLSITE_H_
+#define SRC_COMMON_CALLSITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+struct CallSite {
+  std::string file;
+  uint32_t line = 0;
+  // Name of the thread-unsafe API invoked, e.g. "Dictionary.Add".
+  std::string api;
+  OpKind kind = OpKind::kRead;
+
+  // Stable textual identity used by trap files and reports.
+  std::string Signature() const;
+};
+
+// Process-wide registry of TSVD points. Interning is rare (once per static call site);
+// lookup by id is lock-free after interning because ids index a grow-only deque-style
+// store guarded for writers only.
+class CallSiteRegistry {
+ public:
+  static CallSiteRegistry& Instance();
+
+  // Interns (location, api, kind) and returns its dense OpId. Idempotent.
+  OpId Intern(const std::source_location& loc, std::string_view api, OpKind kind);
+  // Interns from explicit components (used by tests and trap-file loading).
+  OpId InternRaw(std::string_view file, uint32_t line, std::string_view api, OpKind kind);
+
+  const CallSite& Get(OpId id) const;
+  OpKind KindOf(OpId id) const { return Get(id).kind; }
+  size_t size() const;
+
+  // Finds an already-interned site by signature; returns kInvalidOp if unknown.
+  OpId FindBySignature(const std::string& signature) const;
+
+ private:
+  CallSiteRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, OpId> by_key_;
+  // Chunked storage so Get() can run without the lock: chunks are never reallocated.
+  static constexpr size_t kChunk = 1024;
+  std::vector<std::unique_ptr<CallSite[]>> chunks_;
+  size_t count_ = 0;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_CALLSITE_H_

@@ -1,0 +1,39 @@
+// Time utilities. All TSVD thresholds are expressed in microseconds so that the bench
+// harness can scale the paper's 100ms-scale parameters down to laptop-friendly values
+// without touching the algorithm (see DESIGN.md "Virtualizable time").
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace tsvd {
+
+// Monotonic microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+inline Micros NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline void SleepMicros(Micros us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+// Busy-spins for very short waits where sleep granularity would distort timing-sensitive
+// workload patterns (used by the workload generator, never by the detector).
+inline void SpinMicros(Micros us) {
+  const Micros end = NowMicros() + us;
+  while (NowMicros() < end) {
+    // spin
+  }
+}
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_CLOCK_H_

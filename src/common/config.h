@@ -1,0 +1,87 @@
+// Configuration knobs for the TSVD runtime and its variants.
+//
+// Defaults mirror the paper (Section 5.4): N_nm = 5, T_nm = 100ms, delta_hb = 0.5,
+// k_hb = 5, phase buffer = 16, delay = 100ms, DynamicRandom p = 0.05. The benchmark
+// harness scales the time-valued parameters down uniformly (see EXPERIMENTS.md).
+#ifndef SRC_COMMON_CONFIG_H_
+#define SRC_COMMON_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+
+namespace tsvd {
+
+struct Config {
+  // ---- Near-miss tracking (Section 3.4.2) ----
+  // Number of recent accesses kept per object (N_nm).
+  int nearmiss_history = 5;
+  // Two conflicting accesses within this window are a near miss (T_nm).
+  Micros nearmiss_window_us = 100'000;
+  // Ablation (Table 3, "No windowing in near-miss"): conflicting accesses by different
+  // threads anywhere in the history count as near misses regardless of their distance
+  // in time. The per-object history is widened so "entire history" is meaningful.
+  bool disable_nearmiss_window = false;
+  int nearmiss_history_unwindowed = 64;
+
+  // ---- Concurrent-phase inference (Section 3.4.3) ----
+  // Size of the global ring buffer of recently executed TSVD points. The execution is
+  // considered to be in a concurrent phase iff the buffer holds points from > 1 thread.
+  int phase_buffer_size = 16;
+  // Ablation (Table 3, "No concurrent phase detection").
+  bool disable_phase_detection = false;
+
+  // ---- Happens-before inference (Section 3.4.4) ----
+  // Causal-delay blocking threshold (delta_hb): a gap of at least
+  // delta_hb * delay_time preceding an access, overlapping an injected delay, infers HB.
+  double hb_blocking_threshold = 0.5;
+  // Transitivity window (k_hb): the next k_hb accesses of the stalled thread are also
+  // considered to happen-after the delayed location.
+  int hb_inference_window = 5;
+  // Ablation (Table 3, "No HB-inference").
+  bool disable_hb_inference = false;
+
+  // ---- Delay injection (Sections 3.4.5, 3.4.6) ----
+  // Length of one injected delay.
+  Micros delay_us = 100'000;
+  // Probability multiplier applied to P_loc each time a delay at loc fails to produce a
+  // conflict: P_loc <- P_loc * (1 - decay_factor). 0 disables decay (the pathological
+  // configuration of Fig. 9(g)).
+  double decay_factor = 0.7;
+  // P_loc below this is treated as 0 and the location's pairs leave the trap set.
+  double min_probability = 0.05;
+  // Cap on the total delay injected per thread in one run, to avoid test timeouts
+  // (Section 4, runtime feature (2)). <= 0 means unlimited.
+  Micros max_delay_per_thread_us = 0;
+  // Ablation of the "parallel delay injection" decision (Section 3.4.6): when true,
+  // a thread only injects if no other trap is currently armed, i.e. at most one
+  // thread is delayed at a time. The paper argues this alternative "leads to too few
+  // delay injections and hence hurts the chance of exposing bugs within the tight
+  // testing budget"; bench/ablation_parallel_delays regenerates that comparison.
+  bool serialize_delays = false;
+  // Cap on the total delay injected on behalf of one logical request (Section 4,
+  // runtime feature (2)); requests span tasks via RequestScope. <= 0 means unlimited.
+  Micros max_delay_per_request_us = 0;
+
+  // ---- Variant parameters ----
+  // DynamicRandom: probability of injecting a delay at any TSVD point (paper: 0.05).
+  double dynamic_random_probability = 0.05;
+  // StaticRandom / DataCollider: static program locations are sampled uniformly
+  // irrespective of execution frequency (Section 3.3). Each site is in the sampled
+  // set with probability static_random_site_prob (decided once per run from the
+  // seed); a sampled site fires at its h-th dynamic hit with probability
+  // min(1, static_random_quota / h), so hot paths are not oversampled.
+  double static_random_site_prob = 0.25;
+  double static_random_quota = 16.0;
+
+  // ---- TSVDHB (Section 3.5) ----
+  // Accesses kept per object for the vector-clock conflict check.
+  int hb_history = 5;
+
+  // Seed for all probabilistic decisions of the detector.
+  uint64_t seed = 1;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_CONFIG_H_

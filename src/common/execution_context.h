@@ -1,0 +1,47 @@
+// Current execution context (task or root thread).
+//
+// Lives in common/ so that the core runtime can stamp accesses with a CtxId without
+// depending on the task runtime. The task runtime installs a task's CtxId on the
+// worker thread for the duration of the task; outside any task, a thread's context is
+// a synthetic root context derived from its ThreadId.
+#ifndef SRC_COMMON_EXECUTION_CONTEXT_H_
+#define SRC_COMMON_EXECUTION_CONTEXT_H_
+
+#include "src/common/ids.h"
+#include "src/common/thread_id.h"
+
+namespace tsvd {
+
+// Root contexts occupy the high half of the CtxId space so they can never collide with
+// task ids, which are assigned densely from 1.
+inline constexpr CtxId kRootCtxBit = CtxId{1} << 63;
+
+inline CtxId RootCtxOf(ThreadId tid) { return kRootCtxBit | tid; }
+
+namespace internal {
+inline thread_local CtxId g_current_ctx = kInvalidCtx;
+}  // namespace internal
+
+inline CtxId CurrentCtx() {
+  const CtxId ctx = internal::g_current_ctx;
+  return ctx == kInvalidCtx ? RootCtxOf(CurrentThreadId()) : ctx;
+}
+
+// RAII installation of a task's context on the executing thread.
+class ScopedCtx {
+ public:
+  explicit ScopedCtx(CtxId ctx) : previous_(internal::g_current_ctx) {
+    internal::g_current_ctx = ctx;
+  }
+  ~ScopedCtx() { internal::g_current_ctx = previous_; }
+
+  ScopedCtx(const ScopedCtx&) = delete;
+  ScopedCtx& operator=(const ScopedCtx&) = delete;
+
+ private:
+  CtxId previous_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_EXECUTION_CONTEXT_H_

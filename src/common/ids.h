@@ -1,0 +1,44 @@
+// Core identifier types shared by the TSVD runtime, detectors, and instrumentation.
+//
+// The paper's OnCall interface is OnCall(thread_id, obj_id, op_id) (Fig. 5). We keep the
+// same three identities:
+//   - ThreadId: a small dense id assigned to each OS thread on first use.
+//   - ObjectId: identity of the thread-unsafe object being accessed (hash of its address,
+//     mirroring .NET Object.GetHashCode in the paper's proxy methods, Fig. 7).
+//   - OpId: a dense id for a *static* program location calling a thread-unsafe API
+//     (a "TSVD point"); interned from std::source_location by the call-site interner.
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace tsvd {
+
+using ThreadId = uint32_t;
+using ObjectId = uint64_t;
+using OpId = uint32_t;
+
+// Context id for a unit of (possibly asynchronous) execution: a task or a root thread.
+// Used only by the happens-before variant (TSVDHB); core TSVD never looks at it.
+using CtxId = uint64_t;
+
+inline constexpr OpId kInvalidOp = static_cast<OpId>(-1);
+inline constexpr CtxId kInvalidCtx = static_cast<CtxId>(-1);
+
+// Whether an instrumented API is in the read set or the write set of its class's
+// thread-safety contract (Section 2.2: two concurrent calls violate the contract iff at
+// least one of them is a write).
+enum class OpKind : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+// Returns the ObjectId for an instrumented object. Pointer identity is exactly what the
+// paper's GetHashCode-based scheme provides for reference types.
+inline ObjectId ObjectIdOf(const void* obj) {
+  return reinterpret_cast<ObjectId>(obj);
+}
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_IDS_H_

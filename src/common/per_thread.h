@@ -1,0 +1,49 @@
+// Fixed-capacity per-thread state slots, indexed by dense ThreadId.
+//
+// Detector-local per-thread state (RNG streams, last-access times, HB-inference
+// credits) cannot live in thread_local storage because detectors are created and torn
+// down per test module while pool threads persist. Instead each detector owns a
+// PerThread<T>: a preallocated array indexed by ThreadId where each slot is only ever
+// touched by its owning thread, so no locking is needed.
+#ifndef SRC_COMMON_PER_THREAD_H_
+#define SRC_COMMON_PER_THREAD_H_
+
+#include <cassert>
+#include <memory>
+
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+template <typename T>
+class PerThread {
+ public:
+  explicit PerThread(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity), slots_(std::make_unique<T[]>(capacity)) {}
+
+  T& Get(ThreadId tid) {
+    assert(tid < capacity_ && "ThreadId exceeds PerThread capacity");
+    return slots_[tid];
+  }
+
+  const T& Get(ThreadId tid) const {
+    assert(tid < capacity_);
+    return slots_[tid];
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Iteration for end-of-run aggregation only (not thread-safe against writers).
+  T* begin() { return slots_.get(); }
+  T* end() { return slots_.get() + capacity_; }
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<T[]> slots_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_PER_THREAD_H_

@@ -1,0 +1,60 @@
+// Request contexts: a logical request id that flows across task boundaries.
+//
+// The TSVD runtime "tracks total delay injected per thread and per request so that
+// one can limit the maximum delay per thread or request — this helps in avoiding test
+// timeouts" (Section 4). Threads are physical; requests are logical and span tasks,
+// so the id is inherited by every task created while the request is active, exactly
+// like the logical stack.
+#ifndef SRC_COMMON_REQUEST_CONTEXT_H_
+#define SRC_COMMON_REQUEST_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tsvd {
+
+using RequestId = uint64_t;
+inline constexpr RequestId kNoRequest = 0;
+
+namespace internal {
+inline thread_local RequestId g_current_request = kNoRequest;
+}  // namespace internal
+
+inline RequestId CurrentRequest() { return internal::g_current_request; }
+
+inline RequestId NewRequestId() {
+  static std::atomic<RequestId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Installs a request id on the current thread for a scope. Used both by user code
+// (open a request at an entry point) and by the task runtime (re-install the
+// creating request on the worker executing one of its tasks).
+class ScopedRequest {
+ public:
+  explicit ScopedRequest(RequestId id) : previous_(internal::g_current_request) {
+    internal::g_current_request = id;
+  }
+  ~ScopedRequest() { internal::g_current_request = previous_; }
+
+  ScopedRequest(const ScopedRequest&) = delete;
+  ScopedRequest& operator=(const ScopedRequest&) = delete;
+
+ private:
+  RequestId previous_;
+};
+
+// Convenience: opens a brand-new request for a scope.
+class RequestScope {
+ public:
+  RequestScope() : id_(NewRequestId()), scoped_(id_) {}
+  RequestId id() const { return id_; }
+
+ private:
+  RequestId id_;
+  ScopedRequest scoped_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_REQUEST_CONTEXT_H_

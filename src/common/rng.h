@@ -1,0 +1,54 @@
+// Deterministic, cheap pseudo-random number generation.
+//
+// Every probabilistic decision in the detectors (should_delay sampling, decay draws,
+// random delay lengths) and the workload generator flows through SplitMix64 so entire
+// experiments are reproducible from a single seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace tsvd {
+
+// SplitMix64: tiny, fast, passes BigCrush for this purpose. Not thread-safe; use one
+// instance per thread or guard externally.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform integer in [0, bound); returns 0 for an empty range.
+  uint64_t NextBelow(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform integer in [lo, hi]; returns lo when the range is empty or inverted.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    if (hi <= lo) {
+      return lo;
+    }
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool NextBool(double probability) { return NextDouble() < probability; }
+
+  // Derives an independent child generator; used to give each module / thread its own
+  // stream from one experiment seed.
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_RNG_H_

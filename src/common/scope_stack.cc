@@ -1,0 +1,10 @@
+#include "src/common/scope_stack.h"
+
+namespace tsvd {
+
+ScopeStack& ScopeStack::Current() {
+  thread_local ScopeStack stack;
+  return stack;
+}
+
+}  // namespace tsvd

@@ -1,0 +1,61 @@
+// Logical stack traces for bug reports.
+//
+// The deployed TSVD captures native stack traces of the two conflicting threads
+// (Section 3.1, "caught red handed"). Portable native unwinding through a task-based
+// runtime would lose the asynchronous causality anyway (a task's physical stack bottoms
+// out in the thread pool), so we keep an explicit per-thread stack of scope labels.
+// The task runtime snapshots the creator's stack into each task and re-installs it on
+// the worker, which yields async-aware traces like the ones the paper's developers used
+// for root-causing (average reported depth 9.1, Table 1).
+#ifndef SRC_COMMON_SCOPE_STACK_H_
+#define SRC_COMMON_SCOPE_STACK_H_
+
+#include <string>
+#include <vector>
+
+namespace tsvd {
+
+using StackTrace = std::vector<std::string>;
+
+class ScopeStack {
+ public:
+  // The calling thread's current stack (mutable: push/pop via ScopedFrame).
+  static ScopeStack& Current();
+
+  void Push(std::string frame) { frames_.push_back(std::move(frame)); }
+  void Pop() {
+    if (!frames_.empty()) {
+      frames_.pop_back();
+    }
+  }
+
+  // Snapshot for reports and for task-creation capture.
+  StackTrace Snapshot() const { return frames_; }
+  size_t depth() const { return frames_.size(); }
+
+  // Replaces the whole stack (used by the task runtime when a worker thread picks up a
+  // task: the task's captured creation stack becomes the base of the worker's stack).
+  void Install(StackTrace frames) { frames_ = std::move(frames); }
+
+ private:
+  StackTrace frames_;
+};
+
+// RAII frame marker. Workload and example code uses the TSVD_SCOPE macro.
+class ScopedFrame {
+ public:
+  explicit ScopedFrame(std::string frame) { ScopeStack::Current().Push(std::move(frame)); }
+  ~ScopedFrame() { ScopeStack::Current().Pop(); }
+
+  ScopedFrame(const ScopedFrame&) = delete;
+  ScopedFrame& operator=(const ScopedFrame&) = delete;
+};
+
+}  // namespace tsvd
+
+#define TSVD_SCOPE_CONCAT_INNER(a, b) a##b
+#define TSVD_SCOPE_CONCAT(a, b) TSVD_SCOPE_CONCAT_INNER(a, b)
+#define TSVD_SCOPE(name) \
+  ::tsvd::ScopedFrame TSVD_SCOPE_CONCAT(tsvd_scope_frame_, __LINE__)(name)
+
+#endif  // SRC_COMMON_SCOPE_STACK_H_

@@ -1,0 +1,20 @@
+// Dense per-OS-thread identifiers (the thread_id of the paper's OnCall triple).
+#ifndef SRC_COMMON_THREAD_ID_H_
+#define SRC_COMMON_THREAD_ID_H_
+
+#include <atomic>
+
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+// Returns a small, dense id unique to the calling OS thread, assigned on first use.
+inline ThreadId CurrentThreadId() {
+  static std::atomic<ThreadId> next{1};
+  thread_local ThreadId id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_THREAD_ID_H_

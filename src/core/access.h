@@ -1,0 +1,51 @@
+// Access and synchronization events flowing into detectors.
+#ifndef SRC_CORE_ACCESS_H_
+#define SRC_CORE_ACCESS_H_
+
+#include "src/common/clock.h"
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+// One dynamic execution of a TSVD point: the (thread, object, operation) triple of the
+// paper's OnCall, plus a timestamp, the operation's read/write classification, the
+// executing context (for TSVDHB only), and whether the global execution was in a
+// concurrent phase at the time (computed by the runtime, consumed by core TSVD).
+struct Access {
+  ThreadId tid = 0;
+  ObjectId obj = 0;
+  OpId op = kInvalidOp;
+  OpKind kind = OpKind::kRead;
+  Micros time = 0;
+  CtxId ctx = kInvalidCtx;
+  bool concurrent_phase = false;
+};
+
+// Two operations violate a thread-safety contract iff at least one is a write
+// (Section 2.2).
+inline bool KindsConflict(OpKind a, OpKind b) {
+  return a == OpKind::kWrite || b == OpKind::kWrite;
+}
+
+// Synchronization events. Published by the task runtime ONLY when the installed
+// detector asks for them (TSVDHB). Core TSVD never sees these — that is the point of
+// the paper (Section 3.4: "no synchronization modeling or happens-before analysis").
+enum class SyncEventType {
+  kTaskCreate,   // ctx = child task, other = parent context
+  kTaskStart,    // ctx = task now beginning execution on some thread
+  kTaskFinish,   // ctx = task that completed
+  kTaskJoin,     // ctx = joining context, other = joined (finished) task
+  kLockAcquire,  // ctx = acquiring context, lock = lock identity
+  kLockRelease,  // ctx = releasing context, lock = lock identity
+};
+
+struct SyncEvent {
+  SyncEventType type;
+  CtxId ctx = kInvalidCtx;
+  CtxId other = kInvalidCtx;
+  ObjectId lock = 0;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_ACCESS_H_

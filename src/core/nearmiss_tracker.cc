@@ -1,0 +1,59 @@
+#include "src/core/nearmiss_tracker.h"
+
+#include <algorithm>
+
+namespace tsvd {
+
+std::vector<NearMissTracker::NearMiss> NearMissTracker::RecordAndFindConflicts(
+    const Access& access) {
+  std::vector<NearMiss> result;
+  Shard& shard = ShardFor(access.obj);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ObjHistory& history = shard.objects[access.obj];
+
+  for (const Record& rec : history.records) {
+    if (rec.tid == access.tid || !KindsConflict(rec.kind, access.kind)) {
+      continue;
+    }
+    if (window_us_ >= 0 && access.time - rec.time > window_us_) {
+      continue;
+    }
+    result.push_back(NearMiss{rec.op, rec.concurrent});
+  }
+
+  history.records.push_back(
+      Record{access.tid, access.op, access.kind, access.time, access.concurrent_phase});
+  if (static_cast<int>(history.records.size()) > history_) {
+    history.records.erase(history.records.begin());
+  }
+
+  ++shard.inserts_since_sweep;
+  MaybeSweep(shard, access.time);
+  return result;
+}
+
+void NearMissTracker::MaybeSweep(Shard& shard, Micros now) {
+  // Objects whose entire history is older than the window can never again produce a
+  // near miss; sweep them occasionally so long runs do not accumulate dead entries.
+  if (window_us_ < 0 || shard.inserts_since_sweep < 4096) {
+    return;
+  }
+  shard.inserts_since_sweep = 0;
+  for (auto it = shard.objects.begin(); it != shard.objects.end();) {
+    const auto& records = it->second.records;
+    const bool stale =
+        records.empty() || now - records.back().time > 8 * window_us_;
+    it = stale ? shard.objects.erase(it) : std::next(it);
+  }
+}
+
+size_t NearMissTracker::TrackedObjects() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.objects.size();
+  }
+  return n;
+}
+
+}  // namespace tsvd

@@ -1,0 +1,71 @@
+// Near-miss tracking (Section 3.4.2).
+//
+// A global hash table, sharded by object id, holds each object's most recent N_nm
+// accesses. A new access forms a near miss with a recorded one if the threads differ,
+// at least one operation is a write, and the two are within T_nm of each other. The
+// paper indexes by the object's hash-code rather than object metadata; we shard by the
+// same hash for scalability.
+#ifndef SRC_CORE_NEARMISS_TRACKER_H_
+#define SRC_CORE_NEARMISS_TRACKER_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/core/access.h"
+
+namespace tsvd {
+
+class NearMissTracker {
+ public:
+  explicit NearMissTracker(const Config& config)
+      : window_us_(config.disable_nearmiss_window ? -1 : config.nearmiss_window_us),
+        history_(config.disable_nearmiss_window ? config.nearmiss_history_unwindowed
+                                                : config.nearmiss_history) {}
+
+  struct NearMiss {
+    OpId other_op = kInvalidOp;
+    // True if the recorded access executed in a concurrent phase; a dangerous pair
+    // needs at least one endpoint in a concurrent phase (Section 3.4.1).
+    bool other_concurrent = false;
+  };
+
+  // Records `access` and returns the conflicting near misses it forms with the
+  // object's recent history.
+  std::vector<NearMiss> RecordAndFindConflicts(const Access& access);
+
+  // Number of objects currently tracked (diagnostics / memory accounting).
+  size_t TrackedObjects() const;
+
+ private:
+  struct Record {
+    ThreadId tid;
+    OpId op;
+    OpKind kind;
+    Micros time;
+    bool concurrent;
+  };
+
+  struct ObjHistory {
+    std::vector<Record> records;  // ring-ish: oldest evicted from the front
+  };
+
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ObjectId, ObjHistory> objects;
+    uint64_t inserts_since_sweep = 0;
+  };
+
+  Shard& ShardFor(ObjectId obj) { return shards_[(obj >> 4) % kShards]; }
+  void MaybeSweep(Shard& shard, Micros now);
+
+  Micros window_us_;  // -1 = unwindowed (Table 3 ablation)
+  int history_;
+  Shard shards_[kShards];
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_NEARMISS_TRACKER_H_

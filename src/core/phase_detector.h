@@ -1,0 +1,57 @@
+// Concurrent-phase inference (Section 3.4.3).
+//
+// A global ring buffer holds the thread ids of the most recently executed TSVD points.
+// The execution is in a concurrent phase iff the buffer contains points from more than
+// one thread. A TSVD point inside a sequential phase (initialization, clean-up,
+// join-after-fork) can never race, so near misses seen there are not dangerous.
+#ifndef SRC_CORE_PHASE_DETECTOR_H_
+#define SRC_CORE_PHASE_DETECTOR_H_
+
+#include <atomic>
+#include <cassert>
+
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+class PhaseDetector {
+ public:
+  static constexpr int kMaxBuffer = 64;
+
+  explicit PhaseDetector(int buffer_size) : size_(buffer_size) {
+    assert(buffer_size >= 1 && buffer_size <= kMaxBuffer);
+    for (auto& slot : slots_) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Records that `tid` executed a TSVD point and returns whether the buffer currently
+  // spans more than one thread. Relaxed atomics: the buffer is a heuristic; torn
+  // interleavings only perturb which accesses count as concurrent, never correctness.
+  bool RecordAndCheck(ThreadId tid) {
+    const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    slots_[i % size_].store(tid, std::memory_order_relaxed);
+    ThreadId first = 0;
+    for (int s = 0; s < size_; ++s) {
+      const ThreadId t = slots_[s].load(std::memory_order_relaxed);
+      if (t == 0) {
+        continue;  // not yet filled
+      }
+      if (first == 0) {
+        first = t;
+      } else if (t != first) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  int size_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<ThreadId> slots_[kMaxBuffer];
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_PHASE_DETECTOR_H_

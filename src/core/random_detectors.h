@@ -1,0 +1,106 @@
+// Baseline variants occupying the top-left corner of the design space (Fig. 2):
+// little analysis, many delays.
+//
+// DynamicRandom (Section 3.2): every TSVD point is eligible; each dynamic instance
+// delays with a small fixed probability, for a random duration.
+//
+// StaticRandom (Section 3.3) emulates DataCollider's static sampling: static call
+// sites are sampled uniformly irrespective of how often they execute, so hot paths do
+// not drown out cold ones. The h-th dynamic hit of a site fires with probability
+// min(1, quota / h) — each site's expected firings grow only logarithmically with its
+// execution count.
+#ifndef SRC_CORE_RANDOM_DETECTORS_H_
+#define SRC_CORE_RANDOM_DETECTORS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/per_thread.h"
+#include "src/common/rng.h"
+#include "src/core/detector.h"
+
+namespace tsvd {
+
+namespace internal {
+// Shared per-thread RNG plumbing for the stateless baselines.
+class RandomBase : public Detector {
+ protected:
+  explicit RandomBase(const Config& config) : config_(config) {}
+
+  Rng& RngFor(ThreadId tid) {
+    RngSlot& slot = rngs_.Get(tid);
+    if (!slot.initialized) {
+      slot.rng = Rng(config_.seed * 0xd1b54a32d192ed03ULL + tid);
+      slot.initialized = true;
+    }
+    return slot.rng;
+  }
+
+  Config config_;
+
+ private:
+  struct RngSlot {
+    Rng rng{0};
+    bool initialized = false;
+  };
+  PerThread<RngSlot> rngs_;
+};
+}  // namespace internal
+
+class DynamicRandomDetector : public internal::RandomBase {
+ public:
+  explicit DynamicRandomDetector(const Config& config) : RandomBase(config) {}
+
+  std::string name() const override { return "DynamicRandom"; }
+
+  DelayDecision OnCall(const Access& access) override {
+    Rng& rng = RngFor(access.tid);
+    if (rng.NextBool(config_.dynamic_random_probability)) {
+      return DelayDecision{true, rng.NextInRange(1, config_.delay_us)};
+    }
+    return DelayDecision{};
+  }
+};
+
+class StaticRandomDetector : public internal::RandomBase {
+ public:
+  explicit StaticRandomDetector(const Config& config)
+      : RandomBase(config),
+        hits_(std::make_unique<std::atomic<uint64_t>[]>(kCapacity)) {
+    for (size_t i = 0; i < kCapacity; ++i) {
+      hits_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::string name() const override { return "DataCollider"; }
+
+  DelayDecision OnCall(const Access& access) override {
+    if (access.op >= kCapacity) {
+      return DelayDecision{};
+    }
+    // Uniform static sampling: whether this site is in the sampled set is a pure
+    // function of (seed, site), decided independently of how hot the site is.
+    Rng site_rng(config_.seed * 0x2545f4914f6cdd1dULL + access.op);
+    if (!site_rng.NextBool(config_.static_random_site_prob)) {
+      return DelayDecision{};
+    }
+    const uint64_t h = hits_[access.op].fetch_add(1, std::memory_order_relaxed) + 1;
+    Rng& rng = RngFor(access.tid);
+    const double p = config_.static_random_quota / static_cast<double>(h);
+    if (rng.NextBool(p < 1.0 ? p : 1.0)) {
+      return DelayDecision{true, rng.NextInRange(1, config_.delay_us)};
+    }
+    return DelayDecision{};
+  }
+
+  static constexpr OpId kCapacity = 1 << 16;
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> hits_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_RANDOM_DETECTORS_H_

@@ -1,0 +1,160 @@
+#include "src/core/runtime.h"
+
+#include <cassert>
+
+#include "src/common/thread_id.h"
+
+namespace tsvd {
+
+std::atomic<Runtime*> Runtime::current_{nullptr};
+
+Runtime::Runtime(const Config& config, std::unique_ptr<Detector> detector)
+    : config_(config),
+      detector_(std::move(detector)),
+      wants_sync_(detector_->WantsSyncEvents()),
+      phase_(config.phase_buffer_size) {}
+
+Runtime::~Runtime() {
+  // Guard against a runtime being destroyed while still installed.
+  Runtime* expected = this;
+  current_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+void Runtime::Install(Runtime* rt) {
+  Runtime* expected = nullptr;
+  const bool ok = current_.compare_exchange_strong(expected, rt, std::memory_order_acq_rel);
+  assert(ok && "another Runtime is already installed");
+  (void)ok;
+}
+
+void Runtime::Uninstall(Runtime* rt) {
+  Runtime* expected = rt;
+  current_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) {
+  const ThreadId tid = CurrentThreadId();
+  Access access;
+  access.tid = tid;
+  access.obj = obj;
+  access.op = op;
+  access.kind = kind;
+  access.time = NowMicros();
+  access.ctx = CurrentCtx();
+  access.concurrent_phase = phase_.RecordAndCheck(tid);
+
+  oncall_count_.fetch_add(1, std::memory_order_relaxed);
+  coverage_.Record(op, access.concurrent_phase);
+
+  // check_for_trap: catch a conflicting sleeper red-handed.
+  TrapRegistry::Conflict conflict = traps_.CheckAndMark(access);
+  if (conflict.found) {
+    ReportViolation(conflict, access);
+    detector_->OnViolation(conflict.trapped_access, access);
+  }
+
+  // should_delay + bookkeeping.
+  const DelayDecision decision = detector_->OnCall(access);
+  if (!decision.inject || decision.duration_us <= 0 ||
+      !BudgetAllows(tid, decision.duration_us)) {
+    return;
+  }
+  if (config_.serialize_delays && traps_.ArmedCount() > 0) {
+    // Ablation: strictly avoid overlapping delays (Section 3.4.6 discusses and
+    // rejects this design).
+    return;
+  }
+
+  TrapRegistry::Trap* trap = traps_.Set(access, ScopeStack::Current().Snapshot());
+  delays_injected_.fetch_add(1, std::memory_order_relaxed);
+  const Micros start = NowMicros();
+  SleepMicros(decision.duration_us);
+  const Micros end = NowMicros();
+  total_delay_us_.fetch_add(end - start, std::memory_order_relaxed);
+  ChargeBudgets(tid, end - start);
+
+  const bool hit = traps_.Clear(trap);
+  detector_->OnDelayFinished(access, DelayOutcome{start, end, hit});
+}
+
+void Runtime::OnSync(const SyncEvent& event) {
+  if (!wants_sync_) {
+    return;
+  }
+  sync_events_.fetch_add(1, std::memory_order_relaxed);
+  detector_->OnSync(event);
+}
+
+void Runtime::ReportViolation(const TrapRegistry::Conflict& conflict, const Access& racing) {
+  BugReport report;
+  report.object = racing.obj;
+  report.trapped.tid = conflict.trapped_access.tid;
+  report.trapped.op = conflict.trapped_access.op;
+  report.trapped.kind = conflict.trapped_access.kind;
+  report.trapped.stack = conflict.trapped_stack;
+  report.racing.tid = racing.tid;
+  report.racing.op = racing.op;
+  report.racing.kind = racing.kind;
+  report.racing.stack = ScopeStack::Current().Snapshot();
+  report.time_us = racing.time;
+
+  {
+    std::lock_guard<std::mutex> lock(reports_mu_);
+    reports_.push_back(report);
+  }
+  if (observer_) {
+    observer_(report);
+  }
+}
+
+bool Runtime::BudgetAllows(ThreadId tid, Micros duration) {
+  if (config_.max_delay_per_thread_us > 0 &&
+      budgets_.Get(tid).used + duration > config_.max_delay_per_thread_us) {
+    return false;
+  }
+  if (config_.max_delay_per_request_us > 0) {
+    const RequestId request = CurrentRequest();
+    if (request != kNoRequest) {
+      std::lock_guard<std::mutex> lock(request_budget_mu_);
+      if (request_budgets_[request] + duration > config_.max_delay_per_request_us) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Runtime::ChargeBudgets(ThreadId tid, Micros spent) {
+  budgets_.Get(tid).used += spent;
+  if (config_.max_delay_per_request_us > 0) {
+    const RequestId request = CurrentRequest();
+    if (request != kNoRequest) {
+      std::lock_guard<std::mutex> lock(request_budget_mu_);
+      request_budgets_[request] += spent;
+    }
+  }
+}
+
+RunSummary Runtime::Summary() const {
+  RunSummary s;
+  {
+    std::lock_guard<std::mutex> lock(reports_mu_);
+    s.reports = reports_;
+  }
+  for (const BugReport& r : s.reports) {
+    s.unique_pairs.insert(r.Pair());
+  }
+  s.oncall_count = oncall_count_.load(std::memory_order_relaxed);
+  s.delays_injected = delays_injected_.load(std::memory_order_relaxed);
+  s.total_delay_us = total_delay_us_.load(std::memory_order_relaxed);
+  s.sync_events = sync_events_.load(std::memory_order_relaxed);
+  s.trap_set_size = detector_->TrapSetSize();
+  return s;
+}
+
+std::vector<BugReport> Runtime::Reports() const {
+  std::lock_guard<std::mutex> lock(reports_mu_);
+  return reports_;
+}
+
+}  // namespace tsvd

@@ -1,0 +1,120 @@
+// The TSVD runtime: the mechanism half of the trap framework (Fig. 5).
+//
+//   OnCall(thread_id, obj_id, op_id):
+//     check_for_trap(...)        -> report violation, both threads caught red-handed
+//     if (should_delay(op_id)):  -> delegated to the installed Detector
+//       set_trap(...); delay(); clear_trap(...)
+//
+// One Runtime instance exists per instrumented test run (the workload harness creates
+// a fresh one per module run, mirroring per-module test isolation at Microsoft). A
+// process-wide current-runtime pointer lets instrumented containers reach the runtime
+// with a single atomic load; with no runtime installed the instrumentation is a no-op,
+// which is the uninstrumented baseline for overhead measurements.
+#ifndef SRC_CORE_RUNTIME_H_
+#define SRC_CORE_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <unordered_map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/execution_context.h"
+#include "src/common/per_thread.h"
+#include "src/common/request_context.h"
+#include "src/core/detector.h"
+#include "src/core/phase_detector.h"
+#include "src/core/trap_registry.h"
+#include "src/report/coverage.h"
+#include "src/report/run_summary.h"
+
+namespace tsvd {
+
+class Runtime {
+ public:
+  Runtime(const Config& config, std::unique_ptr<Detector> detector);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Entry point from instrumented container methods.
+  void OnCall(ObjectId obj, OpId op, OpKind kind);
+
+  // Entry point from the task runtime (forwarded only if the detector wants it).
+  void OnSync(const SyncEvent& event);
+  bool WantsSyncEvents() const { return wants_sync_; }
+
+  // Finalizes counters into a summary. Callable once the run's tasks are quiescent.
+  RunSummary Summary() const;
+
+  Detector& detector() { return *detector_; }
+  const Config& config() const { return config_; }
+  CoverageTracker& coverage() { return coverage_; }
+
+  // All reports so far (copy).
+  std::vector<BugReport> Reports() const;
+
+  // Observer invoked synchronously on every violation, while both threads are still
+  // at their conflicting call sites (so object identity is still resolvable). The
+  // workload harness uses this to cross-check reports against ground truth.
+  void SetReportObserver(std::function<void(const BugReport&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  // --- global installation ---
+  static Runtime* Current() { return current_.load(std::memory_order_acquire); }
+  static void Install(Runtime* rt);
+  static void Uninstall(Runtime* rt);
+
+  // RAII installation for scoped runs.
+  class Installation {
+   public:
+    explicit Installation(Runtime& rt) : rt_(rt) { Install(&rt_); }
+    ~Installation() { Uninstall(&rt_); }
+    Installation(const Installation&) = delete;
+    Installation& operator=(const Installation&) = delete;
+
+   private:
+    Runtime& rt_;
+  };
+
+ private:
+  void ReportViolation(const TrapRegistry::Conflict& conflict, const Access& racing);
+  bool BudgetAllows(ThreadId tid, Micros duration);
+  void ChargeBudgets(ThreadId tid, Micros spent);
+
+  Config config_;
+  std::unique_ptr<Detector> detector_;
+  bool wants_sync_;
+
+  TrapRegistry traps_;
+  PhaseDetector phase_;
+  CoverageTracker coverage_;
+
+  mutable std::mutex reports_mu_;
+  std::vector<BugReport> reports_;
+  std::function<void(const BugReport&)> observer_;
+
+  std::atomic<uint64_t> oncall_count_{0};
+  std::atomic<uint64_t> delays_injected_{0};
+  std::atomic<int64_t> total_delay_us_{0};
+  std::atomic<uint64_t> sync_events_{0};
+
+  struct BudgetSlot {
+    Micros used = 0;
+  };
+  PerThread<BudgetSlot> budgets_;
+
+  std::mutex request_budget_mu_;
+  std::unordered_map<RequestId, Micros> request_budgets_;
+
+  static std::atomic<Runtime*> current_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_RUNTIME_H_

@@ -1,0 +1,52 @@
+#include "src/core/trap_registry.h"
+
+#include <algorithm>
+
+namespace tsvd {
+
+TrapRegistry::Trap* TrapRegistry::Set(const Access& access, StackTrace stack) {
+  auto trap = std::make_unique<Trap>();
+  trap->access = access;
+  trap->stack = std::move(stack);
+  Trap* raw = trap.get();
+  Shard& shard = ShardFor(access.obj);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.traps.push_back(std::move(trap));
+  return raw;
+}
+
+bool TrapRegistry::Clear(Trap* trap) {
+  Shard& shard = ShardFor(trap->access.obj);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool hit = trap->hit;
+  auto it = std::find_if(shard.traps.begin(), shard.traps.end(),
+                         [trap](const std::unique_ptr<Trap>& t) { return t.get() == trap; });
+  if (it != shard.traps.end()) {
+    shard.traps.erase(it);
+  }
+  return hit;
+}
+
+TrapRegistry::Conflict TrapRegistry::CheckAndMark(const Access& access) {
+  Shard& shard = ShardFor(access.obj);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& trap : shard.traps) {
+    const Access& t = trap->access;
+    if (t.obj == access.obj && t.tid != access.tid && KindsConflict(t.kind, access.kind)) {
+      trap->hit = true;
+      return Conflict{true, t, trap->stack};
+    }
+  }
+  return Conflict{};
+}
+
+size_t TrapRegistry::ArmedCount() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.traps.size();
+  }
+  return n;
+}
+
+}  // namespace tsvd

@@ -1,0 +1,63 @@
+// The global table of armed traps (Section 3.1).
+//
+// A trap is the triple (thread, object, operation) of a thread currently sleeping
+// inside OnCall. Every other thread entering OnCall checks for a conflicting trap:
+// same object, different thread, at least one write. Sharded by object so the check —
+// which is on the hot path of every instrumented call — stays cheap.
+#ifndef SRC_CORE_TRAP_REGISTRY_H_
+#define SRC_CORE_TRAP_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/scope_stack.h"
+#include "src/core/access.h"
+
+namespace tsvd {
+
+class TrapRegistry {
+ public:
+  struct Trap {
+    Access access;
+    StackTrace stack;
+    bool hit = false;  // set when a racing thread conflicts with this trap
+  };
+
+  // A thread arms a trap before sleeping. The returned handle stays valid until
+  // Clear(); traps are heap-allocated and owned by the registry.
+  Trap* Set(const Access& access, StackTrace stack);
+
+  // Disarms a trap; returns whether any conflict was caught while it was set.
+  bool Clear(Trap* trap);
+
+  // Returns the first armed trap conflicting with `access` (nullptr if none) and marks
+  // it hit. The caller builds the bug report while the trapped thread still sleeps —
+  // both threads are "caught red handed". The returned pointer is only valid while the
+  // caller immediately copies from it; the trapped thread cannot clear it concurrently
+  // because Clear() takes the same shard lock, but do not hold it past CopyConflict.
+  struct Conflict {
+    bool found = false;
+    Access trapped_access;
+    StackTrace trapped_stack;
+  };
+  Conflict CheckAndMark(const Access& access);
+
+  // Number of currently armed traps (diagnostics).
+  size_t ArmedCount() const;
+
+ private:
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Trap>> traps;
+  };
+
+  Shard& ShardFor(ObjectId obj) { return shards_[obj % kShards]; }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_TRAP_REGISTRY_H_

@@ -1,0 +1,162 @@
+#include "src/core/trap_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/callsite.h"
+
+namespace tsvd {
+
+TrapSet::TrapSet(const Config& config)
+    : decay_factor_(config.decay_factor),
+      min_probability_(config.min_probability),
+      prob_(std::make_unique<std::atomic<double>[]>(kCapacity)) {
+  for (OpId i = 0; i < kCapacity; ++i) {
+    prob_[i].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+bool TrapSet::AddPair(OpId a, OpId b) {
+  if (a >= kCapacity || b >= kCapacity) {
+    return false;
+  }
+  const LocationPair pair(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pairs_.contains(pair) || hb_pruned_.contains(pair) || found_.contains(pair)) {
+    return false;
+  }
+  pairs_.insert(pair);
+  partners_[a].push_back(b);
+  if (a != b) {
+    partners_[b].push_back(a);
+  }
+  SetProbLocked(a, 1.0);
+  SetProbLocked(b, 1.0);
+  return true;
+}
+
+void TrapSet::MarkHbOrdered(OpId a, OpId b) {
+  const LocationPair pair(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  hb_pruned_.insert(pair);
+  RemovePairLocked(pair);
+}
+
+void TrapSet::MarkFound(OpId a, OpId b) {
+  const LocationPair pair(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  found_.insert(pair);
+  RemovePairLocked(pair);
+}
+
+void TrapSet::DecayAfterFailedDelay(OpId op) {
+  if (decay_factor_ <= 0.0) {
+    return;  // decay disabled (Fig. 9(g), factor 0)
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partners_.find(op);
+  if (it == partners_.end() || it->second.empty()) {
+    SetProbLocked(op, 0.0);
+    return;
+  }
+  // Decay both endpoints of every pair containing op; collect locations that dropped
+  // to zero, then remove their pairs.
+  std::vector<OpId> affected = it->second;
+  affected.push_back(op);
+  std::vector<OpId> dead;
+  for (OpId loc : affected) {
+    if (loc >= kCapacity) {
+      continue;
+    }
+    double p = prob_[loc].load(std::memory_order_relaxed) * (1.0 - decay_factor_);
+    if (p < min_probability_) {
+      p = 0.0;
+      dead.push_back(loc);
+    }
+    prob_[loc].store(p, std::memory_order_relaxed);
+  }
+  for (OpId loc : dead) {
+    auto pit = partners_.find(loc);
+    if (pit == partners_.end()) {
+      continue;
+    }
+    const std::vector<OpId> its_partners = pit->second;
+    for (OpId q : its_partners) {
+      RemovePairLocked(LocationPair(loc, q));
+    }
+  }
+}
+
+void TrapSet::RemovePairLocked(const LocationPair& pair) {
+  if (pairs_.erase(pair) == 0) {
+    return;
+  }
+  auto drop = [this](OpId from, OpId what) {
+    auto it = partners_.find(from);
+    if (it == partners_.end()) {
+      return;
+    }
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), what), vec.end());
+    if (vec.empty()) {
+      partners_.erase(it);
+      // A location with no remaining pairs has nothing to trap for.
+      SetProbLocked(from, 0.0);
+    }
+  };
+  drop(pair.first, pair.second);
+  if (pair.first != pair.second) {
+    drop(pair.second, pair.first);
+  }
+}
+
+void TrapSet::SetProbLocked(OpId op, double p) {
+  if (op < kCapacity) {
+    prob_[op].store(p, std::memory_order_relaxed);
+  }
+}
+
+uint64_t TrapSet::PairCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.size();
+}
+
+std::vector<OpId> TrapSet::PartnersOf(OpId op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partners_.find(op);
+  return it == partners_.end() ? std::vector<OpId>{} : it->second;
+}
+
+bool TrapSet::WasHbPruned(OpId a, OpId b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hb_pruned_.contains(LocationPair(a, b));
+}
+
+TrapFile TrapSet::Export() const {
+  TrapFile file;
+  const CallSiteRegistry& registry = CallSiteRegistry::Instance();
+  std::lock_guard<std::mutex> lock(mu_);
+  file.pairs.reserve(pairs_.size());
+  for (const LocationPair& pair : pairs_) {
+    file.pairs.emplace_back(registry.Get(pair.first).Signature(),
+                            registry.Get(pair.second).Signature());
+  }
+  return file;
+}
+
+void TrapSet::Import(const TrapFile& file) {
+  const CallSiteRegistry& registry = CallSiteRegistry::Instance();
+  for (const auto& [sig_a, sig_b] : file.pairs) {
+    const OpId a = registry.FindBySignature(sig_a);
+    const OpId b = registry.FindBySignature(sig_b);
+    if (a == kInvalidOp || b == kInvalidOp) {
+      // The call site has not been interned in this process yet. In-process runs of
+      // the same module always resolve because the registry is process-global; a
+      // cross-process deployment would re-intern from the instrumenter's site list.
+      continue;
+    }
+    AddPair(a, b);
+  }
+}
+
+}  // namespace tsvd

@@ -1,0 +1,86 @@
+// The trap set: dangerous pairs of program locations and per-location injection
+// probabilities (Sections 3.4.1, 3.4.5).
+//
+// Grows when near misses are discovered; shrinks when a likely happens-before
+// relationship is inferred between a pair, when a violation has already been caught at
+// a pair, or when decay drives a location's probability to zero.
+#ifndef SRC_CORE_TRAP_SET_H_
+#define SRC_CORE_TRAP_SET_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+#include "src/report/bug_report.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd {
+
+class TrapSet {
+ public:
+  explicit TrapSet(const Config& config);
+
+  // Adds a dangerous pair discovered via a near miss. No-op (returns false) if the
+  // pair is already present, was pruned by HB inference, or was already caught as a
+  // violation. On a genuine add, both locations' probabilities are set to 1.
+  bool AddPair(OpId a, OpId b);
+
+  // Current injection probability of a location; 0 means "not eligible for delays".
+  // Lock-free: this is read on every OnCall.
+  double Prob(OpId op) const {
+    if (op >= kCapacity) {
+      return 0.0;
+    }
+    return prob_[op].load(std::memory_order_relaxed);
+  }
+
+  // HB inference concluded a -> b: the pair cannot race. Removes it and blocks
+  // re-addition (Section 3.4.4).
+  void MarkHbOrdered(OpId a, OpId b);
+
+  // A violation was caught at this pair; no need to keep hunting it (Section 3.4.1).
+  void MarkFound(OpId a, OpId b);
+
+  // A delay at `op` completed without exposing a conflict: decay the probability of
+  // both endpoints of every pair containing `op` (Section 3.4.5). Locations whose
+  // probability falls below the configured minimum drop to 0 and their pairs leave the
+  // trap set.
+  void DecayAfterFailedDelay(OpId op);
+
+  uint64_t PairCount() const;
+  std::vector<OpId> PartnersOf(OpId op) const;
+  bool WasHbPruned(OpId a, OpId b) const;
+
+  // Persistence: export surviving pairs as signatures; import pre-arms pairs with
+  // probability 1 even before their first dynamic occurrence.
+  TrapFile Export() const;
+  void Import(const TrapFile& file);
+
+  static constexpr OpId kCapacity = 1 << 16;
+
+ private:
+  void RemovePairLocked(const LocationPair& pair);
+  void SetProbLocked(OpId op, double p);
+
+  mutable std::mutex mu_;
+  double decay_factor_;
+  double min_probability_;
+
+  std::unordered_set<LocationPair, LocationPairHash> pairs_;
+  std::unordered_set<LocationPair, LocationPairHash> hb_pruned_;
+  std::unordered_set<LocationPair, LocationPairHash> found_;
+  std::unordered_map<OpId, std::vector<OpId>> partners_;
+
+  // Dense probability table indexed by OpId; reads are lock-free, writes happen under
+  // mu_. 64K call sites is far beyond anything a single test process produces.
+  std::unique_ptr<std::atomic<double>[]> prob_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_CORE_TRAP_SET_H_

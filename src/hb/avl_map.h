@@ -1,0 +1,198 @@
+// Immutable (persistent) AVL tree-map.
+//
+// TSVDHB's second optimization (Section 3.5): vector clocks are represented as
+// immutable AVL tree-maps instead of mutable arrays, so a message-send/fork/release
+// "copies" a clock in O(1) by sharing the root reference, at the cost of O(log n)
+// path-copying on increment. Reference equality of roots doubles as the O(1)
+// same-clock fast path used on fork/join round trips.
+#ifndef SRC_HB_AVL_MAP_H_
+#define SRC_HB_AVL_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+namespace tsvd {
+
+template <typename K, typename V>
+class AvlMap {
+ public:
+  AvlMap() = default;
+
+  bool empty() const { return root_ == nullptr; }
+  size_t size() const { return Size(root_); }
+
+  // O(1) structural identity; exact equality of contents implies nothing about this,
+  // but identical roots always mean identical contents.
+  bool SameRoot(const AvlMap& other) const { return root_ == other.root_; }
+
+  // Returns the value at `key`, or `fallback`.
+  V GetOr(const K& key, V fallback) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      if (key < node->key) {
+        node = node->left.get();
+      } else if (node->key < key) {
+        node = node->right.get();
+      } else {
+        return node->value;
+      }
+    }
+    return fallback;
+  }
+
+  bool Contains(const K& key) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      if (key < node->key) {
+        node = node->left.get();
+      } else if (node->key < key) {
+        node = node->right.get();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Returns a new map with key set to value; this map is unchanged. O(log n) new
+  // nodes; all untouched subtrees are shared.
+  [[nodiscard]] AvlMap Insert(const K& key, const V& value) const {
+    return AvlMap(InsertInto(root_, key, value));
+  }
+
+  // Element-wise maximum of two clocks. Shared subtrees (reference-equal) are reused
+  // without being visited — the O(1) fast path when the maps are the same object.
+  [[nodiscard]] static AvlMap MergeMax(const AvlMap& a, const AvlMap& b) {
+    if (a.root_ == b.root_ || b.root_ == nullptr) {
+      return a;
+    }
+    if (a.root_ == nullptr) {
+      return b;
+    }
+    // Fold the smaller map into the larger one.
+    if (Size(a.root_) >= Size(b.root_)) {
+      AvlMap result = a;
+      b.ForEach([&result](const K& k, const V& v) {
+        if (result.GetOr(k, V{}) < v) {
+          result = result.Insert(k, v);
+        }
+      });
+      return result;
+    }
+    AvlMap result = b;
+    a.ForEach([&result](const K& k, const V& v) {
+      if (result.GetOr(k, V{}) < v) {
+        result = result.Insert(k, v);
+      }
+    });
+    return result;
+  }
+
+  // True iff for every key, this[key] <= other[key] (the vector-clock <= relation).
+  bool LessEq(const AvlMap& other) const {
+    if (root_ == other.root_) {
+      return true;
+    }
+    bool ok = true;
+    ForEach([&](const K& k, const V& v) {
+      if (ok && other.GetOr(k, V{}) < v) {
+        ok = false;
+      }
+    });
+    return ok;
+  }
+
+  template <typename F>
+  void ForEach(F&& fn) const {
+    ForEachNode(root_.get(), fn);
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;
+    int height = 1;
+    size_t size = 1;
+  };
+  using NodePtr = std::shared_ptr<const Node>;
+
+  explicit AvlMap(NodePtr root) : root_(std::move(root)) {}
+
+  static int Height(const NodePtr& n) { return n ? n->height : 0; }
+  static size_t Size(const NodePtr& n) { return n ? n->size : 0; }
+
+  static NodePtr Make(const K& key, const V& value, NodePtr left, NodePtr right) {
+    auto node = std::make_shared<Node>();
+    auto* raw = const_cast<Node*>(node.get());
+    raw->key = key;
+    raw->value = value;
+    raw->left = std::move(left);
+    raw->right = std::move(right);
+    raw->height = 1 + std::max(Height(raw->left), Height(raw->right));
+    raw->size = 1 + Size(raw->left) + Size(raw->right);
+    return node;
+  }
+
+  static NodePtr Balance(const K& key, const V& value, NodePtr left, NodePtr right) {
+    const int hl = Height(left);
+    const int hr = Height(right);
+    if (hl > hr + 1) {
+      // Left-heavy.
+      if (Height(left->left) >= Height(left->right)) {
+        return Make(left->key, left->value, left->left,
+                    Make(key, value, left->right, std::move(right)));
+      }
+      const NodePtr& lr = left->right;
+      return Make(lr->key, lr->value, Make(left->key, left->value, left->left, lr->left),
+                  Make(key, value, lr->right, std::move(right)));
+    }
+    if (hr > hl + 1) {
+      // Right-heavy.
+      if (Height(right->right) >= Height(right->left)) {
+        return Make(right->key, right->value,
+                    Make(key, value, std::move(left), right->left), right->right);
+      }
+      const NodePtr& rl = right->left;
+      return Make(rl->key, rl->value, Make(key, value, std::move(left), rl->left),
+                  Make(right->key, right->value, rl->right, right->right));
+    }
+    return Make(key, value, std::move(left), std::move(right));
+  }
+
+  static NodePtr InsertInto(const NodePtr& node, const K& key, const V& value) {
+    if (node == nullptr) {
+      return Make(key, value, nullptr, nullptr);
+    }
+    if (key < node->key) {
+      return Balance(node->key, node->value, InsertInto(node->left, key, value),
+                     node->right);
+    }
+    if (node->key < key) {
+      return Balance(node->key, node->value, node->left,
+                     InsertInto(node->right, key, value));
+    }
+    if (node->value == value) {
+      return node;  // no-op insert: share the whole subtree
+    }
+    return Make(key, value, node->left, node->right);
+  }
+
+  template <typename F>
+  static void ForEachNode(const Node* node, F& fn) {
+    if (node == nullptr) {
+      return;
+    }
+    ForEachNode(node->left.get(), fn);
+    fn(node->key, node->value);
+    ForEachNode(node->right.get(), fn);
+  }
+
+  NodePtr root_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_HB_AVL_MAP_H_

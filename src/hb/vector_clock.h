@@ -1,0 +1,53 @@
+// Vector clocks over execution contexts (tasks and root threads), following the
+// paper's TSVDHB optimizations (Section 3.5):
+//   1. local components are incremented only at TSVD points, not at synchronization
+//      operations — the opposite of traditional race detection, because instrumented
+//      programs have many more forks/joins than thread-unsafe API calls;
+//   2. clocks are immutable AVL tree-maps, so fork/release copies are O(1) reference
+//      bumps;
+//   3. a join whose two clocks are the same object is a no-op detected by reference
+//      equality in O(1).
+#ifndef SRC_HB_VECTOR_CLOCK_H_
+#define SRC_HB_VECTOR_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/common/ids.h"
+#include "src/hb/avl_map.h"
+
+namespace tsvd {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  uint64_t Get(CtxId ctx) const { return map_.GetOr(ctx, 0); }
+
+  [[nodiscard]] VectorClock WithComponent(CtxId ctx, uint64_t value) const {
+    return VectorClock(map_.Insert(ctx, value));
+  }
+
+  [[nodiscard]] static VectorClock Merge(const VectorClock& a, const VectorClock& b) {
+    if (a.map_.SameRoot(b.map_)) {
+      return a;  // O(1) reference-equality fast path
+    }
+    return VectorClock(AvlMap<CtxId, uint64_t>::MergeMax(a.map_, b.map_));
+  }
+
+  // Epoch test: does an access with epoch (ctx, t) happen-before a context holding
+  // this clock? True iff this clock has seen at least t of ctx.
+  bool HappensAfterEpoch(CtxId ctx, uint64_t t) const { return Get(ctx) >= t; }
+
+  bool LessEq(const VectorClock& other) const { return map_.LessEq(other.map_); }
+  bool SameObject(const VectorClock& other) const { return map_.SameRoot(other.map_); }
+  size_t Components() const { return map_.size(); }
+
+ private:
+  explicit VectorClock(AvlMap<CtxId, uint64_t> map) : map_(std::move(map)) {}
+
+  AvlMap<CtxId, uint64_t> map_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_HB_VECTOR_CLOCK_H_

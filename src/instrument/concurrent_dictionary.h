@@ -1,0 +1,91 @@
+// ConcurrentDictionary<K,V>: the thread-SAFE map of .NET's standard library — the fix
+// developers apply after a TSVD report ("replacing the data-structure with a
+// thread-safe version", Section 5.2). Its thread-safety contract allows any pair of
+// concurrent calls, so it is NOT instrumented: there are no TSVD points to check, and
+// code migrated to it stops producing reports (tests verify this).
+#ifndef SRC_INSTRUMENT_CONCURRENT_DICTIONARY_H_
+#define SRC_INSTRUMENT_CONCURRENT_DICTIONARY_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace tsvd {
+
+template <typename K, typename V>
+class ConcurrentDictionary {
+ public:
+  ConcurrentDictionary() = default;
+
+  bool TryAdd(const K& key, const V& value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.emplace(key, value).second;
+  }
+
+  void Set(const K& key, const V& value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[key] = value;
+  }
+
+  // Returns the existing value or inserts the factory's product — atomically, the
+  // idiom that fixes every check-then-act cache race in this repository's workloads.
+  V GetOrAdd(const K& key, const std::function<V()>& factory) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      return it->second;
+    }
+    V value = factory();
+    shard.map.emplace(key, value);
+    return value;
+  }
+
+  std::optional<V> TryGet(const K& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  bool ContainsKey(const K& key) const { return TryGet(key).has_value(); }
+
+  bool TryRemove(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.erase(key) > 0;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.map.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V> map;
+  };
+
+  Shard& ShardFor(const K& key) { return shards_[std::hash<K>{}(key) % kShards]; }
+  const Shard& ShardFor(const K& key) const {
+    return shards_[std::hash<K>{}(key) % kShards];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_INSTRUMENT_CONCURRENT_DICTIONARY_H_

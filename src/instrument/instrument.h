@@ -1,0 +1,74 @@
+// Instrumentation entry point: the C++ analogue of TSVD's proxy methods (Fig. 7).
+//
+// The deployed instrumenter rewrites each call site of a thread-unsafe API into a
+// proxy that calls OnCall(thread_id, obj_id, op_id) and then the original method. Here
+// every instrumented container method takes a defaulted std::source_location that
+// captures the *caller's* static program location; (file, line, api) is interned into
+// a dense OpId with a per-thread memo so the hot path is one hash lookup plus one
+// atomic load when no runtime is installed.
+#ifndef SRC_INSTRUMENT_INSTRUMENT_H_
+#define SRC_INSTRUMENT_INSTRUMENT_H_
+
+#include <source_location>
+#include <unordered_map>
+
+#include "src/common/callsite.h"
+#include "src/common/ids.h"
+#include "src/core/runtime.h"
+
+namespace tsvd {
+
+namespace internal {
+
+struct SiteKey {
+  const char* file;
+  uint32_t line;
+  const char* api;
+
+  bool operator==(const SiteKey&) const = default;
+};
+
+struct SiteKeyHash {
+  size_t operator()(const SiteKey& k) const {
+    size_t h = reinterpret_cast<size_t>(k.file);
+    h = h * 0x9e3779b97f4a7c15ULL + k.line;
+    h = h * 0x9e3779b97f4a7c15ULL + reinterpret_cast<size_t>(k.api);
+    return h;
+  }
+};
+
+// Thread-local memo: interning proper takes a global lock and builds a key string;
+// each thread pays that once per static call site.
+inline OpId InternCached(const std::source_location& loc, const char* api, OpKind kind) {
+  thread_local std::unordered_map<SiteKey, OpId, SiteKeyHash> cache;
+  const SiteKey key{loc.file_name(), loc.line(), api};
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const OpId id = CallSiteRegistry::Instance().Intern(loc, api, kind);
+  cache.emplace(key, id);
+  return id;
+}
+
+}  // namespace internal
+
+// Reports one dynamic execution of a TSVD point. No-op when no runtime is installed
+// (the uninstrumented baseline).
+inline void InstrumentPoint(const void* obj, const char* api, OpKind kind,
+                            const std::source_location& loc) {
+  Runtime* rt = Runtime::Current();
+  if (rt == nullptr) {
+    return;
+  }
+  rt->OnCall(ObjectIdOf(obj), internal::InternCached(loc, api, kind), kind);
+}
+
+}  // namespace tsvd
+
+// Convenience used inside instrumented container methods, which all take a trailing
+// `const std::source_location& loc = std::source_location::current()` parameter.
+#define TSVD_READ(api) ::tsvd::InstrumentPoint(this, api, ::tsvd::OpKind::kRead, loc)
+#define TSVD_WRITE(api) ::tsvd::InstrumentPoint(this, api, ::tsvd::OpKind::kWrite, loc)
+
+#endif  // SRC_INSTRUMENT_INSTRUMENT_H_

@@ -1,0 +1,30 @@
+#include "src/report/bug_report.h"
+
+#include <sstream>
+
+#include "src/common/callsite.h"
+
+namespace tsvd {
+
+namespace {
+
+void AppendSide(std::ostringstream& out, const char* label, const ViolationSide& side) {
+  const CallSite& site = CallSiteRegistry::Instance().Get(side.op);
+  out << "  " << label << ": thread " << side.tid << " at " << site.Signature() << " ["
+      << (side.kind == OpKind::kWrite ? "write" : "read") << "]\n";
+  for (auto it = side.stack.rbegin(); it != side.stack.rend(); ++it) {
+    out << "      at " << *it << "\n";
+  }
+}
+
+}  // namespace
+
+std::string BugReport::ToString() const {
+  std::ostringstream out;
+  out << "Thread-safety violation on object 0x" << std::hex << object << std::dec << "\n";
+  AppendSide(out, "trapped", trapped);
+  AppendSide(out, "racing ", racing);
+  return out.str();
+}
+
+}  // namespace tsvd

@@ -1,0 +1,60 @@
+// Bug reports and run summaries.
+//
+// A thread-safety violation is reported the moment two threads are caught at their
+// respective program counters making conflicting calls on one object (Section 3.1).
+// The unique-bug identity is the unordered pair of static program locations, exactly
+// the conservative count the paper uses (Section 5.2, "unique bugs (location pairs)").
+#ifndef SRC_REPORT_BUG_REPORT_H_
+#define SRC_REPORT_BUG_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/ids.h"
+#include "src/common/scope_stack.h"
+
+namespace tsvd {
+
+// Canonically ordered pair of TSVD points; the unit of unique-bug counting and of the
+// trap set.
+struct LocationPair {
+  OpId first = kInvalidOp;
+  OpId second = kInvalidOp;
+
+  LocationPair() = default;
+  LocationPair(OpId a, OpId b) : first(a < b ? a : b), second(a < b ? b : a) {}
+
+  bool operator==(const LocationPair&) const = default;
+};
+
+struct LocationPairHash {
+  size_t operator()(const LocationPair& p) const {
+    return static_cast<size_t>(p.first) * 0x9e3779b97f4a7c15ULL + p.second;
+  }
+};
+
+// One side of a detected violation.
+struct ViolationSide {
+  ThreadId tid = 0;
+  OpId op = kInvalidOp;
+  OpKind kind = OpKind::kRead;
+  StackTrace stack;
+};
+
+struct BugReport {
+  ObjectId object = 0;
+  ViolationSide trapped;  // the thread that was sleeping in a trap
+  ViolationSide racing;   // the thread that walked into the trap
+  Micros time_us = 0;
+
+  LocationPair Pair() const { return LocationPair(trapped.op, racing.op); }
+  // Human-readable rendering with both call sites and both logical stacks.
+  std::string ToString() const;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_REPORT_BUG_REPORT_H_

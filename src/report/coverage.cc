@@ -1,0 +1,58 @@
+#include "src/report/coverage.h"
+
+#include <sstream>
+
+#include "src/common/callsite.h"
+
+namespace tsvd {
+
+size_t CoverageTracker::PointsHit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t CoverageTracker::PointsHitConcurrently() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [op, e] : entries_) {
+    if (e.concurrent_hits > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<OpId> CoverageTracker::SequentialOnlyPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OpId> out;
+  for (const auto& [op, e] : entries_) {
+    if (e.concurrent_hits == 0) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+CoverageTracker::Entry CoverageTracker::Lookup(OpId op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(op);
+  return it == entries_.end() ? Entry{} : it->second;
+}
+
+std::string CoverageTracker::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "instrumented points hit: " << entries_.size() << "\n";
+  for (const auto& [op, e] : entries_) {
+    const CallSite& site = CallSiteRegistry::Instance().Get(op);
+    out << "  " << site.Signature() << "  hits=" << e.hits
+        << " concurrent=" << e.concurrent_hits;
+    if (e.concurrent_hits == 0) {
+      out << "  [sequential-only]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsvd

@@ -1,0 +1,49 @@
+// Coverage statistics for instrumented points (Section 5.2, "Actionable Reports"):
+// which TSVD points were hit at all, and which were hit in a concurrent context. One
+// Microsoft team used exactly these statistics to find blind spots in their testing.
+#ifndef SRC_REPORT_COVERAGE_H_
+#define SRC_REPORT_COVERAGE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+class CoverageTracker {
+ public:
+  void Record(OpId op, bool concurrent_phase) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = entries_[op];
+    ++e.hits;
+    if (concurrent_phase) {
+      ++e.concurrent_hits;
+    }
+  }
+
+  struct Entry {
+    uint64_t hits = 0;
+    uint64_t concurrent_hits = 0;
+  };
+
+  // Points hit at least once / hit at least once concurrently.
+  size_t PointsHit() const;
+  size_t PointsHitConcurrently() const;
+  // Points that were only ever exercised sequentially: testing blind spots.
+  std::vector<OpId> SequentialOnlyPoints() const;
+  Entry Lookup(OpId op) const;
+
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<OpId, Entry> entries_;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_REPORT_COVERAGE_H_

@@ -1,0 +1,43 @@
+// Aggregated outcome of one instrumented test run.
+#ifndef SRC_REPORT_RUN_SUMMARY_H_
+#define SRC_REPORT_RUN_SUMMARY_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/report/bug_report.h"
+
+namespace tsvd {
+
+struct RunSummary {
+  // Every violation caught, including repeated manifestations of the same location pair
+  // (the paper reports 18.5 stack-trace pairs per unique bug on average).
+  std::vector<BugReport> reports;
+  // Unique bugs = unique location pairs.
+  std::unordered_set<LocationPair, LocationPairHash> unique_pairs;
+
+  uint64_t oncall_count = 0;
+  uint64_t delays_injected = 0;
+  Micros total_delay_us = 0;
+  uint64_t sync_events = 0;
+  Micros wall_time_us = 0;
+
+  // Dangerous pairs known at run end (persisted into the trap file for the next run).
+  uint64_t trap_set_size = 0;
+
+  void Merge(const RunSummary& other) {
+    reports.insert(reports.end(), other.reports.begin(), other.reports.end());
+    unique_pairs.insert(other.unique_pairs.begin(), other.unique_pairs.end());
+    oncall_count += other.oncall_count;
+    delays_injected += other.delays_injected;
+    total_delay_us += other.total_delay_us;
+    sync_events += other.sync_events;
+    wall_time_us += other.wall_time_us;
+    trap_set_size += other.trap_set_size;
+  }
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_REPORT_RUN_SUMMARY_H_

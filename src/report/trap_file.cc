@@ -1,0 +1,59 @@
+#include "src/report/trap_file.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tsvd {
+
+std::string TrapFile::Serialize() const {
+  std::ostringstream out;
+  out << "tsvd-trap-v1\n";
+  for (const auto& [a, b] : pairs) {
+    out << a << '\t' << b << '\n';
+  }
+  return out.str();
+}
+
+TrapFile TrapFile::Deserialize(const std::string& text) {
+  TrapFile file;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      if (line == "tsvd-trap-v1") {
+        continue;
+      }
+      // Headerless input: fall through and parse the first line as a pair.
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      continue;
+    }
+    file.pairs.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+  }
+  return file;
+}
+
+bool TrapFile::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << Serialize();
+  return static_cast<bool>(out);
+}
+
+bool TrapFile::LoadFrom(const std::string& path, TrapFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = Deserialize(buffer.str());
+  return true;
+}
+
+}  // namespace tsvd

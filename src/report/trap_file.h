@@ -1,0 +1,32 @@
+// Trap-file persistence (Section 3.4.6, "Multiple testing runs").
+//
+// At the end of a run, TSVD records the surviving dangerous pairs; the next run seeds
+// its trap set from the file so it can inject delays at a pair even on its *first*
+// occurrence. Pairs are stored by stable call-site signature ("file:line api") because
+// OpIds are assigned in interning order and need not match across runs.
+#ifndef SRC_REPORT_TRAP_FILE_H_
+#define SRC_REPORT_TRAP_FILE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsvd {
+
+struct TrapFile {
+  // Each entry is a dangerous pair of call-site signatures (canonically ordered).
+  std::vector<std::pair<std::string, std::string>> pairs;
+
+  bool empty() const { return pairs.empty(); }
+
+  std::string Serialize() const;
+  static TrapFile Deserialize(const std::string& text);
+
+  // File I/O; returns false on I/O failure.
+  bool SaveTo(const std::string& path) const;
+  static bool LoadFrom(const std::string& path, TrapFile* out);
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_REPORT_TRAP_FILE_H_

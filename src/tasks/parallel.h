@@ -1,0 +1,37 @@
+// Parallel.ForEach analogue: forks one task per element and joins them all.
+// The data-parallel API of Fig. 10(b), whose implicitly concurrent delegates are a
+// frequent source of thread-safety violations.
+#ifndef SRC_TASKS_PARALLEL_H_
+#define SRC_TASKS_PARALLEL_H_
+
+#include <vector>
+
+#include "src/tasks/task.h"
+
+namespace tsvd::tasks {
+
+template <typename Range, typename F>
+void ParallelForEach(Range& items, F&& fn) {
+  std::vector<Task<void>> tasks;
+  for (auto& item : items) {
+    tasks.push_back(Run([&fn, &item] { fn(item); },
+                        TaskTraits{.fast = false, .label = "Parallel.ForEach"}));
+  }
+  WaitAll(tasks);
+}
+
+// Index-based variant: fn(i) for i in [0, count).
+template <typename F>
+void ParallelFor(size_t count, F&& fn) {
+  std::vector<Task<void>> tasks;
+  tasks.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    tasks.push_back(
+        Run([&fn, i] { fn(i); }, TaskTraits{.fast = false, .label = "Parallel.For"}));
+  }
+  WaitAll(tasks);
+}
+
+}  // namespace tsvd::tasks
+
+#endif  // SRC_TASKS_PARALLEL_H_

@@ -1,0 +1,56 @@
+// Instrumentable synchronization primitives.
+//
+// tsvd::tasks::Mutex behaves exactly like std::mutex but publishes acquire/release
+// edges to a detector that performs HB analysis (TSVDHB). Core TSVD never consumes
+// these events — per the paper, it handles programs with arbitrary, uninstrumented
+// synchronization — so workloads using Mutex are also how we validate that TSVD's HB
+// *inference* discovers lock ordering without seeing lock operations.
+#ifndef SRC_TASKS_SYNC_H_
+#define SRC_TASKS_SYNC_H_
+
+#include <mutex>
+
+#include "src/common/execution_context.h"
+#include "src/common/ids.h"
+#include "src/tasks/task_runtime.h"
+
+namespace tsvd::tasks {
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    mu_.lock();
+    EmitSync(SyncEvent{SyncEventType::kLockAcquire, tsvd::CurrentCtx(), kInvalidCtx,
+                       tsvd::ObjectIdOf(this)});
+  }
+
+  void unlock() {
+    // Publish before releasing so the releasing context's clock is captured while the
+    // lock is still held.
+    EmitSync(SyncEvent{SyncEventType::kLockRelease, tsvd::CurrentCtx(), kInvalidCtx,
+                       tsvd::ObjectIdOf(this)});
+    mu_.unlock();
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    EmitSync(SyncEvent{SyncEventType::kLockAcquire, tsvd::CurrentCtx(), kInvalidCtx,
+                       tsvd::ObjectIdOf(this)});
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+using LockGuard = std::lock_guard<Mutex>;
+
+}  // namespace tsvd::tasks
+
+#endif  // SRC_TASKS_SYNC_H_

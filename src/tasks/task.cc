@@ -1,0 +1,74 @@
+#include "src/tasks/task.h"
+
+namespace tsvd::tasks {
+
+void TaskCore::Execute() {
+  // Install the task's execution context, originating request, and async-aware
+  // logical stack.
+  tsvd::ScopedCtx ctx_guard(ctx_);
+  tsvd::ScopedRequest request_guard(request_);
+  tsvd::StackTrace saved = tsvd::ScopeStack::Current().Snapshot();
+  tsvd::ScopeStack::Current().Install(creation_stack_);
+
+  EmitSync(SyncEvent{SyncEventType::kTaskStart, ctx_, kInvalidCtx, 0});
+  if (antecedent_ctx_ != kInvalidCtx) {
+    // Continuations happen-after their antecedent.
+    EmitSync(SyncEvent{SyncEventType::kTaskJoin, ctx_, antecedent_ctx_, 0});
+  }
+
+  RunBody();
+
+  EmitSync(SyncEvent{SyncEventType::kTaskFinish, ctx_, kInvalidCtx, 0});
+  tsvd::ScopeStack::Current().Install(std::move(saved));
+
+  std::vector<std::shared_ptr<TaskCore>> to_schedule;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    to_schedule.swap(continuations_);
+  }
+  cv_.notify_all();
+  for (auto& cont : to_schedule) {
+    internal::Schedule(std::move(cont), /*inline_eligible=*/false);
+  }
+}
+
+void TaskCore::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+  }
+  // The waiter now happens-after everything the task did (Task.Wait / .Result).
+  EmitSync(SyncEvent{SyncEventType::kTaskJoin, tsvd::CurrentCtx(), ctx_, 0});
+}
+
+void TaskCore::AddContinuation(std::shared_ptr<TaskCore> cont) {
+  bool run_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) {
+      run_now = true;
+    } else {
+      continuations_.push_back(cont);
+    }
+  }
+  if (run_now) {
+    internal::Schedule(std::move(cont), /*inline_eligible=*/false);
+  }
+}
+
+namespace internal {
+
+void Schedule(std::shared_ptr<TaskCore> core, bool inline_eligible) {
+  // The .NET fast-path optimization: a fast async body completing synchronously runs
+  // inline on the caller's thread — unless the instrumentation forces asynchrony.
+  if (inline_eligible && !ForceAsync()) {
+    core->Execute();
+    return;
+  }
+  ThreadPool::Instance().Submit([core = std::move(core)] { core->Execute(); });
+}
+
+}  // namespace internal
+
+}  // namespace tsvd::tasks

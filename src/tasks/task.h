@@ -1,0 +1,267 @@
+// Task<T>: unstructured task parallelism in the style of the .NET Task Parallel
+// Library (Section 2.3).
+//
+// Tasks are first-class values: any context can create a task (Run), pass its handle
+// around, and join with it (Wait / Result / ContinueWith) — fork/join does NOT follow
+// a series-parallel graph, which is precisely the property that makes cheap structured
+// HB analysis inapplicable to the programs TSVD targets.
+//
+// Each task is an execution context (CtxId). Creation, start, finish, and joins are
+// published as SyncEvents for detectors that perform HB analysis (TSVDHB); TSVD itself
+// ignores them. Tasks carry their creator's logical stack so bug reports show
+// async-aware traces.
+#ifndef SRC_TASKS_TASK_H_
+#define SRC_TASKS_TASK_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/execution_context.h"
+#include "src/common/request_context.h"
+#include "src/common/scope_stack.h"
+#include "src/tasks/task_runtime.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd::tasks {
+
+struct TaskTraits {
+  // A "fast" task models an async function whose body completes quickly (e.g. mocked
+  // I/O). Unless force-async is on, fast tasks execute synchronously on the calling
+  // thread — the .NET optimization that hides TSVs during testing (Section 4).
+  bool fast = false;
+  std::string label = "task";
+};
+
+// Type-erased shared state of one task.
+class TaskCore : public std::enable_shared_from_this<TaskCore> {
+ public:
+  explicit TaskCore(std::string label)
+      : ctx_(NewCtxId()), label_(std::move(label)) {}
+  virtual ~TaskCore() = default;
+
+  CtxId ctx() const { return ctx_; }
+
+  // Runs the task body on the current thread with the task's context and inherited
+  // stack installed, then fires continuations and wakes joiners.
+  void Execute();
+
+  // Blocks until the task completes; publishes a join edge to the detector.
+  void Wait();
+
+  bool IsDone() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+  // Registers `cont` to be scheduled when this task finishes (immediately if it
+  // already has).
+  void AddContinuation(std::shared_ptr<TaskCore> cont);
+
+  void set_creation_stack(tsvd::StackTrace stack) { creation_stack_ = std::move(stack); }
+  void set_antecedent(CtxId ctx) { antecedent_ctx_ = ctx; }
+  void set_request(tsvd::RequestId id) { request_ = id; }
+
+  // Rethrows the body's exception, if any. Called by typed wrappers after Wait().
+  void RethrowIfFailed() const {
+    if (error_) {
+      std::rethrow_exception(error_);
+    }
+  }
+
+ protected:
+  virtual void RunBody() = 0;
+
+  std::exception_ptr error_;
+
+ private:
+  const CtxId ctx_;
+  const std::string label_;
+  tsvd::StackTrace creation_stack_;
+  CtxId antecedent_ctx_ = kInvalidCtx;  // continuation: join this before running
+  tsvd::RequestId request_ = tsvd::kNoRequest;  // logical request this task belongs to
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::vector<std::shared_ptr<TaskCore>> continuations_;
+};
+
+namespace internal {
+
+template <typename T>
+class TaskState final : public TaskCore {
+ public:
+  TaskState(std::function<T()> fn, std::string label)
+      : TaskCore(std::move(label)), fn_(std::move(fn)) {}
+
+  const T& Value() const { return *value_; }
+
+ protected:
+  void RunBody() override {
+    try {
+      value_.emplace(fn_());
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  }
+
+ private:
+  std::function<T()> fn_;
+  std::optional<T> value_;
+};
+
+template <>
+class TaskState<void> final : public TaskCore {
+ public:
+  TaskState(std::function<void()> fn, std::string label)
+      : TaskCore(std::move(label)), fn_(std::move(fn)) {}
+
+ protected:
+  void RunBody() override {
+    try {
+      fn_();
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  }
+
+ private:
+  std::function<void()> fn_;
+};
+
+void Schedule(std::shared_ptr<TaskCore> core, bool inline_eligible);
+
+template <typename T>
+std::shared_ptr<TaskState<T>> MakeState(std::function<T()> fn, const TaskTraits& traits) {
+  auto state = std::make_shared<TaskState<T>>(std::move(fn), traits.label);
+  tsvd::StackTrace stack = tsvd::ScopeStack::Current().Snapshot();
+  stack.push_back(traits.label);
+  state->set_creation_stack(std::move(stack));
+  state->set_request(tsvd::CurrentRequest());
+  EmitSync(SyncEvent{SyncEventType::kTaskCreate, state->ctx(), tsvd::CurrentCtx(), 0});
+  return state;
+}
+
+}  // namespace internal
+
+// Handle to a running (or completed) task producing T.
+template <typename T>
+class Task {
+ public:
+  Task() = default;
+  explicit Task(std::shared_ptr<internal::TaskState<T>> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  CtxId ctx() const { return state_->ctx(); }
+  bool IsDone() const { return state_->IsDone(); }
+
+  void Wait() const {
+    state_->Wait();
+    state_->RethrowIfFailed();
+  }
+
+  // Blocks for the result, like .NET Task<T>.Result.
+  const T& Result() const {
+    Wait();
+    return state_->Value();
+  }
+
+  // Schedules `fn(result)` to run after this task completes; returns its task. The
+  // continuation happens-after both its registration context and this task.
+  template <typename F>
+  auto ContinueWith(F&& fn, TaskTraits traits = {.fast = false, .label = "continuation"})
+      -> Task<std::invoke_result_t<F, const T&>> {
+    using U = std::invoke_result_t<F, const T&>;
+    auto antecedent = state_;
+    auto cont = internal::MakeState<U>(
+        std::function<U()>([antecedent, fn = std::forward<F>(fn)]() mutable -> U {
+          return fn(antecedent->Value());
+        }),
+        traits);
+    cont->set_antecedent(antecedent->ctx());
+    antecedent->AddContinuation(cont);
+    return Task<U>(std::move(cont));
+  }
+
+ private:
+  std::shared_ptr<internal::TaskState<T>> state_;
+};
+
+template <>
+class Task<void> {
+ public:
+  Task() = default;
+  explicit Task(std::shared_ptr<internal::TaskState<void>> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  CtxId ctx() const { return state_->ctx(); }
+  bool IsDone() const { return state_->IsDone(); }
+
+  void Wait() const {
+    state_->Wait();
+    state_->RethrowIfFailed();
+  }
+  void Result() const { Wait(); }
+
+  template <typename F>
+  auto ContinueWith(F&& fn, TaskTraits traits = {.fast = false, .label = "continuation"})
+      -> Task<std::invoke_result_t<F>> {
+    using U = std::invoke_result_t<F>;
+    auto antecedent = state_;
+    auto cont = internal::MakeState<U>(
+        std::function<U()>([antecedent, fn = std::forward<F>(fn)]() mutable -> U {
+          return fn();
+        }),
+        traits);
+    cont->set_antecedent(antecedent->ctx());
+    antecedent->AddContinuation(cont);
+    return Task<U>(std::move(cont));
+  }
+
+ private:
+  std::shared_ptr<internal::TaskState<void>> state_;
+};
+
+// Forks fn onto the pool (Task.Run). Fast tasks may execute inline unless force-async
+// is on.
+template <typename F>
+auto Run(F&& fn, TaskTraits traits = {}) -> Task<std::invoke_result_t<F>> {
+  using T = std::invoke_result_t<F>;
+  auto state = internal::MakeState<T>(std::function<T()>(std::forward<F>(fn)), traits);
+  internal::Schedule(state, traits.fast);
+  return Task<T>(std::move(state));
+}
+
+// Async function sugar: models `async` methods — fast by default, so they fall prey
+// to the inline-execution optimization unless force-async is enabled.
+template <typename F>
+auto Async(F&& fn, std::string label = "async") -> Task<std::invoke_result_t<F>> {
+  return Run(std::forward<F>(fn), TaskTraits{.fast = true, .label = std::move(label)});
+}
+
+// Blocking await (mirrors `await t` resuming the continuation with t's result).
+template <typename T>
+const T& Await(const Task<T>& task) {
+  return task.Result();
+}
+inline void Await(const Task<void>& task) { task.Wait(); }
+
+// Waits for every task in the collection.
+template <typename T>
+void WaitAll(const std::vector<Task<T>>& all) {
+  for (const Task<T>& task : all) {
+    task.Wait();
+  }
+}
+
+}  // namespace tsvd::tasks
+
+#endif  // SRC_TASKS_TASK_H_

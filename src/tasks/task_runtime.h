@@ -1,0 +1,40 @@
+// Global switches and plumbing for the task runtime.
+//
+// - CtxId assignment for tasks.
+// - Publication of synchronization events to the installed detector (delivered only
+//   when the detector wants them, i.e. TSVDHB; core TSVD runs with these compiled to a
+//   single atomic load and branch).
+// - The "force async" switch (Section 4): the .NET runtime optimizes fast async
+//   functions to run synchronously, which hides thread-safety bugs in test settings
+//   that mock out I/O. Our Run() honors a task's `fast` trait the same way unless
+//   force-async is on; TSVD instrumentation turns it on for all compared techniques.
+#ifndef SRC_TASKS_TASK_RUNTIME_H_
+#define SRC_TASKS_TASK_RUNTIME_H_
+
+#include <atomic>
+
+#include "src/common/ids.h"
+#include "src/core/access.h"
+#include "src/core/runtime.h"
+
+namespace tsvd::tasks {
+
+inline std::atomic<bool> g_force_async{false};
+
+inline void SetForceAsync(bool on) { g_force_async.store(on, std::memory_order_relaxed); }
+inline bool ForceAsync() { return g_force_async.load(std::memory_order_relaxed); }
+
+inline CtxId NewCtxId() {
+  static std::atomic<CtxId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void EmitSync(const SyncEvent& event) {
+  if (Runtime* rt = Runtime::Current()) {
+    rt->OnSync(event);
+  }
+}
+
+}  // namespace tsvd::tasks
+
+#endif  // SRC_TASKS_TASK_RUNTIME_H_

@@ -1,0 +1,54 @@
+// A plain FIFO thread pool executing type-erased task cores.
+//
+// Deliberately simple: the paper's programs dispatch many more tasks than threads onto
+// background pool threads; a FIFO pool with a handful of workers reproduces that
+// shape. Workers live for the process lifetime (the pool is process-global), matching
+// how the CLR thread pool outlives individual unit tests.
+#ifndef SRC_TASKS_THREAD_POOL_H_
+#define SRC_TASKS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsvd::tasks {
+
+class ThreadPool {
+ public:
+  // The process-global pool used by Run()/ParallelForEach.
+  static ThreadPool& Instance();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> work);
+
+  // Blocks until the queue is empty and all workers are idle. Used by the workload
+  // runner to guarantee quiescence between module runs.
+  void WaitIdle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  static constexpr int kDefaultThreads = 4;
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tsvd::tasks
+
+#endif  // SRC_TASKS_THREAD_POOL_H_

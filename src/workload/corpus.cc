@@ -1,0 +1,89 @@
+#include "src/workload/corpus.h"
+
+#include <string>
+
+namespace tsvd::workload {
+namespace {
+
+struct WeightedPattern {
+  PatternId id;
+  int weight;
+};
+
+// Buggy-pattern mix tuned toward the Table 1 composition.
+constexpr WeightedPattern kBuggyWeights[] = {
+    {PatternId::kDictDistinctKeys, 14},
+    {PatternId::kDictReadWrite, 26},
+    {PatternId::kDictSameLocation, 12},
+    {PatternId::kParallelForEach, 10},
+    {PatternId::kAsyncCache, 12},
+    {PatternId::kListAddAdd, 9},
+    {PatternId::kListSortRace, 7},
+    {PatternId::kQueueUnsync, 4},
+    {PatternId::kHashSetAdd, 4},
+    {PatternId::kLockChatterRace, 18},
+    {PatternId::kChatterSameLocation, 12},
+    {PatternId::kRareNearMiss, 3},
+    {PatternId::kSingleOccurrence, 6},
+    {PatternId::kQuietPhaseRace, 3},
+};
+
+constexpr WeightedPattern kSafeWeights[] = {
+    {PatternId::kLockedDict, 3},
+    {PatternId::kForkJoinOrdered, 2},
+    {PatternId::kSequentialPhases, 2},
+    {PatternId::kReadOnlyParallel, 2},
+    {PatternId::kHotLoopLocal, 3},
+    {PatternId::kTaskStorm, 3},
+    {PatternId::kAdHocHandoff, 5},
+};
+
+template <size_t N>
+PatternId Draw(Rng& rng, const WeightedPattern (&table)[N]) {
+  int total = 0;
+  for (const WeightedPattern& w : table) {
+    total += w.weight;
+  }
+  int pick = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(total)));
+  for (const WeightedPattern& w : table) {
+    pick -= w.weight;
+    if (pick < 0) {
+      return w.id;
+    }
+  }
+  return table[0].id;
+}
+
+}  // namespace
+
+PatternId DrawBuggyPattern(Rng& rng) { return Draw(rng, kBuggyWeights); }
+PatternId DrawSafePattern(Rng& rng) { return Draw(rng, kSafeWeights); }
+
+std::vector<ModuleSpec> GenerateCorpus(const CorpusOptions& options) {
+  std::vector<ModuleSpec> corpus;
+  corpus.reserve(options.num_modules);
+  Rng rng(options.seed);
+  for (int m = 0; m < options.num_modules; ++m) {
+    ModuleSpec spec;
+    spec.name = "module-" + std::to_string(m);
+    spec.seed = rng.Next();
+    spec.params = options.params;
+
+    Rng mod_rng(spec.seed);
+    const bool buggy = mod_rng.NextBool(options.buggy_module_fraction);
+    const int safe_count = static_cast<int>(mod_rng.NextInRange(
+        options.safe_tests_min, options.safe_tests_max));
+    for (int s = 0; s < safe_count; ++s) {
+      spec.tests.push_back(MakeTest(DrawSafePattern(mod_rng)));
+    }
+    if (buggy) {
+      // Insert the buggy test at a random position among the safe ones.
+      const size_t pos = mod_rng.NextBelow(spec.tests.size() + 1);
+      spec.tests.insert(spec.tests.begin() + pos, MakeTest(DrawBuggyPattern(mod_rng)));
+    }
+    corpus.push_back(std::move(spec));
+  }
+  return corpus;
+}
+
+}  // namespace tsvd::workload

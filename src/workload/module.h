@@ -1,0 +1,142 @@
+// Synthetic test modules: the stand-in for Microsoft's 43K proprietary modules.
+//
+// A module is a named collection of unit tests over instrumented containers, generated
+// from a seed. Each test instantiates one workload *pattern* — a code shape with known
+// ground truth (racy or safe, and how). The TruthRegistry maps live container objects
+// to their pattern instance so every runtime report can be validated: a report against
+// a safe pattern would be a false positive (the paper guarantees zero; so do we, and
+// the harness enforces it).
+#ifndef SRC_WORKLOAD_MODULE_H_
+#define SRC_WORKLOAD_MODULE_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+
+namespace tsvd::workload {
+
+// Timing shape of generated tests. All values scale together with the detector's
+// Config so experiments run at laptop speed (see EXPERIMENTS.md).
+struct WorkloadParams {
+  Micros tiny_gap_us = 100;    // spacing between consecutive ops inside a task loop
+  Micros small_gap_us = 400;   // skew between sibling tasks
+  Micros pass_gap_us = 700;    // spacing between a racy task's "passes" over its object
+  Micros brush_gap_us = 400;   // offset at which the second task's op brushes the first:
+                               // inside the near-miss window, but rarely simultaneous —
+                               // only an injected delay makes the two ops overlap
+  Micros rare_gap_us = 20000;  // "far apart" separation, >> near-miss window
+  Micros fixture_us = 4000;    // per-test setup/teardown work unrelated to the race
+  int rounds = 2;              // how many times a pattern repeats its task pair
+  int iters = 3;               // ops per task per round
+};
+
+// Classification tags used for the Table 1 statistics.
+struct BugTags {
+  bool async_flavor = false;  // bug lives in async/continuation code
+};
+
+// Maps live instrumented objects to the pattern instance that owns them.
+class TruthRegistry {
+ public:
+  struct Info {
+    int test_id = -1;
+    bool buggy = false;
+    BugTags tags;
+  };
+
+  void Register(const void* obj, const Info& info) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[ObjectIdOf(obj)] = info;
+  }
+
+  void Unregister(const void* obj) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.erase(ObjectIdOf(obj));
+  }
+
+  std::optional<Info> Lookup(ObjectId obj) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(obj);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, Info> map_;
+};
+
+// Per-test environment handed to pattern bodies.
+class TestContext {
+ public:
+  TestContext(Rng rng, const WorkloadParams& params, TruthRegistry* truth, int test_id,
+              BugTags tags = {})
+      : rng_(rng), params_(params), truth_(truth), test_id_(test_id), tags_(tags) {}
+
+  ~TestContext() {
+    if (truth_ != nullptr) {
+      for (const void* obj : registered_) {
+        truth_->Unregister(obj);
+      }
+    }
+  }
+
+  TestContext(const TestContext&) = delete;
+  TestContext& operator=(const TestContext&) = delete;
+
+  Rng& rng() { return rng_; }
+  const WorkloadParams& params() const { return params_; }
+
+  // Declares an instrumented object as belonging to a racy pattern (reports against
+  // it are true bugs) or to a safe one (reports against it are false positives). The
+  // bug classification tags come from the owning TestCase.
+  void RegisterBuggy(const void* obj) {
+    if (truth_ != nullptr) {
+      truth_->Register(obj, TruthRegistry::Info{test_id_, true, tags_});
+      registered_.push_back(obj);
+    }
+  }
+  void RegisterSafe(const void* obj) {
+    if (truth_ != nullptr) {
+      truth_->Register(obj, TruthRegistry::Info{test_id_, false, {}});
+      registered_.push_back(obj);
+    }
+  }
+
+ private:
+  Rng rng_;
+  WorkloadParams params_;
+  TruthRegistry* truth_;
+  int test_id_;
+  BugTags tags_;
+  std::vector<const void*> registered_;
+};
+
+using TestFn = std::function<void(TestContext&)>;
+
+struct TestCase {
+  std::string name;
+  bool buggy = false;
+  BugTags tags;
+  TestFn fn;
+};
+
+struct ModuleSpec {
+  std::string name;
+  uint64_t seed = 0;
+  WorkloadParams params;
+  std::vector<TestCase> tests;
+};
+
+}  // namespace tsvd::workload
+
+#endif  // SRC_WORKLOAD_MODULE_H_

@@ -1,0 +1,311 @@
+#include "src/workload/opensource.h"
+
+#include <string>
+
+#include "src/common/scope_stack.h"
+#include "src/instrument/dictionary.h"
+#include "src/instrument/list.h"
+#include "src/instrument/string_builder.h"
+#include "src/tasks/parallel.h"
+#include "src/tasks/sync.h"
+#include "src/tasks/task.h"
+
+namespace tsvd::workload {
+namespace {
+
+using tasks::Run;
+using tasks::Task;
+using tasks::TaskTraits;
+
+// ApplicationInsights-dotnet #994: the broadcast processor drops telemetry because
+// multiple senders mutate the shared telemetry list without synchronization.
+void ApplicationInsightsBroadcast(TestContext& ctx) {
+  TSVD_SCOPE("BroadcastProcessorTest");
+  List<std::string> telemetry;
+  ctx.RegisterBuggy(&telemetry);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    std::vector<Task<void>> senders;
+    for (int s = 0; s < 2; ++s) {
+      senders.push_back(Run(
+          [&telemetry, &p, s] {
+            TSVD_SCOPE("TrackTelemetry");
+            for (int i = 0; i < p.iters; ++i) {
+              telemetry.Add("event-" + std::to_string(s * 100 + i));
+              SleepMicros(p.tiny_gap_us);
+            }
+          },
+          TaskTraits{.label = "sender"}));
+    }
+    tasks::WaitAll(senders);
+  }
+}
+
+// DateTimeExtensions #86: lazily populated holiday cache raced by concurrent lookups.
+void DateTimeExtensionsHolidays(TestContext& ctx) {
+  TSVD_SCOPE("HolidayCalculatorTest");
+  Dictionary<int, int> holiday_cache;
+  ctx.RegisterBuggy(&holiday_cache);
+  const WorkloadParams& p = ctx.params();
+  auto working_days = [&](int year) {
+    TSVD_SCOPE("GetWorkingDays");
+    if (!holiday_cache.ContainsKey(year)) {
+      SleepMicros(p.tiny_gap_us);  // compute the holiday table
+      holiday_cache.Set(year, 251);
+    }
+    return holiday_cache.Get(year);
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> calc_a = Run([&] { (void)working_days(2020 + r); },
+                            TaskTraits{.label = "calc_a"});
+    Task<void> calc_b = Run([&] { (void)working_days(2020 + r); },
+                            TaskTraits{.label = "calc_b"});
+    calc_a.Wait();
+    calc_b.Wait();
+  }
+}
+
+// fluentassertions #862: SelfReferenceEquivalencyAssertionOptions.GetEqualityStrategy
+// mutates a shared strategy-memo dictionary from concurrent assertions.
+void FluentAssertionsStrategy(TestContext& ctx) {
+  TSVD_SCOPE("EquivalencyOptionsTest");
+  Dictionary<std::string, int> strategy_memo;
+  ctx.RegisterBuggy(&strategy_memo);
+  const WorkloadParams& p = ctx.params();
+  auto equality_strategy = [&](const std::string& type) {
+    TSVD_SCOPE("GetEqualityStrategy");
+    if (strategy_memo.ContainsKey(type)) {
+      return strategy_memo.Get(type);
+    }
+    const int strategy = static_cast<int>(type.size()) % 3;
+    strategy_memo.Set(type, strategy);
+    return strategy;
+  };
+  const std::vector<std::string> types = {"Order", "Customer", "Invoice", "Order"};
+  for (int r = 0; r < p.rounds; ++r) {
+    std::vector<Task<void>> assertions;
+    for (const std::string& type : types) {
+      assertions.push_back(Run(
+          [&, type] {
+            (void)equality_strategy(type);
+            SleepMicros(p.tiny_gap_us);
+          },
+          TaskTraits{.label = "assertion"}));
+    }
+    tasks::WaitAll(assertions);
+  }
+}
+
+// kubernetes-client/csharp #212: concurrent watchers refresh one shared
+// configuration map.
+void K8sClientConfig(TestContext& ctx) {
+  TSVD_SCOPE("KubeConfigTest");
+  Dictionary<std::string, std::string> config;
+  ctx.RegisterBuggy(&config);
+  const WorkloadParams& p = ctx.params();
+  auto refresh = [&](int watcher) {
+    TSVD_SCOPE("RefreshKubeConfig");
+    for (int i = 0; i < p.iters; ++i) {
+      config.Set("context", "cluster-" + std::to_string(watcher));
+      SleepMicros(p.tiny_gap_us);
+    }
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> watcher_a = Run([&] { refresh(0); }, TaskTraits{.label = "watch_a"});
+    Task<void> watcher_b = Run([&] { refresh(1); }, TaskTraits{.label = "watch_b"});
+    watcher_a.Wait();
+    watcher_b.Wait();
+  }
+}
+
+// RadicalFx/Radical #108: the MessageBroker's internal subscription list is mutated by
+// Subscribe while Dispatch iterates it.
+void RadicalMessageBroker(TestContext& ctx) {
+  TSVD_SCOPE("MessageBrokerTest");
+  List<int> subscriptions;
+  ctx.RegisterBuggy(&subscriptions);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> subscriber = Run(
+        [&] {
+          TSVD_SCOPE("Subscribe");
+          for (int i = 0; i < p.iters; ++i) {
+            subscriptions.Add(i);
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "subscriber"});
+    Task<void> dispatcher = Run(
+        [&] {
+          TSVD_SCOPE("Dispatch");
+          for (int i = 0; i < p.iters; ++i) {
+            (void)subscriptions.ToVector();  // snapshot the handler list
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "dispatcher"});
+    subscriber.Wait();
+    dispatcher.Wait();
+  }
+}
+
+// Sequelocity.NET #23: TypeCacher's check-then-insert on the type-metadata cache.
+void SequelocityTypeCacher(TestContext& ctx) {
+  TSVD_SCOPE("TypeCacherTest");
+  Dictionary<std::string, int> type_cache;
+  ctx.RegisterBuggy(&type_cache);
+  const WorkloadParams& p = ctx.params();
+  auto get_type_info = [&](const std::string& type) {
+    TSVD_SCOPE("TypeCacher.Get");
+    if (!type_cache.ContainsKey(type)) {
+      SleepMicros(p.tiny_gap_us);  // reflect over the type
+      type_cache.Set(type, 7);
+    }
+    return type_cache.Get(type);
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> mapper_a =
+        Run([&] { (void)get_type_info("Entity"); }, TaskTraits{.label = "map_a"});
+    Task<void> mapper_b =
+        Run([&] { (void)get_type_info("Entity"); }, TaskTraits{.label = "map_b"});
+    mapper_a.Wait();
+    mapper_b.Wait();
+  }
+}
+
+// statsd.net #29: concurrent gauge updates on the unsynchronized gauge dictionary.
+void StatsdGauges(TestContext& ctx) {
+  TSVD_SCOPE("GaugeAggregatorTest");
+  Dictionary<std::string, double> gauges;
+  ctx.RegisterBuggy(&gauges);
+  const WorkloadParams& p = ctx.params();
+  auto update_gauge = [&](double value) {
+    TSVD_SCOPE("UpdateGauge");
+    gauges.Set("cpu", value);  // one call site, many worker threads
+    SleepMicros(p.tiny_gap_us);
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    std::vector<Task<void>> updates;
+    for (int i = 0; i < p.iters; ++i) {
+      updates.push_back(
+          Run([&, i] { update_gauge(i * 0.5); }, TaskTraits{.label = "update"}));
+    }
+    tasks::WaitAll(updates);
+  }
+}
+
+// System.Linq.Dynamic #48: ClassFactory.GetDynamicClass guards writes with a lock but
+// reads the class cache without one.
+void LinqDynamicClassFactory(TestContext& ctx) {
+  TSVD_SCOPE("ClassFactoryTest");
+  Dictionary<std::string, int> class_cache;
+  ctx.RegisterBuggy(&class_cache);
+  tasks::Mutex write_lock;
+  const WorkloadParams& p = ctx.params();
+  auto get_dynamic_class = [&](const std::string& signature) {
+    TSVD_SCOPE("GetDynamicClass");
+    if (class_cache.ContainsKey(signature)) {  // unguarded read
+      return class_cache.Get(signature);
+    }
+    tasks::LockGuard guard(write_lock);
+    if (!class_cache.ContainsKey(signature)) {
+      SleepMicros(p.tiny_gap_us);  // emit the dynamic class
+      class_cache.Set(signature, 1);  // guarded write racing the unguarded read
+    }
+    return class_cache.Get(signature);
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> query_a = Run([&] { (void)get_dynamic_class("sig-" + std::to_string(r)); },
+                             TaskTraits{.label = "query_a"});
+    Task<void> query_b = Run(
+        [&] {
+          // The second query arrives slightly later, hitting the unguarded read while
+          // the first request is still emitting the class.
+          SleepMicros(p.brush_gap_us);
+          (void)get_dynamic_class("sig-" + std::to_string(r));
+        },
+        TaskTraits{.label = "query_b"});
+    query_a.Wait();
+    query_b.Wait();
+  }
+}
+
+// Thunderstruck #3: the ConnectionStringBuffer singleton's shared buffer is appended
+// and read concurrently.
+void ThunderstruckConnectionString(TestContext& ctx) {
+  TSVD_SCOPE("ConnectionStringBufferTest");
+  StringBuilder buffer;
+  ctx.RegisterBuggy(&buffer);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> writer = Run(
+        [&] {
+          TSVD_SCOPE("BuildConnectionString");
+          for (int i = 0; i < p.iters; ++i) {
+            buffer.Append("server=db" + std::to_string(i) + ";");
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "writer"});
+    Task<void> reader = Run(
+        [&] {
+          TSVD_SCOPE("ReadConnectionString");
+          for (int i = 0; i < p.iters; ++i) {
+            (void)buffer.ToString();
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "reader"});
+    writer.Wait();
+    reader.Wait();
+  }
+}
+
+// A representative safe test so each project module also has non-racy coverage.
+void SafeRegressionTest(TestContext& ctx) {
+  TSVD_SCOPE("RegressionTest");
+  Dictionary<int, int> local;
+  ctx.RegisterSafe(&local);
+  const WorkloadParams& p = ctx.params();
+  for (int i = 0; i < p.iters; ++i) {
+    local.Set(i, i);
+  }
+  for (int i = 0; i < p.iters; ++i) {
+    (void)local.ContainsKey(i);
+  }
+}
+
+OpenSourceProject MakeProject(const std::string& name, int loc_x100, TestFn racy_fn,
+                              BugTags tags, int extra_safe_tests) {
+  OpenSourceProject project;
+  project.name = name;
+  project.loc_thousands_x10 = loc_x100;
+  project.spec.name = name;
+  project.spec.seed = 0x05f5e100 + static_cast<uint64_t>(loc_x100);
+  project.spec.tests.push_back(TestCase{name + "_tsv_repro", true, tags, racy_fn});
+  for (int i = 0; i < extra_safe_tests; ++i) {
+    project.spec.tests.push_back(
+        TestCase{name + "_regression_" + std::to_string(i), false, {}, SafeRegressionTest});
+  }
+  return project;
+}
+
+}  // namespace
+
+std::vector<OpenSourceProject> OpenSourceSuite() {
+  std::vector<OpenSourceProject> suite;
+  suite.push_back(MakeProject("ApplicationInsights", 675, ApplicationInsightsBroadcast,
+                              BugTags{.async_flavor = true}, 3));
+  suite.push_back(MakeProject("DateTimeExtensions", 32, DateTimeExtensionsHolidays, {}, 2));
+  suite.push_back(MakeProject("FluentAssertions", 783, FluentAssertionsStrategy, {}, 3));
+  suite.push_back(MakeProject("K8s-client", 3323, K8sClientConfig,
+                              BugTags{.async_flavor = true}, 2));
+  suite.push_back(MakeProject("Radical", 969, RadicalMessageBroker, {}, 2));
+  suite.push_back(MakeProject("Sequelocity", 66, SequelocityTypeCacher, {}, 2));
+  suite.push_back(MakeProject("Statsd", 25, StatsdGauges, {}, 1));
+  suite.push_back(MakeProject("System.Linq.Dynamic", 12, LinqDynamicClassFactory, {}, 1));
+  suite.push_back(MakeProject("Thunderstruck", 11, ThunderstruckConnectionString, {}, 1));
+  return suite;
+}
+
+}  // namespace tsvd::workload

@@ -1,0 +1,29 @@
+// The nine open-source C# projects of Table 4, re-coded as workload scenarios.
+//
+// Each scenario reproduces the code shape of the confirmed thread-safety-violation
+// report in the original repository (see the per-scenario comments in opensource.cc),
+// packaged as a module with the project's developer-written-style tests. TSVD is
+// expected to detect every scenario's TSV within at most 2 runs, as in the paper.
+#ifndef SRC_WORKLOAD_OPENSOURCE_H_
+#define SRC_WORKLOAD_OPENSOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/module.h"
+
+namespace tsvd::workload {
+
+struct OpenSourceProject {
+  std::string name;
+  // Approximate size of the original project, reported for context like Table 4.
+  int loc_thousands_x10 = 0;  // LoC in hundreds, e.g. 675 => 67.5K
+  ModuleSpec spec;
+  int expected_min_tsvs = 1;
+};
+
+std::vector<OpenSourceProject> OpenSourceSuite();
+
+}  // namespace tsvd::workload
+
+#endif  // SRC_WORKLOAD_OPENSOURCE_H_

@@ -1,0 +1,758 @@
+#include "src/workload/patterns.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "src/common/scope_stack.h"
+#include "src/instrument/dictionary.h"
+#include "src/instrument/hash_set.h"
+#include "src/instrument/list.h"
+#include "src/instrument/queue.h"
+#include "src/tasks/parallel.h"
+#include "src/tasks/sync.h"
+#include "src/tasks/task.h"
+
+namespace tsvd::workload {
+namespace {
+
+using tasks::Run;
+using tasks::Task;
+using tasks::TaskTraits;
+
+// ---------------------------------------------------------------------------
+// Buggy patterns
+// ---------------------------------------------------------------------------
+
+// Fig. 1: concurrent writes on *different* keys of one Dictionary. The two writers
+// "brush": their passes land within the near-miss window of each other but rarely at
+// the same instant — only an injected delay makes them truly overlap.
+void DictDistinctKeys(TestContext& ctx) {
+  TSVD_SCOPE("DictDistinctKeys");
+  Dictionary<int, int> dict;
+  ctx.RegisterBuggy(&dict);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> even = Run(
+        [&] {
+          TSVD_SCOPE("UpdateEvenShards");
+          for (int i = 0; i < p.iters; ++i) {
+            dict.Set(2 * i, i);
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "even_writer"});
+    Task<void> odd = Run(
+        [&] {
+          TSVD_SCOPE("UpdateOddShards");
+          SleepMicros(p.brush_gap_us);
+          for (int i = 0; i < p.iters; ++i) {
+            dict.Set(2 * i + 1, i);
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "odd_writer"});
+    even.Wait();
+    odd.Wait();
+    dict.Clear();
+  }
+}
+
+// Concurrent reader vs writer: the 49% read-write category.
+void DictReadWrite(TestContext& ctx) {
+  TSVD_SCOPE("DictReadWrite");
+  Dictionary<int, std::string> cache;
+  ctx.RegisterBuggy(&cache);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> reader = Run(
+        [&] {
+          TSVD_SCOPE("CacheLookup");
+          for (int i = 0; i < p.iters; ++i) {
+            std::string value;
+            (void)cache.TryGetValue(i, &value);
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "reader"});
+    Task<void> writer = Run(
+        [&] {
+          TSVD_SCOPE("CacheFill");
+          SleepMicros(p.brush_gap_us);
+          for (int i = 0; i < p.iters; ++i) {
+            cache.Set(i, "value");
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "writer"});
+    reader.Wait();
+    writer.Wait();
+  }
+}
+
+// Two threads through one static call site (34% of bugs are same-location).
+void DictSameLocation(TestContext& ctx) {
+  TSVD_SCOPE("DictSameLocation");
+  Dictionary<int, int> status;
+  ctx.RegisterBuggy(&status);
+  const WorkloadParams& p = ctx.params();
+  auto update = [&](int base) {
+    TSVD_SCOPE("ClientStatusUpdate");
+    for (int i = 0; i < p.iters; ++i) {
+      status.Set(base + i, i);  // one call site, many threads (Fig. 10(a))
+      SleepMicros(p.pass_gap_us);
+    }
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> client_a = Run([&] { update(0); }, TaskTraits{.label = "client_a"});
+    Task<void> client_b = Run(
+        [&] {
+          SleepMicros(p.brush_gap_us);
+          update(1000);
+        },
+        TaskTraits{.label = "client_b"});
+    client_a.Wait();
+    client_b.Wait();
+  }
+}
+
+// Fig. 10(b): Parallel.ForEach writing one shared cache.
+void ParallelForEachInsert(TestContext& ctx) {
+  TSVD_SCOPE("NetworkValidation");
+  Dictionary<std::string, int> configure_cache;
+  ctx.RegisterBuggy(&configure_cache);
+  const WorkloadParams& p = ctx.params();
+  std::vector<std::string> hostlist;
+  for (int i = 0; i < p.iters; ++i) {
+    hostlist.push_back("host-" + std::to_string(i));
+  }
+  for (int r = 0; r < p.rounds; ++r) {
+    tasks::ParallelForEach(hostlist, [&](const std::string& host) {
+      TSVD_SCOPE("ValidateHost");
+      const int config_level = static_cast<int>(host.back() - '0');
+      // GetConfigLevel(host): per-host work of varying length, so the cache writes
+      // brush instead of clustering.
+      SleepMicros(p.brush_gap_us * (1 + config_level % 3));
+      configure_cache.Set(host, config_level);
+    });
+  }
+}
+
+// Fig. 3: async sqrt cache. The async bodies are *fast*, so without force-async the
+// .NET-style inline optimization serializes them and the bug never manifests.
+void AsyncCache(TestContext& ctx) {
+  TSVD_SCOPE("AsyncSqrtCache");
+  Dictionary<int, double> dict;
+  ctx.RegisterBuggy(&dict);
+  const WorkloadParams& p = ctx.params();
+  auto get_sqrt = [&](int x) {
+    return tasks::Async(
+        [&dict, x, &p] {
+          TSVD_SCOPE("getSqrt");
+          if (dict.ContainsKey(x)) {
+            return dict.Get(x);
+          }
+          const double s = std::sqrt(static_cast<double>(x));
+          SleepMicros(p.tiny_gap_us);  // background work
+          dict.Set(x, s);              // save to cache
+          return s;
+        },
+        "getSqrt");
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    for (int i = 0; i < p.iters; i += 2) {
+      Task<double> sqrt_a = get_sqrt(1000 * r + i);
+      Task<double> sqrt_b = get_sqrt(1000 * r + i + 1);
+      (void)(sqrt_a.Result() + sqrt_b.Result());
+    }
+  }
+}
+
+void ListAddAdd(TestContext& ctx) {
+  TSVD_SCOPE("ListAddAdd");
+  List<int> events;
+  ctx.RegisterBuggy(&events);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> producer_a = Run(
+        [&] {
+          TSVD_SCOPE("AppendTelemetry");
+          for (int i = 0; i < p.iters; ++i) {
+            events.Add(i);
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "producer_a"});
+    Task<void> producer_b = Run(
+        [&] {
+          TSVD_SCOPE("AppendAudit");
+          SleepMicros(p.brush_gap_us);
+          for (int i = 0; i < p.iters; ++i) {
+            events.Add(1000 + i);
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "producer_b"});
+    producer_a.Wait();
+    producer_b.Wait();
+  }
+}
+
+// Section 5.6: two threads sorting one unprotected list in production.
+void ListSortRace(TestContext& ctx) {
+  TSVD_SCOPE("ListSortRace");
+  List<int> ranking;
+  ctx.RegisterBuggy(&ranking);
+  const WorkloadParams& p = ctx.params();
+  for (int i = 0; i < p.iters; ++i) {
+    ranking.Add(p.iters - i);  // sequential setup
+  }
+  auto sort_and_read = [&] {
+    TSVD_SCOPE("RefreshRanking");
+    for (int i = 0; i < p.rounds; ++i) {
+      ranking.Sort();  // one call site, two threads
+      SleepMicros(p.pass_gap_us);
+      (void)ranking.Count();
+      SleepMicros(p.pass_gap_us);
+    }
+  };
+  Task<void> refresher_a = Run([&] { sort_and_read(); }, TaskTraits{.label = "refresh_a"});
+  Task<void> refresher_b = Run(
+      [&] {
+        SleepMicros(p.brush_gap_us);
+        sort_and_read();
+      },
+      TaskTraits{.label = "refresh_b"});
+  refresher_a.Wait();
+  refresher_b.Wait();
+}
+
+void QueueUnsync(TestContext& ctx) {
+  TSVD_SCOPE("QueueUnsync");
+  Queue<int> work;
+  ctx.RegisterBuggy(&work);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> producer = Run(
+        [&] {
+          TSVD_SCOPE("EnqueueWork");
+          for (int i = 0; i < p.iters; ++i) {
+            work.Enqueue(i);
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "producer"});
+    Task<void> consumer = Run(
+        [&] {
+          TSVD_SCOPE("DrainWork");
+          SleepMicros(p.brush_gap_us);
+          for (int i = 0; i < p.iters; ++i) {
+            (void)work.TryDequeue();
+            SleepMicros(p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "consumer"});
+    producer.Wait();
+    consumer.Wait();
+  }
+}
+
+void HashSetAdd(TestContext& ctx) {
+  TSVD_SCOPE("HashSetAdd");
+  HashSet<int> seen;
+  ctx.RegisterBuggy(&seen);
+  const WorkloadParams& p = ctx.params();
+  auto dedupe = [&](int base) {
+    TSVD_SCOPE("MarkSeen");
+    for (int i = 0; i < p.iters; ++i) {
+      seen.Add(base + i);
+      SleepMicros(p.pass_gap_us);
+    }
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> shard_a = Run([&] { dedupe(0); }, TaskTraits{.label = "shard_a"});
+    Task<void> shard_b = Run(
+        [&] {
+          SleepMicros(p.brush_gap_us);
+          dedupe(500);
+        },
+        TaskTraits{.label = "shard_b"});
+    shard_a.Wait();
+    shard_b.Wait();
+  }
+}
+
+// Racy dict writes interleaved with an unrelated shared lock. The observed trace
+// orders most conflicting access pairs through the lock's HB edges, so vector-clock
+// analysis prunes the pair (dynamic HB's classic false negative). Delaying the dict op
+// blocks nobody — TSVD infers nothing and keeps hunting.
+void LockChatterRace(TestContext& ctx) {
+  TSVD_SCOPE("LockChatterRace");
+  List<int> subscribers;
+  ctx.RegisterBuggy(&subscribers);
+  tasks::Mutex telemetry_lock;
+  int telemetry_counter = 0;
+  const WorkloadParams& p = ctx.params();
+  // Each worker logs under the telemetry lock before AND after its metric update. In
+  // the observed brush schedule every conflicting Set pair is therefore bracketed by a
+  // release/acquire of the unrelated lock, so vector clocks conclude "ordered" and
+  // prune the pair — though nothing actually orders the Sets (another schedule flips
+  // them). Delaying a Set blocks nobody (the lock is not held across it), so TSVD's
+  // inference draws no such edge and keeps hunting: the classic dynamic-HB false
+  // negative that TSVDHB inherits (Section 5.3).
+  auto chatter = [&] {
+    tasks::LockGuard guard(telemetry_lock);
+    ++telemetry_counter;  // unrelated, but creates lock HB edges
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> worker_a = Run(
+        [&] {
+          TSVD_SCOPE("Subscribe");
+          for (int i = 0; i < p.iters; ++i) {
+            chatter();
+            subscribers.Add(i);  // write side of the read-write race
+            chatter();
+            SleepMicros(2 * p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "a"});
+    Task<void> worker_b = Run(
+        [&] {
+          TSVD_SCOPE("Dispatch");
+          SleepMicros(p.pass_gap_us);  // interleave halfway between A's passes
+          for (int i = 0; i < p.iters; ++i) {
+            chatter();
+            (void)subscribers.ToVector();  // read side: snapshot the handler list
+            chatter();
+            SleepMicros(2 * p.pass_gap_us);
+          }
+        },
+        TaskTraits{.label = "b"});
+    worker_a.Wait();
+    worker_b.Wait();
+  }
+}
+
+// Same-location variant of the lock-chatter blind spot: one call site, two threads,
+// incidental locking around it ordering the observed trace.
+void ChatterSameLocation(TestContext& ctx) {
+  TSVD_SCOPE("ChatterSameLocation");
+  List<int> session_log;
+  ctx.RegisterBuggy(&session_log);
+  tasks::Mutex audit_lock;
+  int audit_seq = 0;
+  const WorkloadParams& p = ctx.params();
+  auto handle_request = [&](int client) {
+    TSVD_SCOPE("HandleRequest");
+    for (int i = 0; i < p.iters; ++i) {
+      {
+        tasks::LockGuard guard(audit_lock);
+        ++audit_seq;
+      }
+      session_log.Add(client * 100 + i);  // one call site, both threads
+      {
+        tasks::LockGuard guard(audit_lock);
+        ++audit_seq;
+      }
+      SleepMicros(2 * p.pass_gap_us);
+    }
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> request_a = Run([&] { handle_request(1); }, TaskTraits{.label = "req_a"});
+    Task<void> request_b = Run(
+        [&] {
+          SleepMicros(p.pass_gap_us);  // interleave halfway between A's passes
+          handle_request(2);
+        },
+        TaskTraits{.label = "req_b"});
+    request_a.Wait();
+    request_b.Wait();
+  }
+}
+
+// Resource-use vs. resource-cleanup: the two ops are usually seconds apart (scaled:
+// rare_gap) and only rarely execute close together — the dominant false-negative
+// category of Section 5.3 (19 of 26 missed bugs; most caught by 50 runs).
+void RareNearMiss(TestContext& ctx) {
+  TSVD_SCOPE("RareNearMiss");
+  Dictionary<int, int> resources;
+  ctx.RegisterBuggy(&resources);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    const bool close_this_round = ctx.rng().NextBool(0.12);
+    Task<void> user = Run(
+        [&] {
+          TSVD_SCOPE("UseResource");
+          resources.Set(r, 1);
+        },
+        TaskTraits{.label = "user"});
+    Task<void> cleaner = Run(
+        [&, close_this_round] {
+          TSVD_SCOPE("CleanupResource");
+          SleepMicros(close_this_round ? p.small_gap_us : p.rare_gap_us);
+          resources.Remove(r);
+        },
+        TaskTraits{.label = "cleaner"});
+    user.Wait();
+    cleaner.Wait();
+  }
+}
+
+// The racy pair executes exactly once per run, close together: run 1 can only record
+// the near miss; run 2 traps it from the trap file (the Run2 column of Table 2).
+void SingleOccurrence(TestContext& ctx) {
+  TSVD_SCOPE("SingleOccurrence");
+  Dictionary<int, int> startup_config;
+  ctx.RegisterBuggy(&startup_config);
+  const WorkloadParams& p = ctx.params();
+  Task<void> loader = Run(
+      [&] {
+        TSVD_SCOPE("LoadConfig");
+        SleepMicros(p.small_gap_us);
+        startup_config.Set(1, 42);
+      },
+      TaskTraits{.label = "loader"});
+  Task<void> checker = Run(
+      [&] {
+        TSVD_SCOPE("CheckConfig");
+        SleepMicros(p.small_gap_us + p.tiny_gap_us);
+        (void)startup_config.ContainsKey(1);
+      },
+      TaskTraits{.label = "checker"});
+  loader.Wait();
+  checker.Wait();
+}
+
+// A race whose both endpoints execute in phases the global history buffer classifies
+// as single-threaded: the poster bursts its writes while the auditor sleeps, and the
+// auditor first flushes the phase buffer with its own private-table ops before
+// touching the shared ledger. TSVD's concurrent-phase filter (Section 3.4.3) rejects
+// the near miss; HB *analysis* has no such filter and arms the pair — one of the few
+// bug classes where TSVDHB wins (the Fig. 8 union beyond TSVD's count), and exactly
+// what TSVD's "no concurrent phase detection" ablation recovers (Table 3: 54 vs 53).
+void QuietPhaseRace(TestContext& ctx) {
+  TSVD_SCOPE("QuietPhaseRace");
+  Dictionary<int, int> ledger;
+  ctx.RegisterBuggy(&ledger);
+  Dictionary<int, int> audit_scratch;
+  Dictionary<int, int> post_scratch;
+  ctx.RegisterSafe(&audit_scratch);
+  ctx.RegisterSafe(&post_scratch);
+  const WorkloadParams& p = ctx.params();
+  const Micros burst_len = 4 * p.tiny_gap_us;
+  for (int r = 0; r < p.rounds * 2; ++r) {
+    Task<void> poster = Run(
+        [&, r] {
+          TSVD_SCOPE("PostEntries");
+          for (int i = 0; i < 20; ++i) {
+            post_scratch.Set(i, i);  // flushes the 16-slot phase buffer
+          }
+          for (int i = 0; i < 4; ++i) {
+            ledger.Set(r * 8 + i, i);
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "poster"});
+    Task<void> auditor = Run(
+        [&, r] {
+          TSVD_SCOPE("AuditLedger");
+          SleepMicros(burst_len + p.small_gap_us);  // wait out the poster's burst
+          for (int i = 0; i < 20; ++i) {
+            audit_scratch.Set(i, i);  // flushes the 16-slot phase buffer
+          }
+          ledger.Set(r * 8 + 1, -1);  // races the burst, in a "sequential" phase
+        },
+        TaskTraits{.label = "auditor"});
+    poster.Wait();
+    auditor.Wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Safe patterns
+// ---------------------------------------------------------------------------
+
+// Properly locked shared dictionary: produces near misses, but delays injected inside
+// the critical section stall the peer thread, so TSVD infers HB and prunes (Fig. 6).
+void LockedDict(TestContext& ctx) {
+  TSVD_SCOPE("LockedDict");
+  Dictionary<int, int> shared;
+  ctx.RegisterSafe(&shared);
+  tasks::Mutex mu;
+  const WorkloadParams& p = ctx.params();
+  auto work = [&](int base, const char* scope) {
+    ScopedFrame frame(scope);
+    for (int i = 0; i < p.iters; ++i) {
+      {
+        tasks::LockGuard guard(mu);
+        shared.Set(base + i, i);
+      }
+      SleepMicros(p.tiny_gap_us);
+    }
+  };
+  for (int r = 0; r < p.rounds; ++r) {
+    Task<void> worker_a = Run([&] { work(0, "SafeWriterA"); }, TaskTraits{.label = "a"});
+    Task<void> worker_b = Run([&] { work(900, "SafeWriterB"); }, TaskTraits{.label = "b"});
+    worker_a.Wait();
+    worker_b.Wait();
+  }
+}
+
+// Writes ordered by fork and join edges only.
+void ForkJoinOrdered(TestContext& ctx) {
+  TSVD_SCOPE("ForkJoinOrdered");
+  Dictionary<int, int> state;
+  ctx.RegisterSafe(&state);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    state.Set(0, r);  // parent, before fork
+    Task<void> child = Run(
+        [&] {
+          TSVD_SCOPE("ChildPhase");
+          for (int i = 1; i <= p.iters; ++i) {
+            state.Set(i, r);
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "child"});
+    child.Wait();
+    state.Set(0, -r);  // parent, after join
+  }
+}
+
+// Single-threaded init and teardown writes around a read-only parallel phase.
+void SequentialPhases(TestContext& ctx) {
+  TSVD_SCOPE("SequentialPhases");
+  Dictionary<int, int> table;
+  ctx.RegisterSafe(&table);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds; ++r) {
+    for (int i = 0; i < p.iters; ++i) {
+      table.Set(i, i);  // init phase: one thread
+    }
+    std::vector<Task<void>> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.push_back(Run(
+          [&] {
+            TSVD_SCOPE("LookupPhase");
+            for (int i = 0; i < p.iters; ++i) {
+              (void)table.ContainsKey(i);
+              SleepMicros(p.tiny_gap_us);
+            }
+          },
+          TaskTraits{.label = "reader"}));
+    }
+    tasks::WaitAll(readers);
+    table.Clear();  // teardown phase: one thread
+  }
+}
+
+void ReadOnlyParallel(TestContext& ctx) {
+  TSVD_SCOPE("ReadOnlyParallel");
+  Dictionary<int, int> reference;
+  ctx.RegisterSafe(&reference);
+  const WorkloadParams& p = ctx.params();
+  for (int i = 0; i < p.iters * 2; ++i) {
+    reference.Set(i, i * i);
+  }
+  std::vector<Task<void>> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.push_back(Run(
+        [&] {
+          TSVD_SCOPE("ParallelLookup");
+          for (int i = 0; i < p.iters; ++i) {
+            if (reference.ContainsKey(i)) {
+              (void)reference.Get(i);
+            }
+            SleepMicros(p.tiny_gap_us);
+          }
+        },
+        TaskTraits{.label = "reader"}));
+  }
+  tasks::WaitAll(readers);
+}
+
+// Task-local containers hammered in hot loops: maximal instrumentation traffic with
+// zero sharing. Random injection wastes delays here; TSVD injects none.
+void HotLoopLocal(TestContext& ctx) {
+  TSVD_SCOPE("HotLoopLocal");
+  const WorkloadParams& p = ctx.params();
+  // One private dictionary per worker, created and registered before forking.
+  Dictionary<int, int> locals[2];
+  ctx.RegisterSafe(&locals[0]);
+  ctx.RegisterSafe(&locals[1]);
+  std::vector<Task<void>> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.push_back(Run(
+        [&p, &locals, t] {
+          TSVD_SCOPE("LocalAggregation");
+          Dictionary<int, int>& local = locals[t];
+          for (int i = 0; i < p.iters * 60; ++i) {
+            local.Set(i % 17, i + t);
+            if (local.ContainsKey((i + 5) % 17)) {
+              (void)local.Get((i + 5) % 17);
+            }
+          }
+        },
+        TaskTraits{.label = "aggregator"}));
+  }
+  tasks::WaitAll(workers);
+}
+
+// Ad-hoc synchronization: the consumer spin-waits on an atomic flag the producer sets
+// after its write, so the two writes are genuinely ordered — but no detector can see
+// the flag. TSVD's delay feedback discovers the ordering (delaying the producer's Set
+// stalls the consumer proportionally -> HB inferred -> pruned), while vector-clock
+// analysis keeps the pair armed forever and burns delays on it every run. This is the
+// paper's core argument for inference over modeling (Sections 1, 2.3).
+void AdHocHandoff(TestContext& ctx) {
+  TSVD_SCOPE("AdHocHandoff");
+  Dictionary<int, int> staging;
+  ctx.RegisterSafe(&staging);
+  const WorkloadParams& p = ctx.params();
+  for (int r = 0; r < p.rounds * 3; ++r) {
+    std::atomic<bool> ready{false};
+    Task<void> producer = Run(
+        [&] {
+          TSVD_SCOPE("StageData");
+          SleepMicros(p.tiny_gap_us);
+          staging.Set(r, 1);
+          ready.store(true, std::memory_order_release);
+        },
+        TaskTraits{.label = "producer"});
+    Task<void> consumer = Run(
+        [&] {
+          TSVD_SCOPE("ConsumeData");
+          while (!ready.load(std::memory_order_acquire)) {
+            SleepMicros(50);
+          }
+          staging.Set(r, 2);
+        },
+        TaskTraits{.label = "consumer"});
+    producer.Wait();
+    consumer.Wait();
+  }
+}
+
+// Many short-lived tasks over a read-only shared table: no conflicts, but a flood of
+// fork/join events whose vector clocks have genuinely diverged (every task passes a
+// TSVD point), so each join is a real O(n)-component merge for HB analysis.
+void TaskStorm(TestContext& ctx) {
+  TSVD_SCOPE("TaskStorm");
+  Dictionary<int, int> reference;
+  ctx.RegisterSafe(&reference);
+  const WorkloadParams& p = ctx.params();
+  for (int i = 0; i < 16; ++i) {
+    reference.Set(i, i * 3);
+  }
+  for (int r = 0; r < 2; ++r) {
+    std::vector<Task<int>> lookups;
+    lookups.reserve(p.iters * 15);
+    for (int i = 0; i < p.iters * 15; ++i) {
+      lookups.push_back(Run(
+          [&reference, i] {
+            TSVD_SCOPE("StormLookup");
+            return reference.ContainsKey(i % 16) ? 1 : 0;
+          },
+          TaskTraits{.label = "storm"}));
+    }
+    int total = 0;
+    for (const Task<int>& t : lookups) {
+      total += t.Result();
+    }
+    (void)total;
+  }
+}
+
+const PatternInfo kPatternTable[] = {
+    {PatternId::kDictDistinctKeys, "dict_distinct_keys", true, {.async_flavor = true}},
+    {PatternId::kDictReadWrite, "dict_read_write", true, {.async_flavor = true}},
+    {PatternId::kDictSameLocation, "dict_same_location", true, {.async_flavor = true}},
+    {PatternId::kParallelForEach, "parallel_foreach_insert", true, {.async_flavor = true}},
+    {PatternId::kAsyncCache, "async_sqrt_cache", true, {.async_flavor = true}},
+    {PatternId::kListAddAdd, "list_add_add", true, {.async_flavor = true}},
+    {PatternId::kListSortRace, "list_sort_race", true, {}},
+    {PatternId::kQueueUnsync, "queue_unsync", true, {}},
+    {PatternId::kHashSetAdd, "hashset_add", true, {.async_flavor = true}},
+    {PatternId::kLockChatterRace, "lock_chatter_race", true, {}},
+    {PatternId::kChatterSameLocation, "chatter_same_location", true, {}},
+    {PatternId::kRareNearMiss, "rare_near_miss", true, {}},
+    {PatternId::kSingleOccurrence, "single_occurrence", true, {.async_flavor = true}},
+    {PatternId::kQuietPhaseRace, "quiet_phase_race", true, {.async_flavor = true}},
+    {PatternId::kLockedDict, "locked_dict", false, {}},
+    {PatternId::kForkJoinOrdered, "fork_join_ordered", false, {}},
+    {PatternId::kSequentialPhases, "sequential_phases", false, {}},
+    {PatternId::kReadOnlyParallel, "read_only_parallel", false, {}},
+    {PatternId::kHotLoopLocal, "hot_loop_local", false, {}},
+    {PatternId::kTaskStorm, "task_storm", false, {.async_flavor = true}},
+    {PatternId::kAdHocHandoff, "adhoc_handoff", false, {}},
+};
+
+TestFn FnOf(PatternId id) {
+  switch (id) {
+    case PatternId::kDictDistinctKeys:
+      return DictDistinctKeys;
+    case PatternId::kDictReadWrite:
+      return DictReadWrite;
+    case PatternId::kDictSameLocation:
+      return DictSameLocation;
+    case PatternId::kParallelForEach:
+      return ParallelForEachInsert;
+    case PatternId::kAsyncCache:
+      return AsyncCache;
+    case PatternId::kListAddAdd:
+      return ListAddAdd;
+    case PatternId::kListSortRace:
+      return ListSortRace;
+    case PatternId::kQueueUnsync:
+      return QueueUnsync;
+    case PatternId::kHashSetAdd:
+      return HashSetAdd;
+    case PatternId::kLockChatterRace:
+      return LockChatterRace;
+    case PatternId::kChatterSameLocation:
+      return ChatterSameLocation;
+    case PatternId::kRareNearMiss:
+      return RareNearMiss;
+    case PatternId::kSingleOccurrence:
+      return SingleOccurrence;
+    case PatternId::kQuietPhaseRace:
+      return QuietPhaseRace;
+    case PatternId::kLockedDict:
+      return LockedDict;
+    case PatternId::kForkJoinOrdered:
+      return ForkJoinOrdered;
+    case PatternId::kSequentialPhases:
+      return SequentialPhases;
+    case PatternId::kReadOnlyParallel:
+      return ReadOnlyParallel;
+    case PatternId::kHotLoopLocal:
+      return HotLoopLocal;
+    case PatternId::kTaskStorm:
+      return TaskStorm;
+    case PatternId::kAdHocHandoff:
+      return AdHocHandoff;
+    case PatternId::kCount:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<PatternInfo>& AllPatterns() {
+  static const std::vector<PatternInfo> all(std::begin(kPatternTable),
+                                            std::end(kPatternTable));
+  return all;
+}
+
+const PatternInfo& InfoOf(PatternId id) {
+  return AllPatterns()[static_cast<size_t>(id)];
+}
+
+TestCase MakeTest(PatternId id) {
+  const PatternInfo& info = InfoOf(id);
+  return TestCase{info.name, info.buggy, info.tags, FnOf(id)};
+}
+
+}  // namespace tsvd::workload

@@ -1,0 +1,101 @@
+// Workload pattern library.
+//
+// Each pattern is a small concurrent program shape with known ground truth, chosen to
+// cover the bug taxonomy of the paper's evaluation:
+//
+//   Buggy (true TSVs):
+//     kDictDistinctKeys     write-write on different keys — the Fig. 1 archetype that
+//                           developers wrongly believe is safe (Section 5.2)
+//     kDictReadWrite        concurrent ContainsKey vs Set (49% of bugs were read-write)
+//     kDictSameLocation     two threads through one call site (34% same-location)
+//     kParallelForEach      Parallel.ForEach writers (Fig. 10(b), network validator)
+//     kAsyncCache           the Fig. 3 async sqrt cache; hidden when fast async tasks
+//                           run inline, exposed by force-async (Section 4)
+//     kListAddAdd           concurrent List.Add
+//     kListSortRace         two threads sorting one list (the production incident,
+//                           Section 5.6)
+//     kQueueUnsync          unsynchronized producer/consumer on Queue
+//     kHashSetAdd           same-location HashSet.Add
+//     kLockChatterRace      racy dict ops interleaved with an unrelated shared lock:
+//                           dynamic HB analysis sees lock edges ordering the observed
+//                           trace and prunes the pair (TSVDHB false negative); TSVD's
+//                           delay-based inference is not fooled because delaying the
+//                           dict op blocks nobody
+//     kChatterSameLocation  same-location variant of the lock-chatter blind spot
+//     kRareNearMiss         racing ops usually far apart, rarely close (the dominant
+//                           TSVD false-negative category, Section 5.3)
+//     kSingleOccurrence     the racy pair executes exactly once per run — only
+//                           catchable in run 2 via the trap file (Table 2, Run2 bugs)
+//     kQuietPhaseRace       both racing endpoints execute in phases the history
+//                           buffer sees as single-threaded, so TSVD's phase filter
+//                           rejects the pair while HB analysis arms it (TSVDHB-unique
+//                           bugs in the Fig. 8 union; recovered by the Table 3
+//                           "no phase detection" ablation)
+//
+//   Safe (reports against these are false positives — there must be none):
+//     kLockedDict           all accesses under one Mutex; near misses happen, delays
+//                           stall the peer, TSVD infers HB and prunes (Fig. 6)
+//     kForkJoinOrdered      parent-write / forked-child-write / join / parent-write
+//     kSequentialPhases     single-threaded init and teardown writes around a
+//                           parallel read-only phase (concurrent-phase showcase)
+//     kReadOnlyParallel     concurrent reads only
+//     kHotLoopLocal         hot loops over task-local containers: no sharing, pure
+//                           instrumentation traffic (the overhead separator between
+//                           targeted and random delay injection)
+//     kAdHocHandoff         writes ordered by an atomic-flag handoff no detector can
+//                           see: TSVD's delay feedback infers the ordering and prunes;
+//                           HB analysis keeps a spurious pair armed and wastes delays
+//     kTaskStorm            many short-lived tasks each touching a read-only shared
+//                           table: the async-heavy sync-op density of C# services
+//                           (Section 2.3), where HB *analysis* pays vector-clock
+//                           merges on every join while TSVD pays nothing
+#ifndef SRC_WORKLOAD_PATTERNS_H_
+#define SRC_WORKLOAD_PATTERNS_H_
+
+#include <vector>
+
+#include "src/workload/module.h"
+
+namespace tsvd::workload {
+
+enum class PatternId {
+  kDictDistinctKeys,
+  kDictReadWrite,
+  kDictSameLocation,
+  kParallelForEach,
+  kAsyncCache,
+  kListAddAdd,
+  kListSortRace,
+  kQueueUnsync,
+  kHashSetAdd,
+  kLockChatterRace,
+  kChatterSameLocation,
+  kRareNearMiss,
+  kSingleOccurrence,
+  kQuietPhaseRace,
+  kLockedDict,
+  kForkJoinOrdered,
+  kSequentialPhases,
+  kReadOnlyParallel,
+  kHotLoopLocal,
+  kTaskStorm,
+  kAdHocHandoff,
+  kCount,
+};
+
+struct PatternInfo {
+  PatternId id;
+  const char* name;
+  bool buggy;
+  BugTags tags;
+};
+
+const std::vector<PatternInfo>& AllPatterns();
+const PatternInfo& InfoOf(PatternId id);
+
+// Builds a runnable test case for a pattern.
+TestCase MakeTest(PatternId id);
+
+}  // namespace tsvd::workload
+
+#endif  // SRC_WORKLOAD_PATTERNS_H_

@@ -1,0 +1,90 @@
+// Module runner: executes a module's unit tests uninstrumented (baseline) and under a
+// detector for N consecutive runs with trap-file carry-over, validating every report
+// against ground truth. This is the per-module test pipeline of the paper's
+// integrated build-and-test environment, in miniature.
+#ifndef SRC_WORKLOAD_RUNNER_H_
+#define SRC_WORKLOAD_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/core/detector.h"
+#include "src/report/run_summary.h"
+#include "src/workload/module.h"
+
+namespace tsvd::workload {
+
+using DetectorFactory = std::function<std::unique_ptr<Detector>(const Config&)>;
+
+// Factories for the four techniques of Table 2: "TSVD", "TSVDHB", "DynamicRandom",
+// "DataCollider". Throws on unknown names.
+DetectorFactory FactoryFor(const std::string& name);
+// All four names, in the paper's Table 2 order.
+const std::vector<std::string>& AllTechniques();
+
+// One detected violation, classified against ground truth at detection time.
+struct ReportRecord {
+  LocationPair pair;
+  bool read_write = false;     // one endpoint read, one write
+  bool same_location = false;  // pair.first == pair.second
+  bool async_flavor = false;   // pattern tagged async
+  bool false_positive = false; // report hit a safe pattern's object (must not happen)
+  size_t stack_depth = 0;      // mean of the two logical stacks
+  uint64_t stack_pair_hash = 0;
+  std::string api_first;
+  std::string api_second;
+};
+
+struct RunResult {
+  RunSummary summary;
+  Micros wall_us = 0;
+  std::unordered_set<LocationPair, LocationPairHash> pairs;  // unique bugs this run
+  std::vector<ReportRecord> records;
+  int false_positives = 0;
+  // Dynamic hit counts of every location involved in a found pair (for the Table 1
+  // "occurrences of a bug location" row).
+  std::unordered_map<OpId, uint64_t> op_hits;
+};
+
+struct ModuleResult {
+  std::string module;
+  Micros baseline_us = 0;
+  std::vector<RunResult> runs;
+
+  // Unique bugs over all runs.
+  std::unordered_set<LocationPair, LocationPairHash> AllPairs() const {
+    std::unordered_set<LocationPair, LocationPairHash> all;
+    for (const RunResult& r : runs) {
+      all.insert(r.pairs.begin(), r.pairs.end());
+    }
+    return all;
+  }
+};
+
+class ModuleRunner {
+ public:
+  explicit ModuleRunner(const Config& config) : config_(config) {}
+
+  // Wall time of one uninstrumented execution of the module's tests.
+  Micros MeasureBaseline(const ModuleSpec& spec, uint64_t run_salt = 0);
+
+  // Runs the module `num_runs` times under the detector, carrying the trap file from
+  // run to run. `run_salt` perturbs workload randomness so repeated sessions explore
+  // different timings (the paper reruns tests under naturally varying schedules).
+  ModuleResult RunModule(const ModuleSpec& spec, const DetectorFactory& factory,
+                         int num_runs, uint64_t run_salt = 0);
+
+ private:
+  void ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth, uint64_t salt);
+
+  Config config_;
+};
+
+}  // namespace tsvd::workload
+
+#endif  // SRC_WORKLOAD_RUNNER_H_

@@ -1,0 +1,221 @@
+#include "src/workload/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tsvd::workload {
+namespace {
+
+struct ModulePairKey {
+  size_t module;
+  LocationPair pair;
+  bool operator==(const ModulePairKey&) const = default;
+};
+struct ModulePairHash {
+  size_t operator()(const ModulePairKey& k) const {
+    return k.module * 0x9e3779b97f4a7c15ULL + LocationPairHash{}(k.pair);
+  }
+};
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+ExperimentResult RunCorpusExperiment(const std::vector<ModuleSpec>& corpus,
+                                     const std::string& technique, const Config& config,
+                                     int num_runs, uint64_t salt) {
+  ExperimentResult result;
+  result.technique = technique;
+  ModuleRunner runner(config);
+  const DetectorFactory factory = FactoryFor(technique);
+  for (const ModuleSpec& spec : corpus) {
+    result.baselines_us.push_back(runner.MeasureBaseline(spec, salt));
+    result.modules.push_back(runner.RunModule(spec, factory, num_runs, salt));
+  }
+  return result;
+}
+
+uint64_t ExperimentResult::BugsTotal() const {
+  uint64_t total = 0;
+  for (const ModuleResult& m : modules) {
+    total += m.AllPairs().size();
+  }
+  return total;
+}
+
+uint64_t ExperimentResult::BugsFoundByRun(int run) const {
+  uint64_t total = 0;
+  for (const ModuleResult& m : modules) {
+    std::unordered_set<LocationPair, LocationPairHash> seen;
+    for (int r = 0; r < run && r < static_cast<int>(m.runs.size()); ++r) {
+      seen.insert(m.runs[r].pairs.begin(), m.runs[r].pairs.end());
+    }
+    if (run < static_cast<int>(m.runs.size())) {
+      for (const LocationPair& p : m.runs[run].pairs) {
+        if (!seen.contains(p)) {
+          ++total;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t ExperimentResult::DelaysInjected() const {
+  uint64_t total = 0;
+  for (const ModuleResult& m : modules) {
+    for (const RunResult& r : m.runs) {
+      total += r.summary.delays_injected;
+    }
+  }
+  return total;
+}
+
+uint64_t ExperimentResult::FalsePositives() const {
+  uint64_t total = 0;
+  for (const ModuleResult& m : modules) {
+    for (const RunResult& r : m.runs) {
+      total += r.false_positives;
+    }
+  }
+  return total;
+}
+
+double ExperimentResult::OverheadPct() const {
+  double baseline_total = 0;
+  double instrumented_total = 0;
+  for (size_t i = 0; i < modules.size(); ++i) {
+    baseline_total += static_cast<double>(baselines_us[i]);
+    double run_sum = 0;
+    for (const RunResult& r : modules[i].runs) {
+      run_sum += static_cast<double>(r.wall_us);
+    }
+    if (!modules[i].runs.empty()) {
+      instrumented_total += run_sum / static_cast<double>(modules[i].runs.size());
+    }
+  }
+  if (baseline_total <= 0) {
+    return 0;
+  }
+  return 100.0 * (instrumented_total - baseline_total) / baseline_total;
+}
+
+std::vector<uint64_t> ExperimentResult::CumulativeBugs() const {
+  size_t max_runs = 0;
+  for (const ModuleResult& m : modules) {
+    max_runs = std::max(max_runs, m.runs.size());
+  }
+  std::vector<uint64_t> cumulative(max_runs, 0);
+  uint64_t running = 0;
+  for (size_t r = 0; r < max_runs; ++r) {
+    running += BugsFoundByRun(static_cast<int>(r));
+    cumulative[r] = running;
+  }
+  return cumulative;
+}
+
+Table1Stats ComputeTable1(const ExperimentResult& result) {
+  Table1Stats stats;
+
+  // One representative record per unique (module, pair) bug, plus per-bug stack-pair
+  // sets and per-location dynamic occurrence counts.
+  std::unordered_map<ModulePairKey, ReportRecord, ModulePairHash> bugs;
+  std::unordered_map<ModulePairKey, std::unordered_set<uint64_t>, ModulePairHash>
+      stack_pairs;
+  std::unordered_set<uint64_t> locations;  // (module, op) packed
+  std::vector<double> occurrences;
+  std::vector<double> depths;
+  size_t modules_with_bugs = 0;
+
+  for (size_t mi = 0; mi < result.modules.size(); ++mi) {
+    const ModuleResult& m = result.modules[mi];
+    if (!m.AllPairs().empty()) {
+      ++modules_with_bugs;
+    }
+    std::unordered_map<OpId, uint64_t> hits;
+    for (const RunResult& r : m.runs) {
+      for (const auto& [op, h] : r.op_hits) {
+        hits[op] = std::max(hits[op], h);
+      }
+      for (const ReportRecord& record : r.records) {
+        const ModulePairKey key{mi, record.pair};
+        bugs.emplace(key, record);
+        stack_pairs[key].insert(record.stack_pair_hash);
+        depths.push_back(static_cast<double>(record.stack_depth));
+      }
+    }
+    for (const LocationPair& pair : m.AllPairs()) {
+      for (OpId op : {pair.first, pair.second}) {
+        if (locations.insert(mi * 0x100000ULL + op).second) {
+          occurrences.push_back(static_cast<double>(hits[op]));
+        }
+      }
+    }
+  }
+
+  stats.unique_bugs = bugs.size();
+  stats.unique_locations = locations.size();
+  stats.pct_modules_with_bugs =
+      result.modules.empty()
+          ? 0
+          : 100.0 * static_cast<double>(modules_with_bugs) / result.modules.size();
+
+  uint64_t read_write = 0;
+  uint64_t same_location = 0;
+  uint64_t async_count = 0;
+  uint64_t dictionary = 0;
+  uint64_t list = 0;
+  std::vector<double> pairs_per_bug;
+  uint64_t stack_pair_total = 0;
+  for (const auto& [key, record] : bugs) {
+    read_write += record.read_write ? 1 : 0;
+    same_location += record.same_location ? 1 : 0;
+    async_count += record.async_flavor ? 1 : 0;
+    const bool is_dict = record.api_first.starts_with("Dictionary") ||
+                         record.api_second.starts_with("Dictionary");
+    const bool is_list =
+        record.api_first.starts_with("List") || record.api_second.starts_with("List");
+    dictionary += is_dict ? 1 : 0;
+    list += is_list ? 1 : 0;
+    const size_t sp = stack_pairs[key].size();
+    stack_pair_total += sp;
+    pairs_per_bug.push_back(static_cast<double>(sp));
+  }
+  stats.unique_stack_pairs = stack_pair_total;
+
+  const double n = stats.unique_bugs > 0 ? static_cast<double>(stats.unique_bugs) : 1.0;
+  stats.pct_read_write = 100.0 * static_cast<double>(read_write) / n;
+  stats.pct_same_location = 100.0 * static_cast<double>(same_location) / n;
+  stats.pct_async = 100.0 * static_cast<double>(async_count) / n;
+  stats.pct_dictionary = 100.0 * static_cast<double>(dictionary) / n;
+  stats.pct_list = 100.0 * static_cast<double>(list) / n;
+  stats.avg_stack_pairs_per_bug = static_cast<double>(stack_pair_total) / n;
+  stats.median_stack_pairs_per_bug = MedianOf(pairs_per_bug);
+
+  if (!occurrences.empty()) {
+    double sum = 0;
+    for (double o : occurrences) {
+      sum += o;
+    }
+    stats.avg_occurrence = sum / static_cast<double>(occurrences.size());
+    stats.median_occurrence = MedianOf(occurrences);
+  }
+  if (!depths.empty()) {
+    double sum = 0;
+    for (double d : depths) {
+      sum += d;
+    }
+    stats.avg_stack_depth = sum / static_cast<double>(depths.size());
+  }
+  return stats;
+}
+
+}  // namespace tsvd::workload

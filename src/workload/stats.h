@@ -1,0 +1,55 @@
+// Corpus-level experiment driver and aggregation into the paper's table rows.
+#ifndef SRC_WORKLOAD_STATS_H_
+#define SRC_WORKLOAD_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/runner.h"
+
+namespace tsvd::workload {
+
+// Outcome of running one technique over a corpus for num_runs consecutive runs.
+struct ExperimentResult {
+  std::string technique;
+  std::vector<ModuleResult> modules;
+  std::vector<Micros> baselines_us;  // parallel to modules
+
+  // --- Table 2 style aggregates ---
+  uint64_t BugsTotal() const;             // unique (module, pair) over all runs
+  uint64_t BugsFoundByRun(int run) const; // new unique bugs first seen at run index
+  uint64_t DelaysInjected() const;
+  uint64_t FalsePositives() const;
+  // (avg per-run instrumented time - baseline) / baseline, summed over modules.
+  double OverheadPct() const;
+  // Cumulative unique bugs after the first `runs` runs (Fig. 8 series).
+  std::vector<uint64_t> CumulativeBugs() const;
+};
+
+ExperimentResult RunCorpusExperiment(const std::vector<ModuleSpec>& corpus,
+                                     const std::string& technique, const Config& config,
+                                     int num_runs, uint64_t salt = 0);
+
+// Table 1 rows computed from a TSVD experiment.
+struct Table1Stats {
+  uint64_t unique_bugs = 0;
+  uint64_t unique_locations = 0;
+  uint64_t unique_stack_pairs = 0;
+  double pct_modules_with_bugs = 0;
+  double pct_read_write = 0;
+  double pct_same_location = 0;
+  double pct_async = 0;
+  double avg_occurrence = 0;
+  double median_occurrence = 0;
+  double avg_stack_pairs_per_bug = 0;
+  double median_stack_pairs_per_bug = 0;
+  double avg_stack_depth = 0;
+  double pct_dictionary = 0;
+  double pct_list = 0;
+};
+
+Table1Stats ComputeTable1(const ExperimentResult& result);
+
+}  // namespace tsvd::workload
+
+#endif  // SRC_WORKLOAD_STATS_H_

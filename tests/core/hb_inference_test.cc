@@ -1,0 +1,148 @@
+// Unit tests for HB inference (Section 3.4.4): a delay at loc1 causing a
+// proportional, overlapping stall before loc2 infers loc1 -> loc2.
+#include <gtest/gtest.h>
+
+#include "src/core/hb_inference.h"
+
+namespace tsvd {
+namespace {
+
+Config HbConfig(double threshold = 0.5, int window = 5) {
+  Config cfg;
+  cfg.delay_us = 1000;
+  cfg.hb_blocking_threshold = threshold;
+  cfg.hb_inference_window = window;
+  return cfg;
+}
+
+Access At(ThreadId tid, OpId op, Micros t) {
+  Access a;
+  a.tid = tid;
+  a.obj = 0x10;
+  a.op = op;
+  a.kind = OpKind::kWrite;
+  a.time = t;
+  return a;
+}
+
+// Thread 1 delays at op 1 during [1000, 2000]; thread 2, whose previous access was at
+// t=900, accesses op 2 at t=2100 — a 1200us stall overlapping the delay.
+TEST(HbInferenceTest, StallOverlappingDelayInfersEdge) {
+  const Config cfg = HbConfig();
+  TrapSet traps(cfg);
+  traps.AddPair(1, 2);
+  HbInference hb(cfg, traps);
+
+  hb.OnAccess(At(2, 2, 900));
+  hb.OnDelayFinished(At(1, 1, 1000), DelayOutcome{1000, 2000, false});
+  hb.OnAccess(At(2, 2, 2100));
+
+  EXPECT_EQ(hb.InferredEdges(), 1u);
+  EXPECT_TRUE(traps.WasHbPruned(1, 2));
+  EXPECT_EQ(traps.PairCount(), 0u);
+}
+
+TEST(HbInferenceTest, ShortGapDoesNotInfer) {
+  const Config cfg = HbConfig(0.5);  // threshold 500us
+  TrapSet traps(cfg);
+  traps.AddPair(1, 2);
+  HbInference hb(cfg, traps);
+
+  hb.OnAccess(At(2, 2, 1900));
+  hb.OnDelayFinished(At(1, 1, 1000), DelayOutcome{1000, 2000, false});
+  hb.OnAccess(At(2, 2, 2200));  // gap 300 < 500
+
+  EXPECT_EQ(hb.InferredEdges(), 0u);
+  EXPECT_EQ(traps.PairCount(), 1u);
+}
+
+TEST(HbInferenceTest, GapNotOverlappingDelayDoesNotInfer) {
+  const Config cfg = HbConfig();
+  TrapSet traps(cfg);
+  traps.AddPair(1, 2);
+  HbInference hb(cfg, traps);
+
+  hb.OnDelayFinished(At(1, 1, 0), DelayOutcome{0, 1000, false});
+  hb.OnAccess(At(2, 2, 1500));  // first access: establishes the timeline
+  hb.OnAccess(At(2, 2, 3000));  // gap 1500, but the delay ended before it began
+
+  EXPECT_EQ(hb.InferredEdges(), 0u);
+}
+
+TEST(HbInferenceTest, OwnDelayIsNotACausalStall) {
+  const Config cfg = HbConfig();
+  TrapSet traps(cfg);
+  traps.AddPair(1, 2);
+  HbInference hb(cfg, traps);
+
+  // Thread 2 itself was delayed; its next access must not self-infer.
+  hb.OnAccess(At(2, 2, 900));
+  hb.OnDelayFinished(At(2, 1, 1000), DelayOutcome{1000, 2000, false});
+  hb.OnAccess(At(2, 2, 2100));
+
+  EXPECT_EQ(hb.InferredEdges(), 0u);
+  EXPECT_EQ(traps.PairCount(), 1u);
+}
+
+TEST(HbInferenceTest, TransitivityCreditsPruneFollowingAccesses) {
+  const Config cfg = HbConfig(0.5, /*window=*/2);
+  TrapSet traps(cfg);
+  traps.AddPair(1, 2);
+  traps.AddPair(1, 3);
+  traps.AddPair(1, 4);
+  traps.AddPair(1, 5);
+  HbInference hb(cfg, traps);
+
+  hb.OnAccess(At(2, 2, 900));
+  hb.OnDelayFinished(At(1, 1, 1000), DelayOutcome{1000, 2000, false});
+  hb.OnAccess(At(2, 2, 2100));  // inference: prunes (1,2), grants 2 credits
+  hb.OnAccess(At(2, 3, 2150));  // credit 1: prunes (1,3)
+  hb.OnAccess(At(2, 4, 2200));  // credit 2: prunes (1,4)
+  hb.OnAccess(At(2, 5, 2250));  // credits exhausted: (1,5) survives
+
+  EXPECT_TRUE(traps.WasHbPruned(1, 2));
+  EXPECT_TRUE(traps.WasHbPruned(1, 3));
+  EXPECT_TRUE(traps.WasHbPruned(1, 4));
+  EXPECT_FALSE(traps.WasHbPruned(1, 5));
+  EXPECT_EQ(traps.PairCount(), 1u);
+}
+
+TEST(HbInferenceTest, MostRecentlyFinishedDelayWins) {
+  const Config cfg = HbConfig();
+  TrapSet traps(cfg);
+  traps.AddPair(1, 9);
+  traps.AddPair(7, 9);
+  HbInference hb(cfg, traps);
+
+  hb.OnAccess(At(2, 9, 900));
+  hb.OnDelayFinished(At(1, 1, 950), DelayOutcome{950, 1500, false});
+  hb.OnDelayFinished(At(3, 7, 1000), DelayOutcome{1000, 1900, false});
+  hb.OnAccess(At(2, 9, 2100));
+
+  // Both delays overlap the gap; the later-finishing one (op 7) gets the credit.
+  EXPECT_TRUE(traps.WasHbPruned(7, 9));
+  EXPECT_FALSE(traps.WasHbPruned(1, 9));
+}
+
+class HbThresholds : public ::testing::TestWithParam<double> {};
+
+TEST_P(HbThresholds, GapMustExceedThresholdTimesDelay) {
+  const double threshold = GetParam();
+  const Config cfg = HbConfig(threshold);
+  TrapSet traps(cfg);
+  traps.AddPair(1, 2);
+  HbInference hb(cfg, traps);
+
+  const Micros gap = 600;  // fixed stall of 600us against delay_us = 1000
+  hb.OnAccess(At(2, 2, 1400));
+  hb.OnDelayFinished(At(1, 1, 1000), DelayOutcome{1000, 2000, false});
+  hb.OnAccess(At(2, 2, 1400 + gap));
+
+  const bool expect_inferred = threshold > 0 && gap >= threshold * cfg.delay_us;
+  EXPECT_EQ(hb.InferredEdges() == 1, expect_inferred) << "threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HbThresholds, ::testing::Values(0.1, 0.3, 0.5, 0.8));
+
+}  // namespace
+}  // namespace tsvd

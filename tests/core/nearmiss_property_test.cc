@@ -1,0 +1,70 @@
+// Property test: NearMissTracker agrees with a naive reference model over random
+// access streams.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/nearmiss_tracker.h"
+
+namespace tsvd {
+namespace {
+
+struct RefRecord {
+  ThreadId tid;
+  OpId op;
+  OpKind kind;
+  Micros time;
+};
+
+class NearMissProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NearMissProperty, MatchesNaiveModel) {
+  Config cfg;
+  cfg.nearmiss_window_us = 500;
+  cfg.nearmiss_history = 4;
+  NearMissTracker tracker(cfg);
+
+  std::map<ObjectId, std::deque<RefRecord>> model;
+  Rng rng(GetParam());
+  Micros now = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    now += static_cast<Micros>(rng.NextBelow(300));
+    Access access;
+    access.tid = static_cast<ThreadId>(1 + rng.NextBelow(3));
+    access.obj = 0x1000 + rng.NextBelow(4) * 1024;  // few objects, same shard domain
+    access.op = static_cast<OpId>(rng.NextBelow(16));
+    access.kind = rng.NextBool(0.4) ? OpKind::kWrite : OpKind::kRead;
+    access.time = now;
+    access.concurrent_phase = rng.NextBool(0.5);
+
+    // Reference: scan the object's (bounded) history with the same rule.
+    std::multiset<OpId> expected;
+    auto& history = model[access.obj];
+    for (const RefRecord& rec : history) {
+      if (rec.tid != access.tid && KindsConflict(rec.kind, access.kind) &&
+          access.time - rec.time <= cfg.nearmiss_window_us) {
+        expected.insert(rec.op);
+      }
+    }
+    history.push_back(RefRecord{access.tid, access.op, access.kind, access.time});
+    if (static_cast<int>(history.size()) > cfg.nearmiss_history) {
+      history.pop_front();
+    }
+
+    std::multiset<OpId> actual;
+    for (const auto& miss : tracker.RecordAndFindConflicts(access)) {
+      actual.insert(miss.other_op);
+    }
+    ASSERT_EQ(actual, expected) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NearMissProperty, ::testing::Values(3, 17, 2029, 777));
+
+}  // namespace
+}  // namespace tsvd

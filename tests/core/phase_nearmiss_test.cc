@@ -1,0 +1,156 @@
+// Unit + parameterized tests for the concurrent-phase detector (Section 3.4.3) and
+// the near-miss tracker (Section 3.4.2).
+#include <gtest/gtest.h>
+
+#include "src/core/nearmiss_tracker.h"
+#include "src/core/phase_detector.h"
+
+namespace tsvd {
+namespace {
+
+TEST(PhaseDetectorTest, SingleThreadIsSequential) {
+  PhaseDetector phase(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(phase.RecordAndCheck(1));
+  }
+}
+
+TEST(PhaseDetectorTest, SecondThreadMakesConcurrent) {
+  PhaseDetector phase(16);
+  phase.RecordAndCheck(1);
+  EXPECT_TRUE(phase.RecordAndCheck(2));
+}
+
+TEST(PhaseDetectorTest, OldThreadEntriesAgeOut) {
+  PhaseDetector phase(4);
+  phase.RecordAndCheck(1);
+  EXPECT_TRUE(phase.RecordAndCheck(2));
+  // Four entries from thread 2 evict thread 1 entirely (buffer size 4).
+  phase.RecordAndCheck(2);
+  phase.RecordAndCheck(2);
+  phase.RecordAndCheck(2);
+  EXPECT_FALSE(phase.RecordAndCheck(2));
+}
+
+class PhaseBufferSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseBufferSizes, EvictionHorizonMatchesBufferSize) {
+  const int size = GetParam();
+  PhaseDetector phase(size);
+  phase.RecordAndCheck(1);
+  // While thread 1's entry is within the last `size` records, the phase is
+  // concurrent; exactly after `size` records from thread 2, it is sequential again.
+  for (int i = 0; i < size - 1; ++i) {
+    EXPECT_TRUE(phase.RecordAndCheck(2)) << "i=" << i << " size=" << size;
+  }
+  EXPECT_FALSE(phase.RecordAndCheck(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PhaseBufferSizes, ::testing::Values(2, 4, 8, 16, 64));
+
+Access At(ThreadId tid, ObjectId obj, OpId op, OpKind kind, Micros t,
+          bool concurrent = true) {
+  Access a;
+  a.tid = tid;
+  a.obj = obj;
+  a.op = op;
+  a.kind = kind;
+  a.time = t;
+  a.concurrent_phase = concurrent;
+  return a;
+}
+
+Config NearMissConfig(Micros window = 1000, int history = 5) {
+  Config cfg;
+  cfg.nearmiss_window_us = window;
+  cfg.nearmiss_history = history;
+  return cfg;
+}
+
+TEST(NearMissTest, ConflictingAccessesWithinWindow) {
+  NearMissTracker tracker(NearMissConfig());
+  EXPECT_TRUE(tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kWrite, 0)).empty());
+  const auto misses = tracker.RecordAndFindConflicts(At(2, 0x10, 2, OpKind::kRead, 500));
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_EQ(misses[0].other_op, 1u);
+}
+
+TEST(NearMissTest, OutsideWindowIsNotANearMiss) {
+  NearMissTracker tracker(NearMissConfig(1000));
+  tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kWrite, 0));
+  EXPECT_TRUE(
+      tracker.RecordAndFindConflicts(At(2, 0x10, 2, OpKind::kRead, 1500)).empty());
+}
+
+TEST(NearMissTest, SameThreadNeverNearMisses) {
+  NearMissTracker tracker(NearMissConfig());
+  tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kWrite, 0));
+  EXPECT_TRUE(
+      tracker.RecordAndFindConflicts(At(1, 0x10, 2, OpKind::kWrite, 100)).empty());
+}
+
+TEST(NearMissTest, ReadReadDoesNotConflict) {
+  NearMissTracker tracker(NearMissConfig());
+  tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kRead, 0));
+  EXPECT_TRUE(
+      tracker.RecordAndFindConflicts(At(2, 0x10, 2, OpKind::kRead, 100)).empty());
+}
+
+TEST(NearMissTest, DifferentObjectsDoNotConflict) {
+  NearMissTracker tracker(NearMissConfig());
+  tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kWrite, 0));
+  EXPECT_TRUE(
+      tracker.RecordAndFindConflicts(At(2, 0x20, 2, OpKind::kWrite, 100)).empty());
+}
+
+TEST(NearMissTest, ConcurrentFlagOfRecordedAccessIsReturned) {
+  NearMissTracker tracker(NearMissConfig());
+  tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kWrite, 0, /*concurrent=*/false));
+  const auto misses =
+      tracker.RecordAndFindConflicts(At(2, 0x10, 2, OpKind::kWrite, 100));
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_FALSE(misses[0].other_concurrent);
+}
+
+class NearMissHistorySizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(NearMissHistorySizes, HistoryEvictsOldestBeyondN) {
+  const int n = GetParam();
+  NearMissTracker tracker(NearMissConfig(1'000'000, n));
+  // Thread 1 writes n+2 times; only the last n stay in the history.
+  for (int i = 0; i < n + 2; ++i) {
+    tracker.RecordAndFindConflicts(
+        At(1, 0x10, static_cast<OpId>(i), OpKind::kWrite, i * 10));
+  }
+  const auto misses = tracker.RecordAndFindConflicts(
+      At(2, 0x10, 999, OpKind::kWrite, (n + 3) * 10));
+  EXPECT_EQ(static_cast<int>(misses.size()), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NearMissHistorySizes, ::testing::Values(1, 2, 5, 10));
+
+TEST(NearMissTest, UnwindowedAblationIgnoresTime) {
+  Config cfg;
+  cfg.disable_nearmiss_window = true;
+  cfg.nearmiss_history_unwindowed = 64;
+  NearMissTracker tracker(cfg);
+  tracker.RecordAndFindConflicts(At(1, 0x10, 1, OpKind::kWrite, 0));
+  const auto misses = tracker.RecordAndFindConflicts(
+      At(2, 0x10, 2, OpKind::kWrite, 50'000'000));  // 50 seconds later
+  EXPECT_EQ(misses.size(), 1u);
+}
+
+TEST(NearMissTest, StaleObjectsAreSweptEventually) {
+  NearMissTracker tracker(NearMissConfig(100));
+  // All objects land in one shard (the tracker shards by (obj >> 4) % 64) so the
+  // periodic per-shard sweep actually triggers.
+  for (int i = 0; i < 5000; ++i) {
+    const ObjectId obj = 0x100000 + static_cast<ObjectId>(i) * 1024;
+    tracker.RecordAndFindConflicts(
+        At(1, obj, 1, OpKind::kWrite, static_cast<Micros>(i) * 1000));
+  }
+  EXPECT_LT(tracker.TrackedObjects(), 5000u);
+}
+
+}  // namespace
+}  // namespace tsvd

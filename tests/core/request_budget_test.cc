@@ -1,0 +1,99 @@
+// Tests for per-request delay budgets and request-context propagation (Section 4,
+// runtime feature (2): "limit the maximum delay per thread or request").
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/request_context.h"
+#include "src/core/runtime.h"
+#include "src/tasks/task.h"
+
+namespace tsvd {
+namespace {
+
+class AlwaysDelayDetector : public Detector {
+ public:
+  explicit AlwaysDelayDetector(Micros delay) : delay_(delay) {}
+  std::string name() const override { return "always-delay"; }
+  DelayDecision OnCall(const Access&) override { return DelayDecision{true, delay_}; }
+
+ private:
+  Micros delay_;
+};
+
+TEST(RequestContextTest, ScopesNestAndRestore) {
+  EXPECT_EQ(CurrentRequest(), kNoRequest);
+  {
+    RequestScope outer;
+    EXPECT_EQ(CurrentRequest(), outer.id());
+    {
+      RequestScope inner;
+      EXPECT_EQ(CurrentRequest(), inner.id());
+      EXPECT_NE(inner.id(), outer.id());
+    }
+    EXPECT_EQ(CurrentRequest(), outer.id());
+  }
+  EXPECT_EQ(CurrentRequest(), kNoRequest);
+}
+
+TEST(RequestContextTest, TasksInheritTheCreatingRequest) {
+  RequestScope request;
+  tasks::Task<RequestId> inherited =
+      tasks::Run([] { return CurrentRequest(); });
+  EXPECT_EQ(inherited.Result(), request.id());
+  // Continuations inherit too.
+  tasks::Task<RequestId> cont = inherited.ContinueWith(
+      [](const RequestId&) { return CurrentRequest(); });
+  EXPECT_EQ(cont.Result(), request.id());
+}
+
+TEST(RequestContextTest, TasksOutsideARequestCarryNone) {
+  tasks::Task<RequestId> none = tasks::Run([] { return CurrentRequest(); });
+  EXPECT_EQ(none.Result(), kNoRequest);
+}
+
+TEST(RequestBudgetTest, CapsDelayAcrossThreadsOfOneRequest) {
+  Config cfg;
+  cfg.max_delay_per_request_us = 5000;
+  Runtime runtime(cfg, std::make_unique<AlwaysDelayDetector>(3000));
+
+  RequestScope request;
+  // Two sequential calls on behalf of the same request, from *different* threads:
+  // the first 3ms delay fits; the second (3+3 > 5) must be skipped even though each
+  // thread individually is under any per-thread cap.
+  std::thread first([&, id = request.id()] {
+    ScopedRequest scope(id);
+    runtime.OnCall(0x10, 1, OpKind::kWrite);
+  });
+  first.join();
+  std::thread second([&, id = request.id()] {
+    ScopedRequest scope(id);
+    runtime.OnCall(0x10, 1, OpKind::kWrite);
+  });
+  second.join();
+
+  EXPECT_EQ(runtime.Summary().delays_injected, 1u);
+}
+
+TEST(RequestBudgetTest, IndependentRequestsHaveIndependentBudgets) {
+  Config cfg;
+  cfg.max_delay_per_request_us = 4000;
+  Runtime runtime(cfg, std::make_unique<AlwaysDelayDetector>(3000));
+  for (int r = 0; r < 3; ++r) {
+    RequestScope request;
+    runtime.OnCall(0x10, 1, OpKind::kWrite);
+  }
+  EXPECT_EQ(runtime.Summary().delays_injected, 3u);
+}
+
+TEST(RequestBudgetTest, NoRequestMeansNoRequestCap) {
+  Config cfg;
+  cfg.max_delay_per_request_us = 1000;
+  Runtime runtime(cfg, std::make_unique<AlwaysDelayDetector>(800));
+  runtime.OnCall(0x10, 1, OpKind::kWrite);
+  runtime.OnCall(0x10, 1, OpKind::kWrite);  // outside any request: uncapped
+  EXPECT_EQ(runtime.Summary().delays_injected, 2u);
+}
+
+}  // namespace
+}  // namespace tsvd

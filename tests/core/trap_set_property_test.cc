@@ -1,0 +1,97 @@
+// Property test: trap-set invariants hold under arbitrary interleavings of
+// AddPair / MarkHbOrdered / MarkFound / DecayAfterFailedDelay.
+//
+// Invariants:
+//   I1. A location has probability > 0 iff it participates in at least one pair.
+//   I2. No pair in the set was ever HB-pruned or found.
+//   I3. Partner lists and the pair set agree (symmetric, no dangling partners).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/core/trap_set.h"
+
+namespace tsvd {
+namespace {
+
+class TrapSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrapSetProperty, InvariantsHoldUnderRandomOps) {
+  Config cfg;
+  cfg.decay_factor = 0.5;
+  cfg.min_probability = 0.1;
+  TrapSet traps(cfg);
+  Rng rng(GetParam());
+
+  // Shadow model of what should be in the set.
+  std::unordered_set<LocationPair, LocationPairHash> model;
+  std::unordered_set<LocationPair, LocationPairHash> blocked;  // pruned or found
+
+  constexpr OpId kLocs = 12;
+  for (int step = 0; step < 2000; ++step) {
+    const OpId a = static_cast<OpId>(rng.NextBelow(kLocs));
+    const OpId b = static_cast<OpId>(rng.NextBelow(kLocs));
+    const LocationPair pair(a, b);
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        const bool added = traps.AddPair(a, b);
+        if (blocked.contains(pair) || model.contains(pair)) {
+          EXPECT_FALSE(added);
+        } else {
+          EXPECT_TRUE(added);
+          model.insert(pair);
+        }
+        break;
+      }
+      case 1:
+        traps.MarkHbOrdered(a, b);
+        blocked.insert(pair);
+        model.erase(pair);
+        break;
+      case 2:
+        traps.MarkFound(a, b);
+        blocked.insert(pair);
+        model.erase(pair);
+        break;
+      default:
+        traps.DecayAfterFailedDelay(a);
+        // Decay may silently remove pairs (not blocked); resync the model by
+        // dropping pairs whose endpoints lost all probability.
+        for (auto it = model.begin(); it != model.end();) {
+          if (traps.Prob(it->first) == 0.0 || traps.Prob(it->second) == 0.0) {
+            it = model.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+    }
+
+    // I1 + I3: probability positive iff the location has partners; partner lists
+    // symmetric with the pair set.
+    for (OpId loc = 0; loc < kLocs; ++loc) {
+      const auto partners = traps.PartnersOf(loc);
+      EXPECT_EQ(traps.Prob(loc) > 0.0, !partners.empty()) << "loc " << loc;
+      for (OpId q : partners) {
+        const auto back = traps.PartnersOf(q);
+        EXPECT_TRUE(std::find(back.begin(), back.end(), loc) != back.end() ||
+                    loc == q)
+            << "asymmetric partners " << loc << "," << q;
+      }
+    }
+  }
+
+  // I2 + model agreement on the final state.
+  EXPECT_EQ(traps.PairCount(), model.size());
+  for (const LocationPair& pair : model) {
+    EXPECT_GT(traps.Prob(pair.first), 0.0);
+    EXPECT_GT(traps.Prob(pair.second), 0.0);
+    EXPECT_FALSE(blocked.contains(pair));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrapSetProperty, ::testing::Values(1, 7, 42, 99, 1234));
+
+}  // namespace
+}  // namespace tsvd

@@ -1,0 +1,142 @@
+// Unit + property tests for the persistent AVL tree-map backing vector clocks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/hb/avl_map.h"
+
+namespace tsvd {
+namespace {
+
+using Map = AvlMap<uint64_t, uint64_t>;
+
+TEST(AvlMapTest, EmptyMapBasics) {
+  Map m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.GetOr(1, 42), 42u);
+  EXPECT_FALSE(m.Contains(1));
+}
+
+TEST(AvlMapTest, InsertAndLookup) {
+  Map m = Map().Insert(2, 20).Insert(1, 10).Insert(3, 30);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.GetOr(1, 0), 10u);
+  EXPECT_EQ(m.GetOr(2, 0), 20u);
+  EXPECT_EQ(m.GetOr(3, 0), 30u);
+}
+
+TEST(AvlMapTest, InsertOverwrites) {
+  Map m = Map().Insert(1, 10).Insert(1, 11);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.GetOr(1, 0), 11u);
+}
+
+TEST(AvlMapTest, PersistenceOldVersionUnchanged) {
+  const Map v1 = Map().Insert(1, 10);
+  const Map v2 = v1.Insert(1, 99).Insert(2, 20);
+  EXPECT_EQ(v1.GetOr(1, 0), 10u);
+  EXPECT_FALSE(v1.Contains(2));
+  EXPECT_EQ(v2.GetOr(1, 0), 99u);
+  EXPECT_EQ(v2.GetOr(2, 0), 20u);
+}
+
+TEST(AvlMapTest, NoOpInsertSharesRoot) {
+  const Map v1 = Map().Insert(1, 10).Insert(2, 20);
+  const Map v2 = v1.Insert(1, 10);  // same key, same value
+  EXPECT_TRUE(v1.SameRoot(v2));
+}
+
+TEST(AvlMapTest, MergeMaxTakesElementwiseMaximum) {
+  const Map a = Map().Insert(1, 5).Insert(2, 10);
+  const Map b = Map().Insert(2, 7).Insert(3, 30);
+  const Map merged = Map::MergeMax(a, b);
+  EXPECT_EQ(merged.GetOr(1, 0), 5u);
+  EXPECT_EQ(merged.GetOr(2, 0), 10u);
+  EXPECT_EQ(merged.GetOr(3, 0), 30u);
+}
+
+TEST(AvlMapTest, MergeMaxSameRootIsIdentity) {
+  const Map a = Map().Insert(1, 5);
+  const Map b = a;
+  EXPECT_TRUE(Map::MergeMax(a, b).SameRoot(a));
+}
+
+TEST(AvlMapTest, MergeWithEmpty) {
+  const Map a = Map().Insert(1, 5);
+  EXPECT_TRUE(Map::MergeMax(a, Map()).SameRoot(a));
+  EXPECT_TRUE(Map::MergeMax(Map(), a).SameRoot(a));
+}
+
+TEST(AvlMapTest, LessEqRelation) {
+  const Map a = Map().Insert(1, 5).Insert(2, 3);
+  const Map b = Map().Insert(1, 5).Insert(2, 4).Insert(3, 1);
+  EXPECT_TRUE(a.LessEq(b));
+  EXPECT_FALSE(b.LessEq(a));
+  EXPECT_TRUE(a.LessEq(a));
+}
+
+TEST(AvlMapTest, ForEachVisitsInKeyOrder) {
+  Map m = Map().Insert(5, 1).Insert(1, 1).Insert(3, 1).Insert(2, 1).Insert(4, 1);
+  std::vector<uint64_t> keys;
+  m.ForEach([&](uint64_t k, uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+// Property test: random insert sequences agree with std::map, across seeds.
+class AvlMapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvlMapProperty, AgreesWithStdMapReference) {
+  Rng rng(GetParam());
+  Map map;
+  std::map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t key = rng.NextBelow(128);
+    const uint64_t value = rng.NextBelow(1'000'000);
+    map = map.Insert(key, value);
+    reference[key] = value;
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  for (const auto& [k, v] : reference) {
+    EXPECT_EQ(map.GetOr(k, ~0ULL), v);
+  }
+  // Keys absent from the reference must be absent from the map.
+  for (uint64_t k = 128; k < 160; ++k) {
+    EXPECT_FALSE(map.Contains(k));
+  }
+}
+
+TEST_P(AvlMapProperty, MergeMaxAgreesWithReferenceMerge) {
+  Rng rng(GetParam() * 31 + 7);
+  Map a;
+  Map b;
+  std::map<uint64_t, uint64_t> ra;
+  std::map<uint64_t, uint64_t> rb;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t ka = rng.NextBelow(64);
+    const uint64_t va = rng.NextBelow(1000);
+    a = a.Insert(ka, va);
+    ra[ka] = va;
+    const uint64_t kb = rng.NextBelow(64);
+    const uint64_t vb = rng.NextBelow(1000);
+    b = b.Insert(kb, vb);
+    rb[kb] = vb;
+  }
+  const Map merged = Map::MergeMax(a, b);
+  std::map<uint64_t, uint64_t> expected = ra;
+  for (const auto& [k, v] : rb) {
+    expected[k] = std::max(expected[k], v);
+  }
+  EXPECT_EQ(merged.size(), expected.size());
+  for (const auto& [k, v] : expected) {
+    EXPECT_EQ(merged.GetOr(k, ~0ULL), v) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlMapProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace tsvd

@@ -1,0 +1,144 @@
+// Tests for vector clocks and the TSVDHB detector (Section 3.5).
+#include <gtest/gtest.h>
+
+#include "src/common/callsite.h"
+#include "src/hb/tsvd_hb_detector.h"
+#include "src/hb/vector_clock.h"
+
+namespace tsvd {
+namespace {
+
+TEST(VectorClockTest, EpochHappensAfter) {
+  VectorClock c = VectorClock().WithComponent(1, 5);
+  EXPECT_TRUE(c.HappensAfterEpoch(1, 5));
+  EXPECT_TRUE(c.HappensAfterEpoch(1, 4));
+  EXPECT_FALSE(c.HappensAfterEpoch(1, 6));
+  EXPECT_FALSE(c.HappensAfterEpoch(2, 1));
+}
+
+TEST(VectorClockTest, MergeTakesMaxima) {
+  const VectorClock a = VectorClock().WithComponent(1, 5).WithComponent(2, 1);
+  const VectorClock b = VectorClock().WithComponent(1, 3).WithComponent(3, 7);
+  const VectorClock m = VectorClock::Merge(a, b);
+  EXPECT_EQ(m.Get(1), 5u);
+  EXPECT_EQ(m.Get(2), 1u);
+  EXPECT_EQ(m.Get(3), 7u);
+}
+
+TEST(VectorClockTest, MergeSameObjectIsO1Identity) {
+  const VectorClock a = VectorClock().WithComponent(1, 5);
+  const VectorClock b = a;  // reference copy, as on a fork/join round trip
+  EXPECT_TRUE(VectorClock::Merge(a, b).SameObject(a));
+}
+
+Access At(CtxId ctx, ObjectId obj, OpId op, OpKind kind, ThreadId tid = 0) {
+  Access a;
+  a.tid = tid == 0 ? static_cast<ThreadId>(ctx) : tid;
+  a.obj = obj;
+  a.op = op;
+  a.kind = kind;
+  a.ctx = ctx;
+  return a;
+}
+
+Config HbConfig() {
+  Config cfg;
+  cfg.delay_us = 1000;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(TsvdHbDetectorTest, UnorderedConflictArmsPair) {
+  TsvdHbDetector detector(HbConfig());
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  detector.OnCall(At(2, 0x10, 2, OpKind::kWrite));  // no sync between ctx 1 and 2
+  EXPECT_EQ(detector.TrapSetSize(), 1u);
+}
+
+TEST(TsvdHbDetectorTest, ReadReadNeverArms) {
+  TsvdHbDetector detector(HbConfig());
+  detector.OnCall(At(1, 0x10, 1, OpKind::kRead));
+  detector.OnCall(At(2, 0x10, 2, OpKind::kRead));
+  EXPECT_EQ(detector.TrapSetSize(), 0u);
+}
+
+TEST(TsvdHbDetectorTest, ForkOrderSuppressesPair) {
+  TsvdHbDetector detector(HbConfig());
+  // Parent (ctx 1) writes, then forks child (ctx 2) which writes the same object.
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  detector.OnSync(SyncEvent{SyncEventType::kTaskCreate, 2, 1, 0});
+  detector.OnCall(At(2, 0x10, 2, OpKind::kWrite));
+  EXPECT_EQ(detector.TrapSetSize(), 0u);
+}
+
+TEST(TsvdHbDetectorTest, JoinOrderSuppressesPair) {
+  TsvdHbDetector detector(HbConfig());
+  // Child (ctx 2) writes and finishes; parent joins, then writes.
+  detector.OnSync(SyncEvent{SyncEventType::kTaskCreate, 2, 1, 0});
+  detector.OnCall(At(2, 0x10, 2, OpKind::kWrite));
+  detector.OnSync(SyncEvent{SyncEventType::kTaskFinish, 2, kInvalidCtx, 0});
+  detector.OnSync(SyncEvent{SyncEventType::kTaskJoin, 1, 2, 0});
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  EXPECT_EQ(detector.TrapSetSize(), 0u);
+}
+
+TEST(TsvdHbDetectorTest, LockOrderSuppressesPair) {
+  TsvdHbDetector detector(HbConfig());
+  const ObjectId lock = 0xbeef;
+  // Ctx 1: write then release; ctx 2: acquire (merging 1's clock) then write.
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  detector.OnSync(SyncEvent{SyncEventType::kLockAcquire, 1, kInvalidCtx, lock});
+  detector.OnSync(SyncEvent{SyncEventType::kLockRelease, 1, kInvalidCtx, lock});
+  detector.OnSync(SyncEvent{SyncEventType::kLockAcquire, 2, kInvalidCtx, lock});
+  detector.OnCall(At(2, 0x10, 2, OpKind::kWrite));
+  EXPECT_EQ(detector.TrapSetSize(), 0u);
+}
+
+TEST(TsvdHbDetectorTest, LockChatterBeforeOpDoesNotOrderIt) {
+  TsvdHbDetector detector(HbConfig());
+  const ObjectId lock = 0xbeef;
+  // Ctx 1 releases the lock BEFORE its write: the lock clock misses the write, so
+  // ctx 2's later conflicting write is NOT ordered (and the pair arms). This is the
+  // flip side of the chatter blindness: ordering only covers what the release saw.
+  detector.OnSync(SyncEvent{SyncEventType::kLockAcquire, 1, kInvalidCtx, lock});
+  detector.OnSync(SyncEvent{SyncEventType::kLockRelease, 1, kInvalidCtx, lock});
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  detector.OnSync(SyncEvent{SyncEventType::kLockAcquire, 2, kInvalidCtx, lock});
+  detector.OnCall(At(2, 0x10, 2, OpKind::kWrite));
+  EXPECT_EQ(detector.TrapSetSize(), 1u);
+}
+
+TEST(TsvdHbDetectorTest, ArmedPairInjectsDelay) {
+  TsvdHbDetector detector(HbConfig());
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  detector.OnCall(At(2, 0x10, 2, OpKind::kWrite));
+  EXPECT_TRUE(detector.OnCall(At(1, 0x10, 1, OpKind::kWrite)).inject);
+}
+
+TEST(TsvdHbDetectorTest, ClockAdvancesAtTsvdPointsOnly) {
+  TsvdHbDetector detector(HbConfig());
+  detector.OnSync(SyncEvent{SyncEventType::kLockAcquire, 1, kInvalidCtx, 0x1});
+  detector.OnSync(SyncEvent{SyncEventType::kLockRelease, 1, kInvalidCtx, 0x1});
+  EXPECT_EQ(detector.ClockOf(1).Get(1), 0u);  // sync ops do not increment
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  EXPECT_EQ(detector.ClockOf(1).Get(1), 1u);
+  detector.OnCall(At(1, 0x10, 1, OpKind::kWrite));
+  EXPECT_EQ(detector.ClockOf(1).Get(1), 2u);
+}
+
+TEST(TsvdHbDetectorTest, TrapFileRoundtrip) {
+  auto& registry = CallSiteRegistry::Instance();
+  const OpId op_a = registry.InternRaw("hb.cc", 1, "List.Add", OpKind::kWrite);
+  const OpId op_b = registry.InternRaw("hb.cc", 2, "List.Add", OpKind::kWrite);
+  TsvdHbDetector first(HbConfig());
+  first.OnCall(At(1, 0x10, op_a, OpKind::kWrite));
+  first.OnCall(At(2, 0x10, op_b, OpKind::kWrite));
+  const TrapFile file = first.ExportTrapFile();
+  EXPECT_FALSE(file.empty());
+  TsvdHbDetector second(HbConfig());
+  second.ImportTrapFile(file);
+  EXPECT_EQ(second.TrapSetSize(), first.TrapSetSize());
+}
+
+}  // namespace
+}  // namespace tsvd

@@ -1,0 +1,208 @@
+// Tests for the instrumented containers: C#-style semantics plus correct OnCall
+// emission (object identity, API name, read/write classification, caller location).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "src/common/callsite.h"
+#include "src/core/runtime.h"
+#include "src/instrument/dictionary.h"
+#include "src/instrument/hash_set.h"
+#include "src/instrument/list.h"
+#include "src/instrument/queue.h"
+#include "src/instrument/sorted_list.h"
+#include "src/instrument/string_builder.h"
+
+namespace tsvd {
+namespace {
+
+// Records every access it sees; never injects.
+class RecordingDetector : public Detector {
+ public:
+  std::string name() const override { return "recording"; }
+  DelayDecision OnCall(const Access& access) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    accesses_.push_back(access);
+    return DelayDecision{};
+  }
+  std::vector<Access> Accesses() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accesses_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Access> accesses_;
+};
+
+class ContainersTest : public ::testing::Test {
+ protected:
+  ContainersTest()
+      : detector_owner_(std::make_unique<RecordingDetector>()),
+        detector_(detector_owner_.get()),
+        runtime_(Config{}, std::move(detector_owner_)),
+        install_(runtime_) {}
+
+  // Accesses recorded since construction, rendered as (api, kind) pairs.
+  std::vector<std::pair<std::string, OpKind>> RecordedApis() {
+    std::vector<std::pair<std::string, OpKind>> out;
+    for (const Access& a : detector_->Accesses()) {
+      out.emplace_back(CallSiteRegistry::Instance().Get(a.op).api, a.kind);
+    }
+    return out;
+  }
+
+  std::unique_ptr<RecordingDetector> detector_owner_;
+  RecordingDetector* detector_;
+  Runtime runtime_;
+  Runtime::Installation install_;
+};
+
+TEST_F(ContainersTest, DictionarySemantics) {
+  Dictionary<int, std::string> dict;
+  dict.Add(1, "one");
+  EXPECT_THROW(dict.Add(1, "dup"), std::invalid_argument);
+  dict.Set(2, "two");
+  dict.Set(2, "two!");
+  EXPECT_TRUE(dict.ContainsKey(1));
+  EXPECT_EQ(dict.Get(2), "two!");
+  EXPECT_THROW(dict.Get(3), std::out_of_range);
+  std::string out;
+  EXPECT_TRUE(dict.TryGetValue(1, &out));
+  EXPECT_EQ(out, "one");
+  EXPECT_FALSE(dict.TryGetValue(9, &out));
+  EXPECT_EQ(dict.Count(), 2u);
+  EXPECT_EQ(dict.Keys().size(), 2u);
+  EXPECT_TRUE(dict.Remove(1));
+  EXPECT_FALSE(dict.Remove(1));
+  dict.Clear();
+  EXPECT_EQ(dict.Count(), 0u);
+}
+
+TEST_F(ContainersTest, DictionaryEmitsClassifiedAccesses) {
+  Dictionary<int, int> dict;
+  dict.Set(1, 10);
+  (void)dict.ContainsKey(1);
+  const auto apis = RecordedApis();
+  ASSERT_EQ(apis.size(), 2u);
+  EXPECT_EQ(apis[0], (std::pair<std::string, OpKind>{"Dictionary.Set", OpKind::kWrite}));
+  EXPECT_EQ(apis[1],
+            (std::pair<std::string, OpKind>{"Dictionary.ContainsKey", OpKind::kRead}));
+  // Both accesses carry the object's identity.
+  const auto accesses = detector_->Accesses();
+  EXPECT_EQ(accesses[0].obj, ObjectIdOf(&dict));
+  EXPECT_EQ(accesses[0].obj, accesses[1].obj);
+}
+
+TEST_F(ContainersTest, DistinctCallSitesGetDistinctOps) {
+  Dictionary<int, int> dict;
+  dict.Set(1, 1);
+  dict.Set(2, 2);  // different source line: different static location
+  const auto accesses = detector_->Accesses();
+  ASSERT_EQ(accesses.size(), 2u);
+  EXPECT_NE(accesses[0].op, accesses[1].op);
+}
+
+TEST_F(ContainersTest, SameCallSiteIsStableAcrossExecutions) {
+  Dictionary<int, int> dict;
+  for (int i = 0; i < 5; ++i) {
+    dict.Set(i, i);  // one static location, five dynamic executions
+  }
+  const auto accesses = detector_->Accesses();
+  ASSERT_EQ(accesses.size(), 5u);
+  for (const Access& a : accesses) {
+    EXPECT_EQ(a.op, accesses[0].op);
+  }
+}
+
+TEST_F(ContainersTest, ListSemantics) {
+  List<int> list;
+  list.Add(3);
+  list.Add(1);
+  list.Add(2);
+  EXPECT_EQ(list.Count(), 3u);
+  list.Sort();
+  EXPECT_EQ(list.Get(0), 1);
+  EXPECT_EQ(list.Get(2), 3);
+  list.Reverse();
+  EXPECT_EQ(list.Get(0), 3);
+  list.Insert(1, 99);
+  EXPECT_EQ(list.Get(1), 99);
+  EXPECT_TRUE(list.Contains(99));
+  EXPECT_EQ(list.IndexOf(99), 1);
+  EXPECT_EQ(list.IndexOf(1000), -1);
+  list.Set(0, 42);
+  EXPECT_EQ(list.Get(0), 42);
+  EXPECT_TRUE(list.Remove(99));
+  list.RemoveAt(0);
+  EXPECT_THROW(list.Get(100), std::out_of_range);
+  EXPECT_THROW(list.RemoveAt(100), std::out_of_range);
+  EXPECT_EQ(list.ToVector().size(), 2u);
+  list.Clear();
+  EXPECT_EQ(list.Count(), 0u);
+}
+
+TEST_F(ContainersTest, HashSetSemantics) {
+  HashSet<std::string> set;
+  EXPECT_TRUE(set.Add("a"));
+  EXPECT_FALSE(set.Add("a"));
+  EXPECT_TRUE(set.Contains("a"));
+  set.UnionWith({"b", "c"});
+  EXPECT_EQ(set.Count(), 3u);
+  EXPECT_TRUE(set.Remove("a"));
+  EXPECT_FALSE(set.Remove("a"));
+  set.Clear();
+  EXPECT_EQ(set.Count(), 0u);
+}
+
+TEST_F(ContainersTest, QueueSemantics) {
+  Queue<int> queue;
+  queue.Enqueue(1);
+  queue.Enqueue(2);
+  EXPECT_EQ(queue.Peek().value(), 1);
+  EXPECT_EQ(queue.TryDequeue().value(), 1);
+  EXPECT_EQ(queue.TryDequeue().value(), 2);
+  EXPECT_FALSE(queue.TryDequeue().has_value());
+  EXPECT_FALSE(queue.Peek().has_value());
+  queue.Enqueue(3);
+  queue.Clear();
+  EXPECT_EQ(queue.Count(), 0u);
+}
+
+TEST_F(ContainersTest, SortedListSemantics) {
+  SortedList<int, std::string> list;
+  list.Add(2, "two");
+  list.Add(1, "one");
+  EXPECT_THROW(list.Add(1, "dup"), std::invalid_argument);
+  EXPECT_EQ(list.Keys(), (std::vector<int>{1, 2}));  // sorted order
+  list.Set(3, "three");
+  EXPECT_TRUE(list.ContainsKey(3));
+  EXPECT_EQ(list.Get(1), "one");
+  EXPECT_THROW(list.Get(9), std::out_of_range);
+  EXPECT_TRUE(list.Remove(1));
+  EXPECT_EQ(list.Count(), 2u);
+}
+
+TEST_F(ContainersTest, StringBuilderSemantics) {
+  StringBuilder sb;
+  sb.Append("hello");
+  sb.Append(" world");
+  EXPECT_EQ(sb.ToString(), "hello world");
+  EXPECT_EQ(sb.Length(), 11u);
+  sb.Clear();
+  EXPECT_EQ(sb.Length(), 0u);
+}
+
+TEST(ContainersNoRuntimeTest, OperationsWorkWithoutInstalledRuntime) {
+  // The uninstrumented baseline: no runtime installed, containers still function.
+  Dictionary<int, int> dict;
+  dict.Set(1, 10);
+  EXPECT_TRUE(dict.ContainsKey(1));
+  List<int> list;
+  list.Add(5);
+  EXPECT_EQ(list.Count(), 1u);
+}
+
+}  // namespace
+}  // namespace tsvd

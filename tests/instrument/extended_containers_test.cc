@@ -1,0 +1,118 @@
+// Tests for SortedSet, BitArray, MultiMap — semantics plus detection integration.
+#include <gtest/gtest.h>
+
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+#include "src/instrument/bit_array.h"
+#include "src/instrument/multi_map.h"
+#include "src/instrument/sorted_set.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+
+namespace tsvd {
+namespace {
+
+TEST(SortedSetTest, OrderedSemantics) {
+  SortedSet<int> set;
+  EXPECT_TRUE(set.Add(5));
+  EXPECT_TRUE(set.Add(1));
+  EXPECT_TRUE(set.Add(9));
+  EXPECT_FALSE(set.Add(5));
+  EXPECT_EQ(set.Min().value(), 1);
+  EXPECT_EQ(set.Max().value(), 9);
+  EXPECT_EQ(set.ToVector(), (std::vector<int>{1, 5, 9}));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Remove(5));
+  EXPECT_FALSE(set.Remove(5));
+  set.Clear();
+  EXPECT_EQ(set.Count(), 0u);
+  EXPECT_FALSE(set.Min().has_value());
+  EXPECT_FALSE(set.Max().has_value());
+}
+
+TEST(BitArrayTest, BitSemantics) {
+  BitArray bits(8);
+  EXPECT_EQ(bits.Length(), 8u);
+  EXPECT_EQ(bits.PopCount(), 0u);
+  bits.Set(3, true);
+  EXPECT_TRUE(bits.Get(3));
+  EXPECT_FALSE(bits.Get(4));
+  EXPECT_EQ(bits.PopCount(), 1u);
+  bits.Not();
+  EXPECT_FALSE(bits.Get(3));
+  EXPECT_EQ(bits.PopCount(), 7u);
+  bits.SetAll(false);
+  EXPECT_EQ(bits.PopCount(), 0u);
+  EXPECT_THROW(bits.Get(100), std::out_of_range);
+  EXPECT_THROW(bits.Set(100, true), std::out_of_range);
+}
+
+TEST(MultiMapTest, GroupedSemantics) {
+  MultiMap<std::string, int> handlers;
+  handlers.Add("click", 1);
+  handlers.Add("click", 2);
+  handlers.Add("close", 3);
+  EXPECT_EQ(handlers.KeyCount(), 2u);
+  EXPECT_EQ(handlers.Get("click"), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(handlers.Get("missing").empty());
+  EXPECT_TRUE(handlers.ContainsKey("close"));
+  EXPECT_TRUE(handlers.RemoveKey("click"));
+  EXPECT_FALSE(handlers.RemoveKey("click"));
+  handlers.Clear();
+  EXPECT_EQ(handlers.KeyCount(), 0u);
+}
+
+// Detection integration: a brushing write-write race on each new container is caught
+// by TSVD end to end.
+template <typename WriteA, typename WriteB>
+size_t DetectBrushingRace(WriteA&& write_a, WriteB&& write_b) {
+  Config cfg;
+  cfg.delay_us = 2000;
+  cfg.nearmiss_window_us = 2000;
+  Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+  Runtime::Installation install(runtime);
+  tasks::SetForceAsync(true);
+  for (int round = 0; round < 3; ++round) {
+    tasks::Task<void> a = tasks::Run([&] {
+      for (int i = 0; i < 3; ++i) {
+        write_a(round * 10 + i);
+        SleepMicros(700);
+      }
+    });
+    tasks::Task<void> b = tasks::Run([&] {
+      SleepMicros(400);
+      for (int i = 0; i < 3; ++i) {
+        write_b(round * 10 + i);
+        SleepMicros(700);
+      }
+    });
+    a.Wait();
+    b.Wait();
+  }
+  tasks::SetForceAsync(false);
+  return runtime.Summary().unique_pairs.size();
+}
+
+TEST(ExtendedDetectionTest, SortedSetRaceCaught) {
+  SortedSet<int> set;
+  EXPECT_GE(DetectBrushingRace([&](int i) { set.Add(2 * i); },
+                               [&](int i) { set.Add(2 * i + 1); }),
+            1u);
+}
+
+TEST(ExtendedDetectionTest, BitArrayRaceCaught) {
+  BitArray bits(64);
+  EXPECT_GE(DetectBrushingRace([&](int i) { bits.Set(i % 32, true); },
+                               [&](int i) { bits.Set(32 + i % 32, true); }),
+            1u);
+}
+
+TEST(ExtendedDetectionTest, MultiMapRaceCaught) {
+  MultiMap<int, int> routes;
+  EXPECT_GE(DetectBrushingRace([&](int i) { routes.Add(i, i); },
+                               [&](int i) { routes.Add(100 + i, i); }),
+            1u);
+}
+
+}  // namespace
+}  // namespace tsvd

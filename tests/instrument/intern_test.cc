@@ -1,0 +1,79 @@
+// Call-site interning consistency across threads: every thread's per-thread memo must
+// resolve the same static call site to the same OpId, or near-miss pairing and trap
+// files would silently fragment.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+
+namespace tsvd {
+namespace {
+
+class OpCollector : public Detector {
+ public:
+  std::string name() const override { return "op-collector"; }
+  DelayDecision OnCall(const Access& access) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.insert(access.op);
+    return DelayDecision{};
+  }
+  std::set<OpId> ops() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::set<OpId> ops_;
+};
+
+TEST(InternTest, SameCallSiteSameOpIdAcrossThreads) {
+  Config cfg;
+  auto collector = std::make_unique<OpCollector>();
+  OpCollector* raw = collector.get();
+  Runtime runtime(cfg, std::move(collector));
+  Runtime::Installation install(runtime);
+  tasks::SetForceAsync(true);
+
+  Dictionary<int, int> dict;
+  auto touch = [&](int base) {
+    for (int i = 0; i < 10; ++i) {
+      dict.Set(base + i, i);  // exactly one static call site for all threads
+    }
+  };
+  std::vector<tasks::Task<void>> tasks_list;
+  for (int t = 0; t < 4; ++t) {
+    tasks_list.push_back(tasks::Run([&touch, t] { touch(t * 100); }));
+  }
+  tasks::WaitAll(tasks_list);
+  tasks::SetForceAsync(false);
+
+  EXPECT_EQ(raw->ops().size(), 1u);  // four threads, one OpId
+}
+
+TEST(InternTest, SignatureStableAcrossRuntimes) {
+  // Two separate runtimes in the same process see the same OpId for the same site —
+  // the property trap-file import relies on within a test session.
+  std::set<OpId> first_ops;
+  std::set<OpId> second_ops;
+  for (std::set<OpId>* target : {&first_ops, &second_ops}) {
+    Config cfg;
+    auto collector = std::make_unique<OpCollector>();
+    OpCollector* raw = collector.get();
+    Runtime runtime(cfg, std::move(collector));
+    Runtime::Installation install(runtime);
+    Dictionary<int, int> dict;
+    dict.Set(1, 1);  // one fixed call site
+    *target = raw->ops();
+  }
+  EXPECT_EQ(first_ops, second_ops);
+}
+
+}  // namespace
+}  // namespace tsvd

@@ -1,0 +1,116 @@
+// Tests for Stack, LinkedList, and the thread-safe ConcurrentDictionary (the fix).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+#include "src/instrument/concurrent_dictionary.h"
+#include "src/instrument/linked_list.h"
+#include "src/instrument/stack.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+
+namespace tsvd {
+namespace {
+
+TEST(StackTest, LifoSemantics) {
+  Stack<int> stack;
+  stack.Push(1);
+  stack.Push(2);
+  EXPECT_EQ(stack.Peek().value(), 2);
+  EXPECT_EQ(stack.TryPop().value(), 2);
+  EXPECT_EQ(stack.TryPop().value(), 1);
+  EXPECT_FALSE(stack.TryPop().has_value());
+  EXPECT_FALSE(stack.Peek().has_value());
+  stack.Push(3);
+  stack.Clear();
+  EXPECT_EQ(stack.Count(), 0u);
+}
+
+TEST(LinkedListTest, Semantics) {
+  LinkedList<int> list;
+  list.AddLast(2);
+  list.AddFirst(1);
+  list.AddLast(3);
+  EXPECT_EQ(list.Count(), 3u);
+  EXPECT_EQ(list.First().value(), 1);
+  EXPECT_TRUE(list.Contains(2));
+  EXPECT_TRUE(list.Remove(2));
+  EXPECT_FALSE(list.Remove(2));
+  EXPECT_EQ(list.RemoveFirst().value(), 1);
+  list.Clear();
+  EXPECT_EQ(list.Count(), 0u);
+  EXPECT_FALSE(list.RemoveFirst().has_value());
+  EXPECT_FALSE(list.First().has_value());
+}
+
+TEST(ConcurrentDictionaryTest, BasicOperations) {
+  ConcurrentDictionary<int, std::string> dict;
+  EXPECT_TRUE(dict.TryAdd(1, "one"));
+  EXPECT_FALSE(dict.TryAdd(1, "dup"));
+  dict.Set(2, "two");
+  EXPECT_EQ(dict.TryGet(1).value(), "one");
+  EXPECT_FALSE(dict.TryGet(9).has_value());
+  EXPECT_TRUE(dict.ContainsKey(2));
+  EXPECT_EQ(dict.Count(), 2u);
+  EXPECT_TRUE(dict.TryRemove(1));
+  EXPECT_FALSE(dict.TryRemove(1));
+}
+
+TEST(ConcurrentDictionaryTest, GetOrAddIsAtomic) {
+  ConcurrentDictionary<int, int> dict;
+  std::atomic<int> factory_calls{0};
+  std::vector<tasks::Task<int>> tasks;
+  for (int t = 0; t < 8; ++t) {
+    tasks.push_back(tasks::Run([&] {
+      return dict.GetOrAdd(42, [&] {
+        factory_calls.fetch_add(1);
+        SleepMicros(200);
+        return 7;
+      });
+    }));
+  }
+  for (const auto& task : tasks) {
+    EXPECT_EQ(task.Result(), 7);
+  }
+  EXPECT_EQ(factory_calls.load(), 1);  // exactly one thread computes
+}
+
+// The migration story of Section 5.2: a racy Dictionary workload reported by TSVD,
+// rewritten onto ConcurrentDictionary, produces zero reports.
+TEST(ConcurrentDictionaryTest, FixedCodeProducesNoReports) {
+  Config cfg;
+  cfg.delay_us = 2000;
+  cfg.nearmiss_window_us = 2000;
+  Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+  Runtime::Installation install(runtime);
+  tasks::SetForceAsync(true);
+
+  ConcurrentDictionary<int, int> fixed;
+  for (int round = 0; round < 3; ++round) {
+    tasks::Task<void> a = tasks::Run([&] {
+      for (int i = 0; i < 4; ++i) {
+        fixed.Set(2 * i, i);
+        SleepMicros(300);
+      }
+    });
+    tasks::Task<void> b = tasks::Run([&] {
+      for (int i = 0; i < 4; ++i) {
+        fixed.Set(2 * i + 1, i);
+        SleepMicros(300);
+      }
+    });
+    a.Wait();
+    b.Wait();
+  }
+  tasks::SetForceAsync(false);
+
+  const RunSummary summary = runtime.Summary();
+  EXPECT_EQ(summary.oncall_count, 0u);  // no TSVD points: nothing to check
+  EXPECT_TRUE(summary.reports.empty());
+  EXPECT_EQ(fixed.Count(), 8u);
+}
+
+}  // namespace
+}  // namespace tsvd

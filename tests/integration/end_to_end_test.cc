@@ -1,0 +1,198 @@
+// End-to-end integration tests crossing module boundaries: instrumented containers +
+// task runtime + detectors + trap persistence, driven like real instrumented tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+#include "src/hb/tsvd_hb_detector.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/sync.h"
+#include "src/tasks/task.h"
+#include "src/tasks/task_runtime.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd {
+namespace {
+
+Config FastConfig() {
+  Config cfg;
+  cfg.delay_us = 2000;
+  cfg.nearmiss_window_us = 2000;
+  cfg.seed = 4;
+  return cfg;
+}
+
+// Runs a brushing two-writer workload against `dict` for `rounds` rounds.
+template <typename DictLike>
+void BrushingWriters(DictLike& dict, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    tasks::Task<void> a = tasks::Run([&] {
+      TSVD_SCOPE("WriterA");
+      for (int i = 0; i < 3; ++i) {
+        dict.Set(2 * i, i);
+        SleepMicros(700);
+      }
+    });
+    tasks::Task<void> b = tasks::Run([&] {
+      TSVD_SCOPE("WriterB");
+      SleepMicros(400);
+      for (int i = 0; i < 3; ++i) {
+        dict.Set(2 * i + 1, i);
+        SleepMicros(700);
+      }
+    });
+    a.Wait();
+    b.Wait();
+  }
+  tasks::ThreadPool::Instance().WaitIdle();
+}
+
+TEST(EndToEndTest, TsvdCatchesRaceThroughFullStack) {
+  Config cfg = FastConfig();
+  Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+  tasks::SetForceAsync(true);
+  {
+    Runtime::Installation install(runtime);
+    Dictionary<int, int> dict;
+    BrushingWriters(dict, 4);
+  }
+  tasks::SetForceAsync(false);
+  const RunSummary summary = runtime.Summary();
+  EXPECT_GE(summary.unique_pairs.size(), 1u);
+  // Reports carry async-aware logical stacks from the task runtime.
+  ASSERT_FALSE(summary.reports.empty());
+  EXPECT_FALSE(summary.reports[0].trapped.stack.empty());
+}
+
+TEST(EndToEndTest, TsvdHbCatchesSameRace) {
+  Config cfg = FastConfig();
+  Runtime runtime(cfg, std::make_unique<TsvdHbDetector>(cfg));
+  tasks::SetForceAsync(true);
+  {
+    Runtime::Installation install(runtime);
+    Dictionary<int, int> dict;
+    BrushingWriters(dict, 4);
+  }
+  tasks::SetForceAsync(false);
+  EXPECT_GE(runtime.Summary().unique_pairs.size(), 1u);
+  EXPECT_GT(runtime.Summary().sync_events, 0u);
+}
+
+TEST(EndToEndTest, LockProtectedWorkloadStaysClean) {
+  Config cfg = FastConfig();
+  Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+  tasks::SetForceAsync(true);
+  {
+    Runtime::Installation install(runtime);
+    Dictionary<int, int> dict;
+    tasks::Mutex mu;
+    for (int r = 0; r < 3; ++r) {
+      tasks::Task<void> a = tasks::Run([&] {
+        for (int i = 0; i < 4; ++i) {
+          tasks::LockGuard guard(mu);
+          dict.Set(i, i);
+        }
+      });
+      tasks::Task<void> b = tasks::Run([&] {
+        for (int i = 0; i < 4; ++i) {
+          tasks::LockGuard guard(mu);
+          dict.Set(100 + i, i);
+        }
+      });
+      a.Wait();
+      b.Wait();
+    }
+    tasks::ThreadPool::Instance().WaitIdle();
+  }
+  tasks::SetForceAsync(false);
+  EXPECT_TRUE(runtime.Summary().reports.empty());
+}
+
+TEST(EndToEndTest, TrapFilePersistsThroughDiskRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsvd_e2e_trap.txt").string();
+  Config cfg = FastConfig();
+
+  // Run 1: a single-occurrence near miss — the pair arms but has no second chance,
+  // so it must survive into the trap file.
+  {
+    Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+    tasks::SetForceAsync(true);
+    {
+      Runtime::Installation install(runtime);
+      Dictionary<int, int> dict;
+      tasks::Task<void> a = tasks::Run([&] {
+        TSVD_SCOPE("OnceA");
+        SleepMicros(400);
+        dict.Set(1, 1);
+      });
+      tasks::Task<void> b = tasks::Run([&] {
+        TSVD_SCOPE("OnceB");
+        SleepMicros(600);
+        dict.Set(2, 2);
+      });
+      a.Wait();
+      b.Wait();
+      tasks::ThreadPool::Instance().WaitIdle();
+    }
+    tasks::SetForceAsync(false);
+    ASSERT_TRUE(runtime.detector().ExportTrapFile().SaveTo(path));
+  }
+
+  // Run 2 (fresh "process state" for the detector): the trap file pre-arms the pair.
+  {
+    TrapFile loaded;
+    ASSERT_TRUE(TrapFile::LoadFrom(path, &loaded));
+    EXPECT_FALSE(loaded.empty());
+    Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+    runtime.detector().ImportTrapFile(loaded);
+    EXPECT_GT(runtime.detector().TrapSetSize(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EndToEndTest, CoverageDistinguishesSequentialFromConcurrent) {
+  Config cfg = FastConfig();
+  Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+  tasks::SetForceAsync(true);
+  {
+    Runtime::Installation install(runtime);
+    Dictionary<int, int> dict;
+    dict.Set(0, 0);  // init: sequential
+    tasks::Task<void> a = tasks::Run([&] {
+      for (int i = 0; i < 8; ++i) {
+        (void)dict.ContainsKey(i);
+        SleepMicros(200);
+      }
+    });
+    tasks::Task<void> b = tasks::Run([&] {
+      for (int i = 0; i < 8; ++i) {
+        (void)dict.Count();
+        SleepMicros(200);
+      }
+    });
+    a.Wait();
+    b.Wait();
+    tasks::ThreadPool::Instance().WaitIdle();
+  }
+  tasks::SetForceAsync(false);
+  EXPECT_EQ(runtime.coverage().PointsHit(), 3u);
+  EXPECT_GE(runtime.coverage().PointsHitConcurrently(), 2u);
+}
+
+TEST(EndToEndTest, MultipleSequentialRuntimesAreIndependent) {
+  for (int round = 0; round < 3; ++round) {
+    Config cfg = FastConfig();
+    cfg.seed = round + 1;
+    Runtime runtime(cfg, std::make_unique<TsvdDetector>(cfg));
+    Runtime::Installation install(runtime);
+    Dictionary<int, int> dict;
+    dict.Set(1, 1);
+    EXPECT_EQ(runtime.Summary().oncall_count, 1u);  // no state leaks between runtimes
+  }
+}
+
+}  // namespace
+}  // namespace tsvd

@@ -1,0 +1,53 @@
+// End-to-end smoke tests: one buggy module and one safe module under each detector.
+#include <gtest/gtest.h>
+
+#include "src/workload/patterns.h"
+#include "src/workload/runner.h"
+#include "src/workload/scaling.h"
+
+namespace tsvd::workload {
+namespace {
+
+ModuleSpec OneTestModule(PatternId id, uint64_t seed) {
+  ModuleSpec spec;
+  spec.name = "smoke";
+  spec.seed = seed;
+  spec.params = ScaledParams();
+  spec.tests.push_back(MakeTest(id));
+  return spec;
+}
+
+TEST(SmokeTest, TsvdFindsDictDistinctKeysBug) {
+  const ModuleSpec spec = OneTestModule(PatternId::kDictDistinctKeys, 7);
+  ModuleRunner runner(ScaledConfig());
+  const ModuleResult result = runner.RunModule(spec, FactoryFor("TSVD"), 2);
+  EXPECT_GE(result.AllPairs().size(), 1u);
+  for (const RunResult& run : result.runs) {
+    EXPECT_EQ(run.false_positives, 0);
+  }
+}
+
+TEST(SmokeTest, TsvdReportsNothingOnLockedDict) {
+  const ModuleSpec spec = OneTestModule(PatternId::kLockedDict, 7);
+  ModuleRunner runner(ScaledConfig());
+  const ModuleResult result = runner.RunModule(spec, FactoryFor("TSVD"), 2);
+  EXPECT_EQ(result.AllPairs().size(), 0u);
+}
+
+TEST(SmokeTest, AllTechniquesRunWithoutFalsePositives) {
+  const ModuleSpec buggy = OneTestModule(PatternId::kDictReadWrite, 11);
+  const ModuleSpec safe = OneTestModule(PatternId::kSequentialPhases, 11);
+  for (const std::string& technique : AllTechniques()) {
+    ModuleRunner runner(ScaledConfig());
+    const ModuleResult rb = runner.RunModule(buggy, FactoryFor(technique), 2);
+    const ModuleResult rs = runner.RunModule(safe, FactoryFor(technique), 2);
+    for (const ModuleResult* result : {&rb, &rs}) {
+      for (const RunResult& run : result->runs) {
+        EXPECT_EQ(run.false_positives, 0) << technique;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsvd::workload

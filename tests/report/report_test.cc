@@ -1,0 +1,121 @@
+// Unit tests for src/report: trap files, bug reports, coverage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/callsite.h"
+#include "src/report/bug_report.h"
+#include "src/report/coverage.h"
+#include "src/report/run_summary.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd {
+namespace {
+
+TEST(LocationPairTest, CanonicalOrdering) {
+  const LocationPair a(5, 3);
+  const LocationPair b(3, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.first, 3u);
+  EXPECT_EQ(a.second, 5u);
+  EXPECT_EQ(LocationPairHash{}(a), LocationPairHash{}(b));
+}
+
+TEST(LocationPairTest, SameLocationPairAllowed) {
+  const LocationPair p(4, 4);
+  EXPECT_EQ(p.first, p.second);
+}
+
+TEST(TrapFileTest, SerializeDeserializeRoundtrip) {
+  TrapFile file;
+  file.pairs.emplace_back("a.cc:1 Dictionary.Add", "b.cc:2 Dictionary.Get");
+  file.pairs.emplace_back("c.cc:3 List.Sort", "c.cc:3 List.Sort");
+  const TrapFile out = TrapFile::Deserialize(file.Serialize());
+  EXPECT_EQ(out.pairs, file.pairs);
+}
+
+TEST(TrapFileTest, EmptyFileRoundtrip) {
+  const TrapFile out = TrapFile::Deserialize(TrapFile{}.Serialize());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TrapFileTest, IgnoresMalformedLines) {
+  const TrapFile out = TrapFile::Deserialize("tsvd-trap-v1\ngarbage-without-tab\na\tb\n");
+  ASSERT_EQ(out.pairs.size(), 1u);
+  EXPECT_EQ(out.pairs[0].first, "a");
+  EXPECT_EQ(out.pairs[0].second, "b");
+}
+
+TEST(TrapFileTest, FileIoRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsvd_trap_test.txt").string();
+  TrapFile file;
+  file.pairs.emplace_back("x.cc:7 HashSet.Add", "y.cc:8 HashSet.Remove");
+  ASSERT_TRUE(file.SaveTo(path));
+  TrapFile loaded;
+  ASSERT_TRUE(TrapFile::LoadFrom(path, &loaded));
+  EXPECT_EQ(loaded.pairs, file.pairs);
+  std::remove(path.c_str());
+}
+
+TEST(TrapFileTest, LoadMissingFileFails) {
+  TrapFile loaded;
+  EXPECT_FALSE(TrapFile::LoadFrom("/nonexistent/dir/trap.txt", &loaded));
+}
+
+TEST(BugReportTest, ToStringContainsBothSides) {
+  auto& registry = CallSiteRegistry::Instance();
+  BugReport report;
+  report.object = 0xabc;
+  report.trapped.tid = 1;
+  report.trapped.op = registry.InternRaw("rep.cc", 1, "Dictionary.Add", OpKind::kWrite);
+  report.trapped.kind = OpKind::kWrite;
+  report.trapped.stack = {"main", "WriterTask"};
+  report.racing.tid = 2;
+  report.racing.op = registry.InternRaw("rep.cc", 2, "Dictionary.Get", OpKind::kRead);
+  report.racing.kind = OpKind::kRead;
+  report.racing.stack = {"main", "ReaderTask"};
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("Dictionary.Add"), std::string::npos);
+  EXPECT_NE(text.find("Dictionary.Get"), std::string::npos);
+  EXPECT_NE(text.find("WriterTask"), std::string::npos);
+  EXPECT_NE(text.find("[write]"), std::string::npos);
+  EXPECT_NE(text.find("[read]"), std::string::npos);
+}
+
+TEST(RunSummaryTest, MergeAccumulates) {
+  RunSummary a;
+  a.oncall_count = 10;
+  a.delays_injected = 2;
+  a.unique_pairs.insert(LocationPair(1, 2));
+  RunSummary b;
+  b.oncall_count = 5;
+  b.unique_pairs.insert(LocationPair(1, 2));
+  b.unique_pairs.insert(LocationPair(3, 4));
+  a.Merge(b);
+  EXPECT_EQ(a.oncall_count, 15u);
+  EXPECT_EQ(a.unique_pairs.size(), 2u);
+}
+
+TEST(CoverageTest, TracksHitsAndConcurrency) {
+  CoverageTracker coverage;
+  coverage.Record(1, false);
+  coverage.Record(1, true);
+  coverage.Record(2, false);
+  EXPECT_EQ(coverage.PointsHit(), 2u);
+  EXPECT_EQ(coverage.PointsHitConcurrently(), 1u);
+  EXPECT_EQ(coverage.Lookup(1).hits, 2u);
+  EXPECT_EQ(coverage.Lookup(1).concurrent_hits, 1u);
+  const auto sequential = coverage.SequentialOnlyPoints();
+  ASSERT_EQ(sequential.size(), 1u);
+  EXPECT_EQ(sequential[0], 2u);
+}
+
+TEST(CoverageTest, LookupUnknownIsZero) {
+  CoverageTracker coverage;
+  EXPECT_EQ(coverage.Lookup(42).hits, 0u);
+}
+
+}  // namespace
+}  // namespace tsvd

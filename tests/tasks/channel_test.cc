@@ -1,0 +1,140 @@
+// Tests for Channel<T>: FIFO semantics and the happens-before edges its messages
+// carry into the HB detector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/hb/tsvd_hb_detector.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/channel.h"
+#include "src/tasks/task.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd::tasks {
+namespace {
+
+TEST(ChannelTest, FifoDelivery) {
+  Channel<int> ch;
+  ch.Send(1);
+  ch.Send(2);
+  ch.Send(3);
+  EXPECT_EQ(ch.Pending(), 3u);
+  EXPECT_EQ(ch.Receive(), 1);
+  EXPECT_EQ(ch.Receive(), 2);
+  EXPECT_EQ(ch.Receive(), 3);
+  EXPECT_EQ(ch.Pending(), 0u);
+}
+
+TEST(ChannelTest, TryReceiveOnEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.TryReceive().has_value());
+  ch.Send(9);
+  EXPECT_EQ(ch.TryReceive().value(), 9);
+}
+
+TEST(ChannelTest, BlockingReceiveAcrossTasks) {
+  Channel<int> ch;
+  Task<int> consumer = ::tsvd::tasks::Run([&] { return ch.Receive(); });
+  tsvd::SleepMicros(2000);
+  ch.Send(77);
+  EXPECT_EQ(consumer.Result(), 77);
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Channel<int> ch;
+  std::vector<Task<void>> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.push_back(::tsvd::tasks::Run([&ch, p] {
+      for (int i = 0; i < 25; ++i) {
+        ch.Send(p * 100 + i);
+      }
+    }));
+  }
+  int received = 0;
+  Task<int> consumer = ::tsvd::tasks::Run([&] {
+    int n = 0;
+    for (int i = 0; i < 100; ++i) {
+      (void)ch.Receive();
+      ++n;
+    }
+    return n;
+  });
+  WaitAll(producers);
+  received = consumer.Result();
+  EXPECT_EQ(received, 100);
+}
+
+// A message carries the sender's clock: writes before a Send happen-before writes
+// after the matching Receive, so the HB detector must not arm the pair.
+TEST(ChannelTest, MessagePassingOrdersAccessesForHbAnalysis) {
+  tsvd::Config cfg;
+  cfg.delay_us = 0;  // decisions only
+  tsvd::Runtime runtime(cfg, std::make_unique<tsvd::TsvdHbDetector>(cfg));
+  tsvd::Runtime::Installation install(runtime);
+
+  tsvd::Dictionary<int, int> dict;
+  Channel<int> ch;
+  Task<void> producer = ::tsvd::tasks::Run([&] {
+    dict.Set(1, 1);  // before the send
+    ch.Send(0);
+  });
+  Task<void> consumer = ::tsvd::tasks::Run([&] {
+    (void)ch.Receive();
+    dict.Set(2, 2);  // after the receive: ordered by the message
+  });
+  producer.Wait();
+  consumer.Wait();
+  ThreadPool::Instance().WaitIdle();
+
+  auto* detector = static_cast<tsvd::TsvdHbDetector*>(&runtime.detector());
+  EXPECT_EQ(detector->TrapSetSize(), 0u);
+}
+
+// Without the message (two unordered writers), the same accesses do arm a pair —
+// the control for the previous test.
+TEST(ChannelTest, UnorderedControlStillArms) {
+  tsvd::Config cfg;
+  cfg.delay_us = 0;
+  tsvd::Runtime runtime(cfg, std::make_unique<tsvd::TsvdHbDetector>(cfg));
+  tsvd::Runtime::Installation install(runtime);
+
+  tsvd::Dictionary<int, int> dict;
+  Task<void> a = ::tsvd::tasks::Run([&] { dict.Set(1, 1); });
+  Task<void> b = ::tsvd::tasks::Run([&] {
+    tsvd::SleepMicros(1000);
+    dict.Set(2, 2);
+  });
+  a.Wait();
+  b.Wait();
+  ThreadPool::Instance().WaitIdle();
+
+  auto* detector = static_cast<tsvd::TsvdHbDetector*>(&runtime.detector());
+  EXPECT_GE(detector->TrapSetSize(), 1u);
+}
+
+// A continuation happens-after its antecedent: writes before the antecedent finishes
+// and writes inside the continuation must not arm a pair under HB analysis.
+TEST(ContinuationHbTest, ContinueWithOrdersAccesses) {
+  tsvd::Config cfg;
+  cfg.delay_us = 0;
+  tsvd::Runtime runtime(cfg, std::make_unique<tsvd::TsvdHbDetector>(cfg));
+  tsvd::Runtime::Installation install(runtime);
+
+  tsvd::Dictionary<int, int> dict;
+  Task<int> antecedent = ::tsvd::tasks::Run([&] {
+    dict.Set(1, 1);
+    return 5;
+  });
+  Task<void> cont = antecedent.ContinueWith([&](const int& v) {
+    dict.Set(2, v);  // ordered after the antecedent's Set
+  });
+  cont.Wait();
+  ThreadPool::Instance().WaitIdle();
+
+  auto* detector = static_cast<tsvd::TsvdHbDetector*>(&runtime.detector());
+  EXPECT_EQ(detector->TrapSetSize(), 0u);
+}
+
+}  // namespace
+}  // namespace tsvd::tasks

@@ -1,0 +1,178 @@
+// Tests for the task-parallel runtime: Task<T>, continuations, ParallelForEach,
+// thread pool, the inline fast path, and sync-event emission.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "src/common/execution_context.h"
+#include "src/common/thread_id.h"
+#include "src/core/runtime.h"
+#include "src/hb/tsvd_hb_detector.h"
+#include "src/tasks/parallel.h"
+#include "src/tasks/sync.h"
+#include "src/tasks/task.h"
+
+namespace tsvd::tasks {
+namespace {
+
+TEST(TaskTest, RunReturnsResult) {
+  Task<int> t = ::tsvd::tasks::Run([] { return 41 + 1; });
+  EXPECT_EQ(t.Result(), 42);
+}
+
+TEST(TaskTest, VoidTaskWaits) {
+  std::atomic<bool> ran{false};
+  Task<void> t = ::tsvd::tasks::Run([&] { ran.store(true); });
+  t.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskTest, ResultIsIdempotent) {
+  Task<int> t = ::tsvd::tasks::Run([] { return 7; });
+  EXPECT_EQ(t.Result(), 7);
+  EXPECT_EQ(t.Result(), 7);
+}
+
+TEST(TaskTest, ExceptionsPropagateToWaiter) {
+  Task<int> t = ::tsvd::tasks::Run([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(t.Wait(), std::runtime_error);
+}
+
+TEST(TaskTest, ContinueWithReceivesAntecedentResult) {
+  Task<int> t = ::tsvd::tasks::Run([] { return 10; });
+  Task<int> cont = t.ContinueWith([](const int& v) { return v * 3; });
+  EXPECT_EQ(cont.Result(), 30);
+}
+
+TEST(TaskTest, ContinueWithOnCompletedTaskStillRuns) {
+  Task<int> t = ::tsvd::tasks::Run([] { return 5; });
+  t.Wait();
+  Task<int> cont = t.ContinueWith([](const int& v) { return v + 1; });
+  EXPECT_EQ(cont.Result(), 6);
+}
+
+TEST(TaskTest, ChainedContinuations) {
+  Task<int> result = ::tsvd::tasks::Run([] { return 1; })
+                         .ContinueWith([](const int& v) { return v + 1; })
+                         .ContinueWith([](const int& v) { return v * 10; });
+  EXPECT_EQ(result.Result(), 20);
+}
+
+TEST(TaskTest, TasksGetDistinctContexts) {
+  Task<CtxId> a = ::tsvd::tasks::Run([] { return tsvd::CurrentCtx(); });
+  Task<CtxId> b = ::tsvd::tasks::Run([] { return tsvd::CurrentCtx(); });
+  EXPECT_NE(a.Result(), b.Result());
+  EXPECT_NE(a.Result(), tsvd::CurrentCtx());
+  EXPECT_EQ(a.Result(), a.ctx());
+}
+
+TEST(TaskTest, FastTaskRunsInlineWithoutForceAsync) {
+  SetForceAsync(false);
+  const ThreadId caller = tsvd::CurrentThreadId();
+  Task<ThreadId> t = Async([] { return tsvd::CurrentThreadId(); });
+  EXPECT_EQ(t.Result(), caller);  // the .NET inline optimization (Section 4)
+}
+
+TEST(TaskTest, ForceAsyncDefeatsInlineOptimization) {
+  SetForceAsync(true);
+  const ThreadId caller = tsvd::CurrentThreadId();
+  Task<ThreadId> t = Async([] { return tsvd::CurrentThreadId(); });
+  EXPECT_NE(t.Result(), caller);
+  SetForceAsync(false);
+}
+
+TEST(TaskTest, CreationStackIsInheritedByTaskBody) {
+  tsvd::StackTrace inside;
+  {
+    TSVD_SCOPE("CreatorFrame");
+    Task<void> t = ::tsvd::tasks::Run([&] { inside = tsvd::ScopeStack::Current().Snapshot(); },
+                       TaskTraits{.label = "worker_task"});
+    t.Wait();
+  }
+  ASSERT_GE(inside.size(), 2u);
+  EXPECT_EQ(inside[inside.size() - 2], "CreatorFrame");
+  EXPECT_EQ(inside.back(), "worker_task");
+}
+
+TEST(TaskTest, WaitAllJoinsEverything) {
+  std::atomic<int> done{0};
+  std::vector<Task<void>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(::tsvd::tasks::Run([&] { done.fetch_add(1); }));
+  }
+  WaitAll(tasks);
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ParallelTest, ForEachVisitsEveryElement) {
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::atomic<int> sum{0};
+  ParallelForEach(items, [&](int v) { sum.fetch_add(v); });
+  EXPECT_EQ(sum.load(), 36);
+}
+
+TEST(ParallelTest, ParallelForCoversRange) {
+  std::atomic<uint64_t> mask{0};
+  ParallelFor(10, [&](size_t i) { mask.fetch_or(uint64_t{1} << i); });
+  EXPECT_EQ(mask.load(), 0x3FFu);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilQuiescent) {
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    ThreadPool::Instance().Submit([&] {
+      tsvd::SleepMicros(1000);
+      done.fetch_add(1);
+    });
+  }
+  ThreadPool::Instance().WaitIdle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two sleeping tasks on a >=2-thread pool must overlap in time.
+  const tsvd::Micros start = tsvd::NowMicros();
+  Task<void> a = ::tsvd::tasks::Run([] { tsvd::SleepMicros(20'000); });
+  Task<void> b = ::tsvd::tasks::Run([] { tsvd::SleepMicros(20'000); });
+  a.Wait();
+  b.Wait();
+  EXPECT_LT(tsvd::NowMicros() - start, 38'000);
+}
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<Task<void>> tasks;
+  for (int t = 0; t < 4; ++t) {
+    tasks.push_back(::tsvd::tasks::Run([&] {
+      for (int i = 0; i < 1000; ++i) {
+        LockGuard guard(mu);
+        ++counter;
+      }
+    }));
+  }
+  WaitAll(tasks);
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(SyncEventsTest, EmittedToDetectorThatWantsThem) {
+  tsvd::Config cfg;
+  tsvd::Runtime runtime(cfg, std::make_unique<tsvd::TsvdHbDetector>(cfg));
+  ASSERT_TRUE(runtime.WantsSyncEvents());
+  {
+    tsvd::Runtime::Installation install(runtime);
+    Mutex mu;
+    Task<void> t = ::tsvd::tasks::Run([&] {
+      LockGuard guard(mu);
+    });
+    t.Wait();
+    ThreadPool::Instance().WaitIdle();
+  }
+  // Create + start + finish + join + acquire + release = at least 6 events.
+  EXPECT_GE(runtime.Summary().sync_events, 6u);
+}
+
+}  // namespace
+}  // namespace tsvd::tasks

@@ -1,0 +1,51 @@
+// Table 4 as a regression suite: TSVD finds every open-source scenario's TSV within
+// two runs with zero false positives.
+#include <gtest/gtest.h>
+
+#include "src/workload/opensource.h"
+#include "src/workload/runner.h"
+#include "src/workload/scaling.h"
+
+namespace tsvd::workload {
+namespace {
+
+class OpenSourceDetection : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OpenSourceDetection, TsvdFindsKnownTsvWithinTwoRuns) {
+  OpenSourceProject project = OpenSourceSuite()[GetParam()];
+  project.spec.params = ScaledParams();
+  ModuleRunner runner(ScaledConfig());
+  const ModuleResult result = runner.RunModule(project.spec, FactoryFor("TSVD"), 2);
+  EXPECT_GE(static_cast<int>(result.AllPairs().size()), project.expected_min_tsvs)
+      << project.name;
+  for (const RunResult& run : result.runs) {
+    EXPECT_EQ(run.false_positives, 0) << project.name;
+  }
+}
+
+std::vector<size_t> AllProjectIndices() {
+  std::vector<size_t> indices(OpenSourceSuite().size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  return indices;
+}
+
+INSTANTIATE_TEST_SUITE_P(Projects, OpenSourceDetection,
+                         ::testing::ValuesIn(AllProjectIndices()),
+                         [](const auto& info) {
+                           std::string name = OpenSourceSuite()[info.param].name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(OpenSourceSuiteTest, HasNineProjectsLikeTable4) {
+  EXPECT_EQ(OpenSourceSuite().size(), 9u);
+}
+
+}  // namespace
+}  // namespace tsvd::workload

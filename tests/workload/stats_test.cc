@@ -1,0 +1,105 @@
+// Tests for Table 1 aggregation over synthetic experiment results.
+#include <gtest/gtest.h>
+
+#include "src/common/callsite.h"
+#include "src/workload/stats.h"
+
+namespace tsvd::workload {
+namespace {
+
+ReportRecord Record(OpId a, OpId b, bool read_write, bool async_flavor,
+                    uint64_t stack_hash, size_t depth = 4) {
+  ReportRecord r;
+  r.pair = LocationPair(a, b);
+  r.read_write = read_write;
+  r.same_location = a == b;
+  r.async_flavor = async_flavor;
+  r.stack_pair_hash = stack_hash;
+  r.stack_depth = depth;
+  auto& registry = CallSiteRegistry::Instance();
+  r.api_first = registry.Get(r.pair.first).api;
+  r.api_second = registry.Get(r.pair.second).api;
+  return r;
+}
+
+TEST(StatsTest, ComputeTable1Classification) {
+  auto& registry = CallSiteRegistry::Instance();
+  const OpId dict_set = registry.InternRaw("st.cc", 1, "Dictionary.Set", OpKind::kWrite);
+  const OpId dict_get = registry.InternRaw("st.cc", 2, "Dictionary.Get", OpKind::kRead);
+  const OpId list_add = registry.InternRaw("st.cc", 3, "List.Add", OpKind::kWrite);
+
+  ExperimentResult result;
+  result.technique = "TSVD";
+
+  // Module 0: one read-write Dictionary bug, seen via two distinct stack pairs.
+  ModuleResult m0;
+  m0.module = "m0";
+  RunResult r0;
+  r0.records.push_back(Record(dict_get, dict_set, true, false, 111));
+  r0.records.push_back(Record(dict_get, dict_set, true, false, 222));
+  r0.pairs.insert(LocationPair(dict_get, dict_set));
+  r0.op_hits[dict_get] = 10;
+  r0.op_hits[dict_set] = 6;
+  m0.runs.push_back(r0);
+  result.modules.push_back(m0);
+  result.baselines_us.push_back(1000);
+
+  // Module 1: a same-location async List bug.
+  ModuleResult m1;
+  m1.module = "m1";
+  RunResult r1;
+  r1.records.push_back(Record(list_add, list_add, false, true, 333));
+  r1.pairs.insert(LocationPair(list_add, list_add));
+  r1.op_hits[list_add] = 2;
+  m1.runs.push_back(r1);
+  result.modules.push_back(m1);
+  result.baselines_us.push_back(1000);
+
+  // Module 2: clean.
+  ModuleResult m2;
+  m2.module = "m2";
+  m2.runs.push_back(RunResult{});
+  result.modules.push_back(m2);
+  result.baselines_us.push_back(1000);
+
+  const Table1Stats stats = ComputeTable1(result);
+  EXPECT_EQ(stats.unique_bugs, 2u);
+  EXPECT_EQ(stats.unique_locations, 3u);  // (m0: get, set) + (m1: add)
+  EXPECT_EQ(stats.unique_stack_pairs, 3u);
+  EXPECT_NEAR(stats.pct_modules_with_bugs, 66.7, 0.1);
+  EXPECT_NEAR(stats.pct_read_write, 50.0, 0.1);
+  EXPECT_NEAR(stats.pct_same_location, 50.0, 0.1);
+  EXPECT_NEAR(stats.pct_async, 50.0, 0.1);
+  EXPECT_NEAR(stats.pct_dictionary, 50.0, 0.1);
+  EXPECT_NEAR(stats.pct_list, 50.0, 0.1);
+  EXPECT_NEAR(stats.avg_occurrence, 6.0, 0.1);      // (10 + 6 + 2) / 3
+  EXPECT_NEAR(stats.median_occurrence, 6.0, 0.1);
+  EXPECT_NEAR(stats.avg_stack_pairs_per_bug, 1.5, 0.01);
+  EXPECT_NEAR(stats.avg_stack_depth, 4.0, 0.01);
+}
+
+TEST(StatsTest, EmptyExperimentYieldsZeros) {
+  ExperimentResult result;
+  const Table1Stats stats = ComputeTable1(result);
+  EXPECT_EQ(stats.unique_bugs, 0u);
+  EXPECT_EQ(stats.unique_locations, 0u);
+  EXPECT_EQ(stats.pct_modules_with_bugs, 0.0);
+}
+
+TEST(StatsTest, OverheadAveragesRunsPerModule) {
+  ExperimentResult result;
+  ModuleResult m;
+  RunResult fast;
+  fast.wall_us = 1200;
+  RunResult slow;
+  slow.wall_us = 1800;
+  m.runs.push_back(fast);
+  m.runs.push_back(slow);
+  result.modules.push_back(m);
+  result.baselines_us.push_back(1000);
+  // avg instrumented = 1500 vs baseline 1000 -> 50%
+  EXPECT_NEAR(result.OverheadPct(), 50.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tsvd::workload

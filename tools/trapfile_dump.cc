@@ -1,0 +1,30 @@
+// trapfile_dump: inspects a persisted trap file (Section 3.4.6).
+//
+// Usage: trapfile_dump <path> — prints the dangerous pairs a previous run recorded,
+// i.e. the near misses that survived HB-inference pruning and decay and will be
+// pre-armed in the next run.
+#include <cstdio>
+#include <string>
+
+#include "src/report/trap_file.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trap-file>\n", argv[0]);
+    return 2;
+  }
+  tsvd::TrapFile file;
+  if (!tsvd::TrapFile::LoadFrom(argv[1], &file)) {
+    std::fprintf(stderr, "trapfile_dump: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("%zu dangerous pair(s) in %s\n", file.pairs.size(), argv[1]);
+  for (const auto& [a, b] : file.pairs) {
+    if (a == b) {
+      std::printf("  [same-site] %s\n", a.c_str());
+    } else {
+      std::printf("  %s  <->  %s\n", a.c_str(), b.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// tsvd_cli: push-button corpus runner, the command-line form factor of the deployed
+// instrumenter+runtime ("the tool should be push button, requiring little or no
+// configuration", Section 2.1).
+//
+// Usage:
+//   tsvd_cli [detector] [num_modules] [runs] [scale] [seed]
+//     detector     TSVD (default) | TSVDHB | DynamicRandom | DataCollider
+//     num_modules  corpus size (default 40)
+//     runs         consecutive runs with trap-file carry-over (default 2)
+//     scale        time scale vs. paper defaults (default 0.02 = 2ms delays)
+//     seed         corpus + detector seed (default 42)
+//
+// Prints the run summary and the first few violation reports with both stack traces.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/workload/corpus.h"
+#include "src/workload/scaling.h"
+#include "src/workload/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace tsvd;
+  using namespace tsvd::workload;
+
+  const std::string detector = argc > 1 ? argv[1] : "TSVD";
+  const int num_modules = argc > 2 ? std::atoi(argv[2]) : 40;
+  const int runs = argc > 3 ? std::atoi(argv[3]) : 2;
+  const double scale = argc > 4 ? std::atof(argv[4]) : 0.02;
+  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+
+  CorpusOptions options;
+  options.num_modules = num_modules;
+  options.seed = seed;
+  options.params = ScaledParams(scale);
+  const std::vector<ModuleSpec> corpus = GenerateCorpus(options);
+
+  std::printf("tsvd_cli: %s over %d modules, %d run(s), scale %.3f, seed %llu\n",
+              detector.c_str(), num_modules, runs, scale,
+              static_cast<unsigned long long>(seed));
+
+  const ExperimentResult result =
+      RunCorpusExperiment(corpus, detector, ScaledConfig(scale), runs, seed);
+
+  std::printf("\nunique bugs: %llu   delays: %llu   overhead: %.0f%%   "
+              "false positives: %llu\n",
+              static_cast<unsigned long long>(result.BugsTotal()),
+              static_cast<unsigned long long>(result.DelaysInjected()),
+              result.OverheadPct(),
+              static_cast<unsigned long long>(result.FalsePositives()));
+  for (int r = 0; r < runs; ++r) {
+    std::printf("  run %d: %llu new bug(s)\n", r + 1,
+                static_cast<unsigned long long>(result.BugsFoundByRun(r)));
+  }
+
+  int printed = 0;
+  for (size_t m = 0; m < result.modules.size() && printed < 3; ++m) {
+    for (const RunResult& run : result.modules[m].runs) {
+      if (!run.summary.reports.empty()) {
+        std::printf("\n--- %s ---\n%s", result.modules[m].module.c_str(),
+                    run.summary.reports.front().ToString().c_str());
+        ++printed;
+        break;
+      }
+    }
+  }
+  return 0;
+}
