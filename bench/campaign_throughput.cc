@@ -1,0 +1,60 @@
+// Campaign throughput: how run throughput and bug yield scale with the worker fleet.
+//
+// The deployment ran 84,795 test runs by fanning out across machines (Section 5.1);
+// the campaign orchestrator reproduces that fan-out in-process. This bench sweeps the
+// worker count over the same corpus/seed and reports runs/second, wall time, speedup
+// over one worker, and the per-round unique-bug yield curve (Fig. 8's diminishing
+// returns, now measured per round instead of per run).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/campaign/campaign.h"
+
+int main() {
+  using namespace tsvd;
+  using namespace tsvd::bench;
+
+  const int num_modules = EnvInt("TSVD_BENCH_MODULES", 80);
+  const int rounds = EnvInt("TSVD_BENCH_RUNS", 3);
+  const double scale = EnvDouble("TSVD_BENCH_SCALE", 0.02);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("TSVD_BENCH_SEED", 42));
+
+  PrintHeader("Campaign throughput vs. worker-fleet size");
+  std::printf("corpus: %d modules, %d round(s), scale %.3f, seed %llu\n\n",
+              num_modules, rounds, scale, static_cast<unsigned long long>(seed));
+  std::printf("%8s %8s %10s %10s %9s %8s  %s\n", "workers", "runs", "wall",
+              "runs/sec", "speedup", "bugs", "new bugs per round");
+
+  double base_wall_s = 0;
+  for (const int workers : {1, 2, 4}) {
+    campaign::CampaignOptions options;
+    options.num_modules = num_modules;
+    options.workers = workers;
+    options.rounds = rounds;
+    options.stop_when_converged = false;  // equal work at every fleet size
+    options.scale = scale;
+    options.seed = seed;
+
+    const campaign::CampaignResult result = campaign::RunCampaign(options);
+
+    Micros wall_us = 0;
+    std::string yield;
+    for (const campaign::RoundStats& stats : result.rounds) {
+      wall_us += stats.wall_us;
+      yield += (yield.empty() ? "" : " ") + std::to_string(stats.new_unique_bugs);
+    }
+    const double wall_s = static_cast<double>(wall_us) / 1e6;
+    if (workers == 1) {
+      base_wall_s = wall_s;
+    }
+    std::printf("%8d %8llu %9.2fs %10.1f %8.2fx %8llu  %s\n", workers,
+                static_cast<unsigned long long>(result.RunsExecuted()), wall_s,
+                static_cast<double>(result.RunsExecuted()) / wall_s,
+                base_wall_s / wall_s,
+                static_cast<unsigned long long>(result.UniqueBugCount()),
+                yield.c_str());
+  }
+  return 0;
+}

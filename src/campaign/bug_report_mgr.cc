@@ -1,0 +1,71 @@
+#include "src/campaign/bug_report_mgr.h"
+
+namespace tsvd::campaign {
+
+bool BugReportMgr::Ingest(const BugObservation& observation) {
+  // Canonicalize defensively; producers are expected to pre-order but identity must
+  // not depend on it.
+  PairKey key(observation.sig_first, observation.sig_second);
+  bool swapped = false;
+  if (key.second < key.first) {
+    std::swap(key.first, key.second);
+    swapped = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = bugs_.try_emplace(key);
+  UniqueBug& bug = it->second;
+  if (inserted) {
+    bug.sig_first = key.first;
+    bug.sig_second = key.second;
+    bug.api_first = swapped ? observation.api_second : observation.api_first;
+    bug.api_second = swapped ? observation.api_first : observation.api_second;
+    bug.first_round = observation.round;
+    bug.read_write = observation.read_write;
+    bug.same_location = observation.same_location;
+    bug.async_flavor = observation.async_flavor;
+  } else if (observation.round < bug.first_round) {
+    // Outcomes of one round are ingested together, but keep the invariant robust to
+    // out-of-order ingestion.
+    bug.first_round = observation.round;
+  }
+  bug.modules.insert(observation.module);
+  bug.stack_digests.insert(observation.stack_digest);
+  ++bug.occurrences;
+  return inserted;
+}
+
+std::vector<BugReportMgr::UniqueBug> BugReportMgr::Bugs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<UniqueBug> out;
+  out.reserve(bugs_.size());
+  for (const auto& [key, bug] : bugs_) {
+    out.push_back(bug);
+  }
+  return out;
+}
+
+uint64_t BugReportMgr::UniqueBugCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bugs_.size();
+}
+
+uint64_t BugReportMgr::ManifestationCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, bug] : bugs_) {
+    total += bug.stack_digests.size();
+  }
+  return total;
+}
+
+uint64_t BugReportMgr::OccurrenceCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, bug] : bugs_) {
+    total += bug.occurrences;
+  }
+  return total;
+}
+
+}  // namespace tsvd::campaign

@@ -1,0 +1,63 @@
+// Centralized cross-run bug deduplication (the campaign's answer to the paper's
+// fleet-side report pipeline).
+//
+// Every run's violations funnel into one BugReportMgr. Identity is hierarchical:
+//   unique bug        = canonical (signature, signature) pair — the paper's
+//                       "unique bugs (location pairs)" count, stable across runs
+//                       because signatures, unlike OpIds, survive re-interning;
+//   manifestation     = (pair, stack digest) — distinct stack-trace pairs of one bug
+//                       (the paper observes 18.5 per bug, Section 5.2).
+// Ingest deduplicates at both levels; rendering is deterministic (bugs sorted by
+// signature) so same-seed campaigns emit identical artifacts.
+#ifndef SRC_CAMPAIGN_BUG_REPORT_MGR_H_
+#define SRC_CAMPAIGN_BUG_REPORT_MGR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/round.h"
+
+namespace tsvd::campaign {
+
+class BugReportMgr {
+ public:
+  struct UniqueBug {
+    std::string sig_first;   // canonical: sig_first <= sig_second
+    std::string sig_second;
+    std::string api_first;
+    std::string api_second;
+    std::set<std::string> modules;       // every module the pair was caught in
+    std::set<uint64_t> stack_digests;    // distinct manifestations
+    int first_round = 0;                 // round where the pair was first caught
+    uint64_t occurrences = 0;            // raw reports before any dedupe
+    bool read_write = false;
+    bool same_location = false;
+    bool async_flavor = false;
+  };
+
+  // Thread-safe. Returns true iff the observation introduced a NEW unique bug (its
+  // pair signature was unseen) — the signal round convergence is computed from.
+  bool Ingest(const BugObservation& observation);
+
+  // Snapshot sorted by (sig_first, sig_second): deterministic across runs.
+  std::vector<UniqueBug> Bugs() const;
+
+  uint64_t UniqueBugCount() const;
+  uint64_t ManifestationCount() const;  // distinct (pair, stack digest)
+  uint64_t OccurrenceCount() const;     // raw reports ingested
+
+ private:
+  using PairKey = std::pair<std::string, std::string>;
+
+  mutable std::mutex mu_;
+  std::map<PairKey, UniqueBug> bugs_;  // ordered => deterministic iteration
+};
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_BUG_REPORT_MGR_H_

@@ -1,0 +1,197 @@
+#include "src/campaign/campaign.h"
+
+#include <filesystem>
+#include <unordered_set>
+#include <utility>
+
+#include "src/campaign/scheduler.h"
+#include "src/campaign/sinks.h"
+#include "src/common/callsite.h"
+#include "src/workload/corpus.h"
+#include "src/workload/runner.h"
+#include "src/workload/scaling.h"
+
+namespace tsvd::campaign {
+namespace {
+
+// Canonical signature pair for one caught location pair.
+std::pair<std::string, std::string> SignaturesOf(const LocationPair& pair) {
+  const CallSiteRegistry& registry = CallSiteRegistry::Instance();
+  std::string a = registry.Get(pair.first).Signature();
+  std::string b = registry.Get(pair.second).Signature();
+  if (b < a) {
+    std::swap(a, b);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+RunOutcome ExecuteJob(const RunJob& job, tasks::ThreadPool& pool,
+                      const workload::ModuleSpec& spec,
+                      const workload::DetectorFactory& factory, const Config& config,
+                      const TrapFile& imported, uint64_t campaign_seed) {
+  workload::ModuleRunner runner(config, &pool);
+  // The per-run salt depends only on (campaign seed, round): same-seed campaigns
+  // replay the same workload randomness per round no matter which worker runs the
+  // job or in what order.
+  const uint64_t salt =
+      campaign_seed * 1000003ULL + static_cast<uint64_t>(job.round - 1);
+  workload::SingleRun single = runner.RunOnce(spec, factory, imported, salt);
+
+  RunOutcome outcome;
+  outcome.module_index = job.module_index;
+  outcome.module = spec.name;
+  outcome.round = job.round;
+  outcome.wall_us = single.run.wall_us;
+  outcome.oncall_count = single.run.summary.oncall_count;
+  outcome.delays_injected = single.run.summary.delays_injected;
+  outcome.imported_pairs = single.imported_pairs;
+  outcome.false_positives = single.run.false_positives;
+  outcome.traps = std::move(single.traps);
+
+  std::unordered_set<uint64_t> retrapped_seen;
+  outcome.observations.reserve(single.run.records.size());
+  for (const workload::ReportRecord& record : single.run.records) {
+    auto [sig_a, sig_b] = SignaturesOf(record.pair);
+    if (imported.Contains(sig_a, sig_b)) {
+      // This pair was armed from the merged store before the run began — it could be
+      // (and with probability 1 arming, typically was) trapped on its first dynamic
+      // occurrence in this run. Count each pair once per run.
+      const uint64_t key = LocationPairHash{}(record.pair);
+      if (retrapped_seen.insert(key).second) {
+        ++outcome.retrapped_imported;
+      }
+    }
+    BugObservation obs;
+    obs.sig_first = std::move(sig_a);
+    obs.sig_second = std::move(sig_b);
+    // api_first/api_second follow the canonical signature order.
+    const auto first_parts = ParseSignature(obs.sig_first);
+    const auto second_parts = ParseSignature(obs.sig_second);
+    obs.api_first = first_parts.api;
+    obs.api_second = second_parts.api;
+    obs.stack_digest = record.stack_pair_hash;
+    obs.module = spec.name;
+    obs.round = job.round;
+    obs.read_write = record.read_write;
+    obs.same_location = record.same_location;
+    obs.async_flavor = record.async_flavor;
+    obs.false_positive = record.false_positive;
+    outcome.observations.push_back(std::move(obs));
+  }
+  return outcome;
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  CampaignResult result;
+  result.options = options;
+
+  workload::CorpusOptions corpus_options;
+  corpus_options.num_modules = options.num_modules;
+  corpus_options.seed = options.seed;
+  corpus_options.buggy_module_fraction = options.buggy_module_fraction;
+  corpus_options.params = workload::ScaledParams(options.scale);
+  const std::vector<workload::ModuleSpec> corpus = workload::GenerateCorpus(corpus_options);
+
+  const Config config = workload::ScaledConfig(options.scale);
+  const workload::DetectorFactory factory = workload::FactoryFor(options.detector);
+
+  const bool persist = !options.out_dir.empty();
+  if (persist) {
+    std::filesystem::create_directories(options.out_dir);
+    result.trap_path =
+        (std::filesystem::path(options.out_dir) / "traps.tsvd").string();
+  }
+
+  BugReportMgr mgr;
+  TrapFile merged;  // the fleet-wide trap store, canonical at all times
+  Scheduler scheduler(options.workers, options.pool_threads_per_worker);
+
+  const int rounds = options.rounds > 0 ? options.rounds : 1;
+  for (int round = 1; round <= rounds; ++round) {
+    std::vector<RunJob> jobs;
+    jobs.reserve(corpus.size());
+    for (size_t m = 0; m < corpus.size(); ++m) {
+      jobs.push_back(RunJob{static_cast<int>(m), round, 1});
+    }
+
+    // Snapshot the store for the round: workers read it concurrently, the merge
+    // below happens only after every run of the round completed.
+    const TrapFile imported = merged;
+    const Micros round_start = NowMicros();
+    std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+        jobs,
+        [&](const RunJob& job, tasks::ThreadPool& pool) {
+          return ExecuteJob(job, pool, corpus[job.module_index], factory, config,
+                            imported, options.seed);
+        },
+        options.max_attempts);
+
+    RoundStats stats;
+    stats.round = round;
+    stats.runs = static_cast<int>(outcomes.size());
+    stats.wall_us = NowMicros() - round_start;
+    // Outcomes are in job (= module) order, so ingestion order — and therefore every
+    // artifact — is deterministic for a given seed regardless of worker scheduling.
+    for (RunOutcome& outcome : outcomes) {
+      if (outcome.status == RunStatus::kCrashed) {
+        ++stats.crashed;
+      }
+      if (outcome.attempts > 1) {
+        ++stats.retried;
+      }
+      stats.delays_injected += outcome.delays_injected;
+      stats.retrapped_imported += outcome.retrapped_imported;
+      result.false_positives += outcome.false_positives;
+      for (const BugObservation& obs : outcome.observations) {
+        if (mgr.Ingest(obs)) {
+          ++stats.new_unique_bugs;
+        }
+      }
+      merged.Merge(outcome.traps);
+      result.outcomes.push_back(std::move(outcome));
+    }
+    stats.trap_pairs_after = merged.size();
+
+    if (persist) {
+      if (!merged.SaveTo(result.trap_path)) {
+        result.trap_path.clear();
+      }
+    }
+
+    result.rounds.push_back(stats);
+    if (options.stop_when_converged && stats.new_unique_bugs == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.bugs = mgr.Bugs();
+  result.merged_traps = std::move(merged);
+
+  if (persist) {
+    CampaignMeta meta;
+    meta.detector = options.detector;
+    meta.num_modules = options.num_modules;
+    meta.workers = scheduler.workers();
+    meta.rounds_requested = rounds;
+    meta.rounds_executed = static_cast<int>(result.rounds.size());
+    meta.converged = result.converged;
+    meta.scale = options.scale;
+    meta.seed = options.seed;
+
+    const std::filesystem::path dir(options.out_dir);
+    const std::string json_path = (dir / "campaign.json").string();
+    const std::string sarif_path = (dir / "campaign.sarif").string();
+    if (WriteFileAtomic(json_path, RenderJson(meta, result.rounds, result.bugs))) {
+      result.json_path = json_path;
+    }
+    if (WriteFileAtomic(sarif_path, RenderSarif(meta, result.bugs))) {
+      result.sarif_path = sarif_path;
+    }
+  }
+  return result;
+}
+
+}  // namespace tsvd::campaign

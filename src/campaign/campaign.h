@@ -1,0 +1,63 @@
+// Campaign orchestrator: the fleet-shaped service form of TSVD (PAPER.md Sections
+// 2.1, 3.4.6 — a push-button cloud service over ~1,600 projects and 84,795 runs).
+//
+// RunCampaign schedules the corpus through repeated rounds across a pool of parallel
+// workers. Between rounds it merges every run's trap export into one fleet-wide trap
+// store (union + dedupe by canonical call-site-pair signature, atomic persistence) so
+// round r+1 traps known-dangerous pairs on their first occurrence; every violation
+// funnels into a central BugReportMgr that deduplicates across runs and emits unified
+// JSON and SARIF 2.1.0 artifacts. A campaign stops early when a round converges
+// (no new unique bugs) — the paper's observation that marginal bug yield decays with
+// more runs (Fig. 8), turned into a scheduling policy.
+#ifndef SRC_CAMPAIGN_CAMPAIGN_H_
+#define SRC_CAMPAIGN_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/bug_report_mgr.h"
+#include "src/campaign/round.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd::campaign {
+
+struct CampaignOptions {
+  std::string detector = "TSVD";
+  int num_modules = 40;
+  int workers = 4;
+  int rounds = 3;  // upper bound; convergence can stop the campaign earlier
+  bool stop_when_converged = true;
+  int max_attempts = 2;  // per-run attempts (1 = no retry of crashed runs)
+  double scale = 0.02;
+  uint64_t seed = 42;
+  double buggy_module_fraction = 0.30;
+  int pool_threads_per_worker = tasks::ThreadPool::kDefaultThreads;
+  // When non-empty, the campaign persists its artifact trail here (the directory is
+  // created if missing): traps.tsvd (merged store, rewritten atomically after every
+  // round), campaign.json, campaign.sarif.
+  std::string out_dir;
+};
+
+struct CampaignResult {
+  CampaignOptions options;
+  std::vector<RoundStats> rounds;
+  std::vector<BugReportMgr::UniqueBug> bugs;  // deduplicated, deterministically sorted
+  std::vector<RunOutcome> outcomes;           // every run of every round, in order
+  TrapFile merged_traps;                      // final fleet-wide trap store
+  bool converged = false;
+  int false_positives = 0;
+
+  // Artifact paths; empty when out_dir was not set or a write failed.
+  std::string trap_path;
+  std::string json_path;
+  std::string sarif_path;
+
+  uint64_t UniqueBugCount() const { return bugs.size(); }
+  uint64_t RunsExecuted() const { return outcomes.size(); }
+};
+
+CampaignResult RunCampaign(const CampaignOptions& options);
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_CAMPAIGN_H_

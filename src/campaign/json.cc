@@ -1,0 +1,382 @@
+#include "src/campaign/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace tsvd::campaign {
+
+Json& Json::Set(const std::string& key, Json value) {
+  auto& obj = std::get<Object>(value_);
+  return obj[key] = std::move(value);
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto& obj = std::get<Object>(value_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+Json& Json::Push(Json value) {
+  auto& arr = std::get<Array>(value_);
+  arr.push_back(std::move(value));
+  return arr.back();
+}
+
+size_t Json::size() const {
+  if (is_array()) {
+    return std::get<Array>(value_).size();
+  }
+  if (is_object()) {
+    return std::get<Object>(value_).size();
+  }
+  return 0;
+}
+
+std::string Json::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ') : "";
+  const std::string close_pad = indent > 0 ? std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    *out += std::to_string(std::get<int64_t>(value_));
+  } else if (std::holds_alternative<double>(value_)) {
+    const double d = std::get<double>(value_);
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", d);
+      *out += buf;
+    } else {
+      *out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (is_string()) {
+    *out += '"';
+    *out += Escape(as_string());
+    *out += '"';
+  } else if (is_array()) {
+    const auto& arr = std::get<Array>(value_);
+    if (arr.empty()) {
+      *out += "[]";
+      return;
+    }
+    *out += '[';
+    *out += nl;
+    for (size_t i = 0; i < arr.size(); ++i) {
+      *out += pad;
+      arr[i].DumpTo(out, indent, depth + 1);
+      if (i + 1 < arr.size()) {
+        *out += ',';
+      }
+      *out += nl;
+    }
+    *out += close_pad;
+    *out += ']';
+  } else {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      *out += "{}";
+      return;
+    }
+    *out += '{';
+    *out += nl;
+    size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      *out += pad;
+      *out += '"';
+      *out += Escape(key);
+      *out += '"';
+      *out += kv_sep;
+      value.DumpTo(out, indent, depth + 1);
+      if (++i < obj.size()) {
+        *out += ',';
+      }
+      *out += nl;
+    }
+    *out += close_pad;
+    *out += '}';
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) {
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool ParseDocument(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Json* out) {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case 'n': if (ConsumeLiteral("null")) { *out = Json(nullptr); return true; } return false;
+      case 't': if (ConsumeLiteral("true")) { *out = Json(true); return true; } return false;
+      case 'f': if (ConsumeLiteral("false")) { *out = Json(false); return true; } return false;
+      case '"': return ParseString(out);
+      case '[': return ParseArray(out);
+      case '{': return ParseObject(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(Json* out) {
+    std::string s;
+    if (!ParseRawString(&s)) {
+      return false;
+    }
+    *out = Json(std::move(s));
+    return true;
+  }
+
+  bool ParseRawString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed by our
+          // own artifacts; a lone surrogate is encoded as-is).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t v = 0;
+      const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        *out = Json(v);
+        return true;
+      }
+    }
+    try {
+      size_t used = 0;
+      const double d = std::stod(tok, &used);
+      if (used != tok.size()) {
+        return false;
+      }
+      *out = Json(d);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  bool ParseArray(Json* out) {
+    if (!Consume('[')) {
+      return false;
+    }
+    *out = Json::MakeArray();
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      Json element;
+      SkipWs();
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->Push(std::move(element));
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    if (!Consume('{')) {
+      return false;
+    }
+    *out = Json::MakeObject();
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseRawString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->Set(key, std::move(value));
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::Parse(const std::string& text, Json* out) {
+  return Parser(text).ParseDocument(out);
+}
+
+}  // namespace tsvd::campaign

@@ -1,0 +1,88 @@
+// Minimal JSON document model for the campaign's machine-readable sinks.
+//
+// Two consumers: sinks.cc builds documents and dumps them (deterministic key order —
+// objects are ordered maps — so same-seed campaigns emit byte-identical artifacts),
+// and tests parse emitted artifacts back to schema-check them. Supports exactly the
+// JSON subset those need: null/bool/int64/double/string/array/object, UTF-8 passthrough,
+// \uXXXX escapes emitted for control characters.
+#ifndef SRC_CAMPAIGN_JSON_H_
+#define SRC_CAMPAIGN_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tsvd::campaign {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<int64_t>(v)) {}
+  Json(int64_t v) : value_(v) {}
+  Json(uint64_t v) : value_(static_cast<int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json MakeObject() { return Json(Object{}); }
+  static Json MakeArray() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_number() const { return is_int() || std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  int64_t as_int() const {
+    return is_int() ? std::get<int64_t>(value_)
+                    : static_cast<int64_t>(std::get<double>(value_));
+  }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(value_))
+                    : std::get<double>(value_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  // Object access. Set inserts or overwrites; Find returns null when absent (so
+  // schema checks can chase paths without exceptions).
+  Json& Set(const std::string& key, Json value);
+  const Json* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  // Array access.
+  Json& Push(Json value);
+  size_t size() const;
+  const Json& at(size_t i) const { return std::get<Array>(value_)[i]; }
+
+  // Serialization. indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  // Strict parse of one JSON document (trailing whitespace allowed, nothing else).
+  // Returns false on any syntax error.
+  static bool Parse(const std::string& text, Json* out);
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array, Object> value_;
+};
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_JSON_H_

@@ -1,0 +1,82 @@
+// Campaign data model: jobs, per-run outcomes, per-round aggregates.
+//
+// A campaign executes the corpus in rounds. Round r schedules one run job per module
+// across the worker fleet; each job produces a RunOutcome whose observations feed the
+// BugReportMgr and whose trap export is merged into the fleet-wide trap store before
+// round r+1 starts (Section 3.4.6 scaled up from one module to the corpus).
+#ifndef SRC_CAMPAIGN_ROUND_H_
+#define SRC_CAMPAIGN_ROUND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd::campaign {
+
+struct RunJob {
+  int module_index = 0;
+  int round = 0;  // 1-based, as reported to users
+  int attempt = 1;
+};
+
+enum class RunStatus {
+  kOk,
+  kCrashed,  // every attempt threw; outcome carries the last error, no run data
+};
+
+// One detected violation lifted out of the run, keyed entirely by stable call-site
+// signatures so identities survive across runs, rounds, and processes (OpIds do not).
+struct BugObservation {
+  std::string sig_first;   // canonical: sig_first <= sig_second
+  std::string sig_second;
+  std::string api_first;
+  std::string api_second;
+  uint64_t stack_digest = 0;  // hash of both logical stacks (manifestation identity)
+  std::string module;
+  int round = 0;
+  bool read_write = false;
+  bool same_location = false;
+  bool async_flavor = false;
+  bool false_positive = false;
+};
+
+struct RunOutcome {
+  int module_index = -1;
+  std::string module;
+  int round = 0;
+  RunStatus status = RunStatus::kOk;
+  int attempts = 1;
+  std::string error;  // last failure message when attempts > 1 or status == kCrashed
+
+  Micros wall_us = 0;
+  uint64_t oncall_count = 0;
+  uint64_t delays_injected = 0;
+  uint64_t imported_pairs = 0;  // trap-set size seeded from the merged store
+  // Bugs caught this run whose pair was armed from the *imported* store — i.e. the
+  // run could trap them on their first occurrence. Nonzero in round 2+ is the
+  // fleet-scale carry-over signal the paper's multi-run deployment relies on.
+  uint64_t retrapped_imported = 0;
+  int false_positives = 0;
+
+  std::vector<BugObservation> observations;
+  TrapFile traps;  // canonical surviving-pair export
+};
+
+struct RoundStats {
+  int round = 0;
+  int runs = 0;
+  int crashed = 0;
+  int retried = 0;  // runs that needed more than one attempt
+  uint64_t new_unique_bugs = 0;
+  uint64_t retrapped_imported = 0;
+  size_t trap_pairs_after = 0;  // merged trap-store size after this round
+  uint64_t delays_injected = 0;
+  Micros wall_us = 0;  // wall time of the round (parallel, not summed)
+};
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_ROUND_H_

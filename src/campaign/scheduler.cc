@@ -1,0 +1,110 @@
+#include "src/campaign/scheduler.h"
+
+#include <exception>
+
+namespace tsvd::campaign {
+
+Scheduler::Scheduler(int workers, int pool_threads_per_worker)
+    : pool_threads_per_worker_(pool_threads_per_worker > 0 ? pool_threads_per_worker
+                                                           : 1) {
+  const int n = workers > 0 ? workers : 1;
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+std::vector<RunOutcome> Scheduler::ExecuteRound(const std::vector<RunJob>& jobs,
+                                                const JobFn& fn, int max_attempts) {
+  std::vector<RunOutcome> outcomes(jobs.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    max_attempts_ = max_attempts > 0 ? max_attempts : 1;
+    outcomes_ = &outcomes;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      queue_.push_back(QueuedJob{jobs[i], i});
+    }
+    outstanding_ = jobs.size();
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  fn_ = nullptr;
+  outcomes_ = nullptr;
+  return outcomes;
+}
+
+void Scheduler::WorkerLoop(int worker_index) {
+  (void)worker_index;
+  // The worker's private task pool: every run this worker executes schedules its
+  // tasks here (via the ExecDomain the job function installs), giving per-run
+  // quiescence and full isolation from the other workers' runs.
+  tasks::ThreadPool pool(pool_threads_per_worker_);
+
+  for (;;) {
+    QueuedJob item;
+    const JobFn* fn = nullptr;
+    int max_attempts = 1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) {
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      fn = fn_;
+      max_attempts = max_attempts_;
+    }
+
+    RunOutcome outcome;
+    bool ok = false;
+    std::string error;
+    try {
+      outcome = (*fn)(item.job, pool);
+      ok = true;
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown exception";
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ok && item.job.attempt < max_attempts) {
+      // Re-queue the crashed run for another attempt, like the fleet re-running a
+      // flaky test process. outstanding_ is unchanged: the job is still pending.
+      QueuedJob retry = item;
+      ++retry.job.attempt;
+      queue_.push_back(std::move(retry));
+      work_cv_.notify_one();
+      continue;
+    }
+    if (!ok) {
+      outcome = RunOutcome{};
+      outcome.module_index = item.job.module_index;
+      outcome.round = item.job.round;
+      outcome.status = RunStatus::kCrashed;
+      outcome.error = error;
+    }
+    outcome.attempts = item.job.attempt;
+    (*outcomes_)[item.slot] = std::move(outcome);
+    if (--outstanding_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tsvd::campaign

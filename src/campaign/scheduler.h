@@ -1,0 +1,72 @@
+// Campaign scheduler: a fleet of persistent workers executing run jobs in parallel.
+//
+// Each worker owns a private tasks::ThreadPool; the job function receives it and runs
+// the module under an ExecDomain bound to that pool, so W workers execute W
+// instrumented runs concurrently with process-style isolation (fresh Runtime each, no
+// shared instrumentation state) — the in-process analogue of the deployment's
+// one-process-per-run fleet. A job that throws is retried up to max_attempts times
+// (the paper's cloud service re-queues crashed test runs); a job that exhausts its
+// attempts is reported as crashed, never dropped.
+#ifndef SRC_CAMPAIGN_SCHEDULER_H_
+#define SRC_CAMPAIGN_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/round.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd::campaign {
+
+class Scheduler {
+ public:
+  // Executes one job on the calling worker's private pool. Thrown exceptions trigger
+  // retry; the returned outcome is stored in job order.
+  using JobFn = std::function<RunOutcome(const RunJob& job, tasks::ThreadPool& pool)>;
+
+  explicit Scheduler(int workers,
+                     int pool_threads_per_worker = tasks::ThreadPool::kDefaultThreads);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Runs every job across the fleet and blocks until all have completed (or
+  // exhausted max_attempts). Outcomes are returned in job order regardless of which
+  // worker ran them or in what order they finished. Not reentrant.
+  std::vector<RunOutcome> ExecuteRound(const std::vector<RunJob>& jobs, const JobFn& fn,
+                                       int max_attempts = 2);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct QueuedJob {
+    RunJob job;
+    size_t slot = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+
+  const int pool_threads_per_worker_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable done_cv_;   // ExecuteRound waits for completion
+  std::deque<QueuedJob> queue_;
+  const JobFn* fn_ = nullptr;         // valid for the duration of one ExecuteRound
+  int max_attempts_ = 1;
+  size_t outstanding_ = 0;            // queued + executing
+  std::vector<RunOutcome>* outcomes_ = nullptr;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_SCHEDULER_H_

@@ -1,0 +1,226 @@
+#include "src/campaign/sinks.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "src/campaign/json.h"
+
+namespace tsvd::campaign {
+
+SignatureParts ParseSignature(const std::string& signature) {
+  SignatureParts parts;
+  const size_t space = signature.find(' ');
+  const std::string location = space == std::string::npos ? signature : signature.substr(0, space);
+  parts.api = space == std::string::npos ? "" : signature.substr(space + 1);
+  const size_t colon = location.rfind(':');
+  if (colon == std::string::npos) {
+    parts.file = location;
+    return parts;
+  }
+  parts.file = location.substr(0, colon);
+  const std::string line = location.substr(colon + 1);
+  parts.line = 0;
+  for (char c : line) {
+    if (c < '0' || c > '9') {
+      return parts;
+    }
+    parts.line = parts.line * 10 + (c - '0');
+  }
+  return parts;
+}
+
+namespace {
+
+Json BugToJson(const BugReportMgr::UniqueBug& bug) {
+  Json j = Json::MakeObject();
+  j.Set("pair", [&] {
+    Json pair = Json::MakeArray();
+    pair.Push(bug.sig_first);
+    pair.Push(bug.sig_second);
+    return pair;
+  }());
+  j.Set("api_first", bug.api_first);
+  j.Set("api_second", bug.api_second);
+  j.Set("first_round", bug.first_round);
+  j.Set("occurrences", bug.occurrences);
+  j.Set("distinct_stack_pairs", bug.stack_digests.size());
+  j.Set("read_write", bug.read_write);
+  j.Set("same_location", bug.same_location);
+  j.Set("async", bug.async_flavor);
+  Json modules = Json::MakeArray();
+  for (const std::string& module : bug.modules) {
+    modules.Push(module);
+  }
+  j.Set("modules", std::move(modules));
+  return j;
+}
+
+}  // namespace
+
+std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& rounds,
+                       const std::vector<BugReportMgr::UniqueBug>& bugs) {
+  Json root = Json::MakeObject();
+
+  Json campaign = Json::MakeObject();
+  campaign.Set("detector", meta.detector);
+  campaign.Set("modules", meta.num_modules);
+  campaign.Set("workers", meta.workers);
+  campaign.Set("rounds_requested", meta.rounds_requested);
+  campaign.Set("rounds_executed", meta.rounds_executed);
+  campaign.Set("converged", meta.converged);
+  campaign.Set("scale", meta.scale);
+  campaign.Set("seed", meta.seed);
+  root.Set("campaign", std::move(campaign));
+
+  Json round_array = Json::MakeArray();
+  uint64_t total_delays = 0;
+  for (const RoundStats& r : rounds) {
+    Json jr = Json::MakeObject();
+    jr.Set("round", r.round);
+    jr.Set("runs", r.runs);
+    jr.Set("crashed", r.crashed);
+    jr.Set("retried", r.retried);
+    jr.Set("new_unique_bugs", r.new_unique_bugs);
+    jr.Set("retrapped_imported", r.retrapped_imported);
+    jr.Set("trap_pairs_after", r.trap_pairs_after);
+    jr.Set("delays_injected", r.delays_injected);
+    jr.Set("wall_us", static_cast<int64_t>(r.wall_us));
+    round_array.Push(std::move(jr));
+    total_delays += r.delays_injected;
+  }
+  root.Set("rounds", std::move(round_array));
+
+  Json bug_array = Json::MakeArray();
+  uint64_t manifestations = 0;
+  for (const auto& bug : bugs) {
+    bug_array.Push(BugToJson(bug));
+    manifestations += bug.stack_digests.size();
+  }
+  root.Set("unique_bugs", std::move(bug_array));
+
+  Json totals = Json::MakeObject();
+  totals.Set("unique_bugs", bugs.size());
+  totals.Set("distinct_stack_pairs", manifestations);
+  totals.Set("delays_injected", total_delays);
+  root.Set("totals", std::move(totals));
+
+  return root.Dump(2);
+}
+
+std::string RenderSarif(const CampaignMeta& meta,
+                        const std::vector<BugReportMgr::UniqueBug>& bugs) {
+  Json root = Json::MakeObject();
+  root.Set("$schema",
+           "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+           "sarif-schema-2.1.0.json");
+  root.Set("version", "2.1.0");
+
+  Json rule = Json::MakeObject();
+  rule.Set("id", "TSVD0001");
+  rule.Set("name", "ThreadSafetyViolation");
+  Json short_desc = Json::MakeObject();
+  short_desc.Set("text",
+                 "Two threads made conflicting, unsynchronized calls into a "
+                 "thread-unsafe data structure.");
+  rule.Set("shortDescription", std::move(short_desc));
+
+  Json driver = Json::MakeObject();
+  driver.Set("name", "TSVD");
+  driver.Set("informationUri", "https://doi.org/10.1145/3341301.3359638");
+  driver.Set("version", "1.0.0");
+  Json rules = Json::MakeArray();
+  rules.Push(std::move(rule));
+  driver.Set("rules", std::move(rules));
+
+  Json tool = Json::MakeObject();
+  tool.Set("driver", std::move(driver));
+
+  Json results = Json::MakeArray();
+  for (const auto& bug : bugs) {
+    Json result = Json::MakeObject();
+    result.Set("ruleId", "TSVD0001");
+    result.Set("ruleIndex", 0);
+    result.Set("level", "error");
+
+    Json message = Json::MakeObject();
+    std::string text = "Thread-safety violation between " + bug.sig_first + " and " +
+                       bug.sig_second + " (" +
+                       std::to_string(bug.stack_digests.size()) +
+                       " distinct stack pair(s) across " +
+                       std::to_string(bug.modules.size()) + " module(s), first seen in "
+                       "round " + std::to_string(bug.first_round) + ").";
+    message.Set("text", std::move(text));
+    result.Set("message", std::move(message));
+
+    Json locations = Json::MakeArray();
+    for (const std::string& sig : {bug.sig_first, bug.sig_second}) {
+      const SignatureParts parts = ParseSignature(sig);
+      Json artifact = Json::MakeObject();
+      artifact.Set("uri", parts.file);
+      Json region = Json::MakeObject();
+      region.Set("startLine", parts.line > 0 ? parts.line : 1);
+      Json physical = Json::MakeObject();
+      physical.Set("artifactLocation", std::move(artifact));
+      physical.Set("region", std::move(region));
+      Json location = Json::MakeObject();
+      location.Set("physicalLocation", std::move(physical));
+      Json msg = Json::MakeObject();
+      msg.Set("text", parts.api);
+      location.Set("message", std::move(msg));
+      locations.Push(std::move(location));
+      if (bug.sig_first == bug.sig_second) {
+        break;  // same-location bug: one site, listed once
+      }
+    }
+    result.Set("locations", std::move(locations));
+
+    Json fingerprints = Json::MakeObject();
+    fingerprints.Set("tsvdPairSignature/v1", bug.sig_first + "\t" + bug.sig_second);
+    result.Set("partialFingerprints", std::move(fingerprints));
+
+    Json properties = Json::MakeObject();
+    properties.Set("occurrences", bug.occurrences);
+    properties.Set("distinctStackPairs", bug.stack_digests.size());
+    properties.Set("readWrite", bug.read_write);
+    properties.Set("async", bug.async_flavor);
+    properties.Set("detector", meta.detector);
+    result.Set("properties", std::move(properties));
+
+    results.Push(std::move(result));
+  }
+
+  Json run = Json::MakeObject();
+  run.Set("tool", std::move(tool));
+  run.Set("results", std::move(results));
+  Json runs = Json::MakeArray();
+  runs.Push(std::move(run));
+  root.Set("runs", std::move(runs));
+
+  return root.Dump(2);
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& content) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tsvd::campaign

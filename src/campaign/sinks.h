@@ -1,0 +1,54 @@
+// Unified machine-readable reporting sinks for campaign results.
+//
+// Two formats, one data source:
+//   - campaign JSON: the full artifact trail — options, per-round statistics, and the
+//     deduplicated unique-bug list (schema documented in DESIGN.md);
+//   - SARIF 2.1.0: one result per unique bug, both call sites as physical locations,
+//     (pair signature, stack-digest count) as partialFingerprints — the interchange
+//     format CI fleets ingest.
+// Both renders are deterministic for a given campaign result, and writes are atomic
+// (temp + rename) like the trap store's.
+#ifndef SRC_CAMPAIGN_SINKS_H_
+#define SRC_CAMPAIGN_SINKS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/bug_report_mgr.h"
+#include "src/campaign/round.h"
+
+namespace tsvd::campaign {
+
+// Campaign-level metadata stamped into both sinks.
+struct CampaignMeta {
+  std::string detector;
+  int num_modules = 0;
+  int workers = 0;
+  int rounds_requested = 0;
+  int rounds_executed = 0;
+  bool converged = false;
+  double scale = 0;
+  uint64_t seed = 0;
+};
+
+std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& rounds,
+                       const std::vector<BugReportMgr::UniqueBug>& bugs);
+
+std::string RenderSarif(const CampaignMeta& meta,
+                        const std::vector<BugReportMgr::UniqueBug>& bugs);
+
+// Atomic file write (temp + rename); returns false on I/O failure.
+bool WriteFileAtomic(const std::string& path, const std::string& content);
+
+// Splits a call-site signature "file:line api" into its components; line is 0 and
+// file/api best-effort when the signature is not in canonical shape.
+struct SignatureParts {
+  std::string file;
+  int line = 0;
+  std::string api;
+};
+SignatureParts ParseSignature(const std::string& signature);
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_SINKS_H_

@@ -65,10 +65,42 @@ class Runtime {
     observer_ = std::move(observer);
   }
 
-  // --- global installation ---
-  static Runtime* Current() { return current_.load(std::memory_order_acquire); }
+  // --- installation ---
+  //
+  // Two routing layers. The classic layer is a process-wide pointer (Install /
+  // Uninstall): one instrumented run at a time, the deployment's per-process model.
+  // The thread-binding layer overrides it per thread so that several instrumented
+  // runs can coexist in one process (campaign mode): a bound thread — and every
+  // task-pool thread executing work scheduled from it, see tasks::ExecDomain — sees
+  // its run's runtime (or no runtime at all for a baseline run) regardless of the
+  // global pointer.
+  static Runtime* Current() {
+    return internal_tls_bound ? internal_tls_runtime
+                              : current_.load(std::memory_order_acquire);
+  }
   static void Install(Runtime* rt);
   static void Uninstall(Runtime* rt);
+
+  // RAII thread-scoped routing. `rt` may be null: the thread then behaves as
+  // uninstrumented even while a global runtime is installed.
+  class ThreadBinding {
+   public:
+    explicit ThreadBinding(Runtime* rt)
+        : prev_runtime_(internal_tls_runtime), prev_bound_(internal_tls_bound) {
+      internal_tls_runtime = rt;
+      internal_tls_bound = true;
+    }
+    ~ThreadBinding() {
+      internal_tls_runtime = prev_runtime_;
+      internal_tls_bound = prev_bound_;
+    }
+    ThreadBinding(const ThreadBinding&) = delete;
+    ThreadBinding& operator=(const ThreadBinding&) = delete;
+
+   private:
+    Runtime* prev_runtime_;
+    bool prev_bound_;
+  };
 
   // RAII installation for scoped runs.
   class Installation {
@@ -113,6 +145,11 @@ class Runtime {
   std::unordered_map<RequestId, Micros> request_budgets_;
 
   static std::atomic<Runtime*> current_;
+
+  // Thread-binding storage (public-access names avoided via internal_ prefix; kept in
+  // the class's file for locality, defined inline so the header stays self-contained).
+  static thread_local Runtime* internal_tls_runtime;
+  static thread_local bool internal_tls_bound;
 };
 
 }  // namespace tsvd

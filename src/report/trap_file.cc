@@ -1,13 +1,50 @@
 #include "src/report/trap_file.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace tsvd {
+namespace {
+
+constexpr std::string_view kHeader = "tsvd-trap-v1";
+constexpr std::string_view kHeaderPrefix = "tsvd-trap-";
+
+std::pair<std::string, std::string> CanonicalPair(std::string a, std::string b) {
+  if (b < a) {
+    std::swap(a, b);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace
+
+void TrapFile::Canonicalize() {
+  for (auto& pair : pairs) {
+    if (pair.second < pair.first) {
+      std::swap(pair.first, pair.second);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+}
+
+void TrapFile::Merge(const TrapFile& other) {
+  pairs.insert(pairs.end(), other.pairs.begin(), other.pairs.end());
+  Canonicalize();
+}
+
+bool TrapFile::Contains(const std::string& a, const std::string& b) const {
+  return std::binary_search(pairs.begin(), pairs.end(), CanonicalPair(a, b));
+}
 
 std::string TrapFile::Serialize() const {
   std::ostringstream out;
-  out << "tsvd-trap-v1\n";
+  out << kHeader << '\n';
   for (const auto& [a, b] : pairs) {
     out << a << '\t' << b << '\n';
   }
@@ -16,33 +53,66 @@ std::string TrapFile::Serialize() const {
 
 TrapFile TrapFile::Deserialize(const std::string& text) {
   TrapFile file;
+  (void)Deserialize(text, &file);
+  return file;
+}
+
+bool TrapFile::Deserialize(const std::string& text, TrapFile* out) {
+  out->pairs.clear();
   std::istringstream in(text);
   std::string line;
+  bool ok = true;
   bool first = true;
   while (std::getline(in, line)) {
     if (first) {
       first = false;
-      if (line == "tsvd-trap-v1") {
+      if (line == kHeader) {
         continue;
+      }
+      if (line.starts_with(kHeaderPrefix)) {
+        // A trap header of a version this build does not understand: corrupt or
+        // foreign. Parse nothing from it.
+        return false;
       }
       // Headerless input: fall through and parse the first line as a pair.
     }
     const size_t tab = line.find('\t');
     if (tab == std::string::npos) {
+      if (!line.empty()) {
+        ok = false;  // malformed line: skipped, reported to the strict caller
+      }
       continue;
     }
-    file.pairs.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+    out->pairs.emplace_back(line.substr(0, tab), line.substr(tab + 1));
   }
-  return file;
+  out->Canonicalize();
+  return ok;
 }
 
 bool TrapFile::SaveTo(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
+  // Write-temp-then-rename: a reader (or a crashed writer) can never observe a
+  // partially written store. The temp file lives next to `path` so the rename stays
+  // within one filesystem; the counter keeps concurrent savers off each other's temp.
+  static std::atomic<uint64_t> save_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << Serialize();
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return false;
   }
-  out << Serialize();
-  return static_cast<bool>(out);
+  return true;
 }
 
 bool TrapFile::LoadFrom(const std::string& path, TrapFile* out) {
@@ -52,8 +122,7 @@ bool TrapFile::LoadFrom(const std::string& path, TrapFile* out) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  *out = Deserialize(buffer.str());
-  return true;
+  return Deserialize(buffer.str(), out);
 }
 
 }  // namespace tsvd

@@ -4,6 +4,11 @@
 // its trap set from the file so it can inject delays at a pair even on its *first*
 // occurrence. Pairs are stored by stable call-site signature ("file:line api") because
 // OpIds are assigned in interning order and need not match across runs.
+//
+// Campaign mode merges many runs' exports into one fleet-wide trap store, so the
+// format has union semantics: pairs are canonically ordered (lexicographic within a
+// pair, sorted across pairs, no duplicates) and saves are atomic (write-temp-then-
+// rename) so a crashed run can never leave a half-written store behind.
 #ifndef SRC_REPORT_TRAP_FILE_H_
 #define SRC_REPORT_TRAP_FILE_H_
 
@@ -18,11 +23,32 @@ struct TrapFile {
   std::vector<std::pair<std::string, std::string>> pairs;
 
   bool empty() const { return pairs.empty(); }
+  size_t size() const { return pairs.size(); }
+
+  // Orders each pair lexicographically, sorts the pair list, and drops duplicates.
+  // Deserialize and Merge leave the file canonical; exports from a TrapSet iterate an
+  // unordered container, so canonicalize before comparing or persisting.
+  void Canonicalize();
+
+  // Union with `other` (canonicalizing both views). The result is canonical, so the
+  // pair list grows monotonically under repeated merging — the invariant campaign
+  // rounds rely on.
+  void Merge(const TrapFile& other);
+
+  // True if the canonical form of (a, b) is present. Assumes *this is canonical.
+  bool Contains(const std::string& a, const std::string& b) const;
 
   std::string Serialize() const;
+  // Lenient parse: skips malformed lines, canonicalizes. Headerless text is accepted.
   static TrapFile Deserialize(const std::string& text);
+  // Strict variant: additionally fails (returns false) when the text carries a
+  // "tsvd-trap-*" header of an unsupported version — the corrupt/foreign-file guard
+  // used by LoadFrom.
+  static bool Deserialize(const std::string& text, TrapFile* out);
 
-  // File I/O; returns false on I/O failure.
+  // File I/O; returns false on I/O failure. SaveTo is atomic: the content is written
+  // to a sibling temp file and renamed over `path`, so concurrent readers see either
+  // the old or the new store, never a torn one.
   bool SaveTo(const std::string& path) const;
   static bool LoadFrom(const std::string& path, TrapFile* out);
 };

@@ -1,0 +1,66 @@
+// Execution domains: per-run isolation inside one process (campaign mode).
+//
+// The deployed TSVD isolated test runs by giving each its own process; this repo's
+// single-shot path instead installs one process-global Runtime and uses the
+// process-global task pool. An ExecDomain virtualizes exactly the three process-global
+// knobs a run depends on — which thread pool its tasks land on, which Runtime (if any)
+// instruments it, and whether asynchrony is forced — so a campaign worker can execute
+// a full instrumented run concurrently with other workers' runs.
+//
+// Routing rule: a DomainGuard binds the domain to the current thread; Schedule()
+// captures the spawning thread's domain into every task it forks, and re-binds it on
+// the pool thread that executes the task. Since all workload concurrency flows through
+// tasks::Run (there are no raw std::threads in workloads), every instrumented call in
+// a run resolves to that run's Runtime, and ThreadPool::WaitIdle on the domain's
+// private pool is per-run quiescence.
+//
+// With no domain bound, behavior is exactly the classic process-global one.
+#ifndef SRC_TASKS_EXEC_DOMAIN_H_
+#define SRC_TASKS_EXEC_DOMAIN_H_
+
+#include "src/core/runtime.h"
+#include "src/tasks/task_runtime.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd::tasks {
+
+struct ExecDomain {
+  ThreadPool* pool = nullptr;  // tasks spawned under this domain are submitted here
+  Runtime* runtime = nullptr;  // null = uninstrumented (baseline) run
+  bool force_async = false;
+
+  // The domain must outlive every task spawned under it; callers guarantee this by
+  // draining `pool` (WaitIdle) before destroying the domain.
+};
+
+namespace internal {
+inline thread_local ExecDomain* g_current_domain = nullptr;
+}  // namespace internal
+
+// The domain bound to this thread, or null for classic process-global behavior.
+inline ExecDomain* CurrentDomain() { return internal::g_current_domain; }
+
+// Binds a domain to the current thread: domain pointer, runtime routing, and
+// force-async, all restored on destruction.
+class DomainGuard {
+ public:
+  explicit DomainGuard(ExecDomain* domain)
+      : previous_(internal::g_current_domain),
+        runtime_binding_(domain->runtime),
+        force_async_(domain->force_async) {
+    internal::g_current_domain = domain;
+  }
+  ~DomainGuard() { internal::g_current_domain = previous_; }
+
+  DomainGuard(const DomainGuard&) = delete;
+  DomainGuard& operator=(const DomainGuard&) = delete;
+
+ private:
+  ExecDomain* previous_;
+  Runtime::ThreadBinding runtime_binding_;
+  ScopedForceAsync force_async_;
+};
+
+}  // namespace tsvd::tasks
+
+#endif  // SRC_TASKS_EXEC_DOMAIN_H_

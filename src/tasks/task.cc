@@ -1,5 +1,7 @@
 #include "src/tasks/task.h"
 
+#include "src/tasks/exec_domain.h"
+
 namespace tsvd::tasks {
 
 void TaskCore::Execute() {
@@ -64,6 +66,16 @@ void Schedule(std::shared_ptr<TaskCore> core, bool inline_eligible) {
   // inline on the caller's thread — unless the instrumentation forces asynchrony.
   if (inline_eligible && !ForceAsync()) {
     core->Execute();
+    return;
+  }
+  // Tasks inherit their spawner's execution domain: they run on the domain's private
+  // pool with the domain's runtime and force-async bound, so concurrent campaign runs
+  // never observe each other's instrumentation.
+  if (ExecDomain* domain = CurrentDomain()) {
+    domain->pool->Submit([core = std::move(core), domain] {
+      DomainGuard guard(domain);
+      core->Execute();
+    });
     return;
   }
   ThreadPool::Instance().Submit([core = std::move(core)] { core->Execute(); });

@@ -21,8 +21,33 @@ namespace tsvd::tasks {
 
 inline std::atomic<bool> g_force_async{false};
 
+// Thread-scoped override of the force-async switch: -1 = defer to the global flag,
+// 0/1 = this thread (and the tasks it spawns, via ExecDomain capture) has its own
+// setting. Lets concurrent campaign runs force asynchrony without a baseline run in
+// another worker seeing it.
+inline thread_local int g_force_async_override = -1;
+
 inline void SetForceAsync(bool on) { g_force_async.store(on, std::memory_order_relaxed); }
-inline bool ForceAsync() { return g_force_async.load(std::memory_order_relaxed); }
+inline bool ForceAsync() {
+  if (g_force_async_override >= 0) {
+    return g_force_async_override != 0;
+  }
+  return g_force_async.load(std::memory_order_relaxed);
+}
+
+// RAII thread-scoped force-async setting.
+class ScopedForceAsync {
+ public:
+  explicit ScopedForceAsync(bool on) : previous_(g_force_async_override) {
+    g_force_async_override = on ? 1 : 0;
+  }
+  ~ScopedForceAsync() { g_force_async_override = previous_; }
+  ScopedForceAsync(const ScopedForceAsync&) = delete;
+  ScopedForceAsync& operator=(const ScopedForceAsync&) = delete;
+
+ private:
+  int previous_;
+};
 
 inline CtxId NewCtxId() {
   static std::atomic<CtxId> next{1};

@@ -9,6 +9,7 @@
 #include "src/core/random_detectors.h"
 #include "src/core/tsvd_detector.h"
 #include "src/hb/tsvd_hb_detector.h"
+#include "src/tasks/exec_domain.h"
 #include "src/tasks/task_runtime.h"
 #include "src/tasks/thread_pool.h"
 
@@ -36,6 +37,10 @@ const std::vector<std::string>& AllTechniques() {
   return names;
 }
 
+tasks::ThreadPool& ModuleRunner::pool() const {
+  return pool_ != nullptr ? *pool_ : tasks::ThreadPool::Instance();
+}
+
 void ModuleRunner::ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth,
                                 uint64_t salt) {
   Rng module_rng(spec.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
@@ -49,14 +54,93 @@ void ModuleRunner::ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth,
     TestContext ctx(module_rng.Fork(), spec.params, truth, test_id++, test.tags);
     test.fn(ctx);
   }
-  tasks::ThreadPool::Instance().WaitIdle();
+  pool().WaitIdle();
 }
 
 Micros ModuleRunner::MeasureBaseline(const ModuleSpec& spec, uint64_t run_salt) {
-  tasks::SetForceAsync(false);  // the .NET inline optimization is on by default
+  // Uninstrumented run: no runtime bound, the .NET inline optimization is on.
+  tasks::ExecDomain domain{&pool(), /*runtime=*/nullptr, /*force_async=*/false};
+  tasks::DomainGuard guard(&domain);
   const Micros start = NowMicros();
   ExecuteTests(spec, /*truth=*/nullptr, run_salt);
   return NowMicros() - start;
+}
+
+SingleRun ModuleRunner::RunOnce(const ModuleSpec& spec, const DetectorFactory& factory,
+                                const TrapFile& import, uint64_t salt) {
+  // The detector keeps the same seed in every run: a rerun of the same test repeats
+  // the same sampling decisions (DataCollider keeps probing the same sites,
+  // DynamicRandom the same dynamic positions), so consecutive runs are NOT
+  // independent coin flips — only scheduling jitter and the workload's own
+  // randomness vary, as in the paper's test environment.
+  Config cfg = config_;
+  Runtime runtime(cfg, factory(cfg));
+  if (!import.empty()) {
+    runtime.detector().ImportTrapFile(import);
+  }
+
+  SingleRun single;
+  single.imported_pairs = runtime.detector().TrapSetSize();
+
+  TruthRegistry truth;
+  RunResult& run_result = single.run;
+  std::mutex records_mu;
+  runtime.SetReportObserver([&](const BugReport& report) {
+    ReportRecord record;
+    record.pair = report.Pair();
+    record.read_write = report.trapped.kind != report.racing.kind;
+    record.same_location = record.pair.first == record.pair.second;
+    record.stack_depth =
+        (report.trapped.stack.size() + report.racing.stack.size()) / 2;
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto& frame : report.trapped.stack) {
+      for (char c : frame) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      }
+    }
+    for (const auto& frame : report.racing.stack) {
+      for (char c : frame) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      }
+    }
+    record.stack_pair_hash = h;
+    const CallSiteRegistry& registry = CallSiteRegistry::Instance();
+    record.api_first = registry.Get(record.pair.first).api;
+    record.api_second = registry.Get(record.pair.second).api;
+    if (auto info = truth.Lookup(report.object)) {
+      record.async_flavor = info->tags.async_flavor;
+      record.false_positive = !info->buggy;
+    }
+    std::lock_guard<std::mutex> lock(records_mu);
+    run_result.records.push_back(std::move(record));
+  });
+
+  const Micros start = NowMicros();
+  {
+    // Section 4: instrumentation forces asynchrony. The domain scopes the runtime,
+    // pool, and force-async to this run, so campaign workers can execute RunOnce
+    // concurrently without sharing instrumentation state.
+    tasks::ExecDomain domain{&pool(), &runtime, /*force_async=*/true};
+    tasks::DomainGuard guard(&domain);
+    ExecuteTests(spec, &truth, salt);
+  }
+  run_result.wall_us = NowMicros() - start;
+
+  run_result.summary = runtime.Summary();
+  for (const ReportRecord& record : run_result.records) {
+    run_result.pairs.insert(record.pair);
+    if (record.false_positive) {
+      ++run_result.false_positives;
+    }
+  }
+  for (const LocationPair& pair : run_result.pairs) {
+    run_result.op_hits[pair.first] = runtime.coverage().Lookup(pair.first).hits;
+    run_result.op_hits[pair.second] = runtime.coverage().Lookup(pair.second).hits;
+  }
+
+  single.traps = runtime.detector().ExportTrapFile();
+  single.traps.Canonicalize();
+  return single;
 }
 
 ModuleResult ModuleRunner::RunModule(const ModuleSpec& spec, const DetectorFactory& factory,
@@ -66,73 +150,9 @@ ModuleResult ModuleRunner::RunModule(const ModuleSpec& spec, const DetectorFacto
 
   TrapFile carried;
   for (int run = 0; run < num_runs; ++run) {
-    // The detector keeps the same seed in every run: a rerun of the same test repeats
-    // the same sampling decisions (DataCollider keeps probing the same sites,
-    // DynamicRandom the same dynamic positions), so consecutive runs are NOT
-    // independent coin flips — only scheduling jitter and the workload's own
-    // randomness vary, as in the paper's test environment.
-    Config cfg = config_;
-    Runtime runtime(cfg, factory(cfg));
-    if (!carried.empty()) {
-      runtime.detector().ImportTrapFile(carried);
-    }
-
-    TruthRegistry truth;
-    RunResult run_result;
-    std::mutex records_mu;
-    runtime.SetReportObserver([&](const BugReport& report) {
-      ReportRecord record;
-      record.pair = report.Pair();
-      record.read_write = report.trapped.kind != report.racing.kind;
-      record.same_location = record.pair.first == record.pair.second;
-      record.stack_depth =
-          (report.trapped.stack.size() + report.racing.stack.size()) / 2;
-      uint64_t h = 1469598103934665603ULL;
-      for (const auto& frame : report.trapped.stack) {
-        for (char c : frame) {
-          h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
-        }
-      }
-      for (const auto& frame : report.racing.stack) {
-        for (char c : frame) {
-          h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
-        }
-      }
-      record.stack_pair_hash = h;
-      const CallSiteRegistry& registry = CallSiteRegistry::Instance();
-      record.api_first = registry.Get(record.pair.first).api;
-      record.api_second = registry.Get(record.pair.second).api;
-      if (auto info = truth.Lookup(report.object)) {
-        record.async_flavor = info->tags.async_flavor;
-        record.false_positive = !info->buggy;
-      }
-      std::lock_guard<std::mutex> lock(records_mu);
-      run_result.records.push_back(std::move(record));
-    });
-
-    tasks::SetForceAsync(true);  // Section 4: instrumentation forces asynchrony
-    const Micros start = NowMicros();
-    {
-      Runtime::Installation install(runtime);
-      ExecuteTests(spec, &truth, run_salt * 1000003ULL + run);
-    }
-    run_result.wall_us = NowMicros() - start;
-    tasks::SetForceAsync(false);
-
-    run_result.summary = runtime.Summary();
-    for (const ReportRecord& record : run_result.records) {
-      run_result.pairs.insert(record.pair);
-      if (record.false_positive) {
-        ++run_result.false_positives;
-      }
-    }
-    for (const LocationPair& pair : run_result.pairs) {
-      run_result.op_hits[pair.first] = runtime.coverage().Lookup(pair.first).hits;
-      run_result.op_hits[pair.second] = runtime.coverage().Lookup(pair.second).hits;
-    }
-
-    carried = runtime.detector().ExportTrapFile();
-    result.runs.push_back(std::move(run_result));
+    SingleRun single = RunOnce(spec, factory, carried, run_salt * 1000003ULL + run);
+    carried = std::move(single.traps);
+    result.runs.push_back(std::move(single.run));
   }
   return result;
 }

@@ -15,7 +15,12 @@
 #include "src/common/config.h"
 #include "src/core/detector.h"
 #include "src/report/run_summary.h"
+#include "src/report/trap_file.h"
 #include "src/workload/module.h"
+
+namespace tsvd::tasks {
+class ThreadPool;
+}  // namespace tsvd::tasks
 
 namespace tsvd::workload {
 
@@ -66,9 +71,24 @@ struct ModuleResult {
   }
 };
 
+// Structured outcome of a single instrumented run: the campaign orchestrator's unit
+// of scheduling. `traps` is the surviving dangerous-pair export, ready for merging
+// into a fleet-wide trap store.
+struct SingleRun {
+  RunResult run;
+  TrapFile traps;
+  // Dangerous pairs armed from the imported trap file before the run started — the
+  // pairs this run can trap on their first dynamic occurrence (Section 3.4.6).
+  uint64_t imported_pairs = 0;
+};
+
 class ModuleRunner {
  public:
-  explicit ModuleRunner(const Config& config) : config_(config) {}
+  // `pool` routes the module's tasks; null means the process-global pool. A campaign
+  // worker passes its private pool so its run is fully isolated (see
+  // tasks::ExecDomain) and can execute concurrently with other workers' runs.
+  explicit ModuleRunner(const Config& config, tasks::ThreadPool* pool = nullptr)
+      : config_(config), pool_(pool) {}
 
   // Wall time of one uninstrumented execution of the module's tests.
   Micros MeasureBaseline(const ModuleSpec& spec, uint64_t run_salt = 0);
@@ -79,10 +99,17 @@ class ModuleRunner {
   ModuleResult RunModule(const ModuleSpec& spec, const DetectorFactory& factory,
                          int num_runs, uint64_t run_salt = 0);
 
+  // One instrumented run with a fresh Runtime, seeding the detector's trap set from
+  // `import` and returning the structured outcome. RunModule is a loop over this.
+  SingleRun RunOnce(const ModuleSpec& spec, const DetectorFactory& factory,
+                    const TrapFile& import, uint64_t salt);
+
  private:
   void ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth, uint64_t salt);
+  tasks::ThreadPool& pool() const;
 
   Config config_;
+  tasks::ThreadPool* pool_;
 };
 
 }  // namespace tsvd::workload

@@ -1,0 +1,109 @@
+// BugReportMgr dedupe semantics: unique-bug identity by canonical signature pair,
+// manifestation identity by stack digest, deterministic sorted snapshots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/bug_report_mgr.h"
+
+namespace tsvd::campaign {
+namespace {
+
+BugObservation Obs(const std::string& a, const std::string& b, uint64_t digest,
+                   const std::string& module = "mod", int round = 1) {
+  BugObservation obs;
+  obs.sig_first = a;
+  obs.sig_second = b;
+  obs.api_first = "Api.A";
+  obs.api_second = "Api.B";
+  obs.stack_digest = digest;
+  obs.module = module;
+  obs.round = round;
+  return obs;
+}
+
+TEST(BugReportMgrTest, FirstIngestOfPairIsNewLaterOnesAreNot) {
+  BugReportMgr mgr;
+  EXPECT_TRUE(mgr.Ingest(Obs("a.cc:1 Add", "b.cc:2 Set", 100)));
+  EXPECT_FALSE(mgr.Ingest(Obs("a.cc:1 Add", "b.cc:2 Set", 100)));
+  EXPECT_FALSE(mgr.Ingest(Obs("a.cc:1 Add", "b.cc:2 Set", 200)));  // new stack only
+  EXPECT_TRUE(mgr.Ingest(Obs("a.cc:1 Add", "c.cc:3 Sort", 100)));
+
+  EXPECT_EQ(mgr.UniqueBugCount(), 2u);
+  EXPECT_EQ(mgr.ManifestationCount(), 3u);
+  EXPECT_EQ(mgr.OccurrenceCount(), 4u);
+}
+
+TEST(BugReportMgrTest, PairIdentityIsOrderInsensitive) {
+  BugReportMgr mgr;
+  EXPECT_TRUE(mgr.Ingest(Obs("b.cc:2 Set", "a.cc:1 Add", 1)));
+  // Reversed order must map to the same unique bug.
+  EXPECT_FALSE(mgr.Ingest(Obs("a.cc:1 Add", "b.cc:2 Set", 2)));
+  EXPECT_EQ(mgr.UniqueBugCount(), 1u);
+
+  const std::vector<BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+  ASSERT_EQ(bugs.size(), 1u);
+  EXPECT_LE(bugs[0].sig_first, bugs[0].sig_second);
+  EXPECT_EQ(bugs[0].stack_digests.size(), 2u);
+}
+
+TEST(BugReportMgrTest, TracksModulesRoundsAndFlags) {
+  BugReportMgr mgr;
+  BugObservation first = Obs("a.cc:1 Add", "b.cc:2 Set", 7, "mod_a", 2);
+  first.read_write = true;
+  first.async_flavor = true;
+  mgr.Ingest(first);
+  mgr.Ingest(Obs("a.cc:1 Add", "b.cc:2 Set", 8, "mod_b", 3));
+
+  const std::vector<BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+  ASSERT_EQ(bugs.size(), 1u);
+  EXPECT_EQ(bugs[0].first_round, 2);
+  EXPECT_EQ(bugs[0].modules, (std::set<std::string>{"mod_a", "mod_b"}));
+  EXPECT_EQ(bugs[0].occurrences, 2u);
+  EXPECT_TRUE(bugs[0].read_write);
+  EXPECT_TRUE(bugs[0].async_flavor);
+}
+
+TEST(BugReportMgrTest, SnapshotIsSortedBySignaturePair) {
+  BugReportMgr mgr;
+  mgr.Ingest(Obs("z.cc:9 Sort", "z.cc:9 Sort", 1));
+  mgr.Ingest(Obs("a.cc:1 Add", "b.cc:2 Set", 2));
+  mgr.Ingest(Obs("a.cc:1 Add", "a.cc:5 Get", 3));
+
+  const std::vector<BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+  ASSERT_EQ(bugs.size(), 3u);
+  EXPECT_EQ(bugs[0].sig_second, "a.cc:5 Get");
+  EXPECT_EQ(bugs[1].sig_second, "b.cc:2 Set");
+  EXPECT_EQ(bugs[2].sig_first, "z.cc:9 Sort");
+}
+
+TEST(BugReportMgrTest, ConcurrentIngestDeduplicatesExactlyOnce) {
+  BugReportMgr mgr;
+  constexpr int kThreads = 8;
+  constexpr int kPairs = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> news{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mgr, &news, t] {
+      for (int p = 0; p < kPairs; ++p) {
+        const std::string sig = "f.cc:" + std::to_string(p) + " Api";
+        if (mgr.Ingest(Obs(sig, sig, static_cast<uint64_t>(t)))) {
+          ++news;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Every pair is new exactly once no matter how many threads raced on it.
+  EXPECT_EQ(news.load(), kPairs);
+  EXPECT_EQ(mgr.UniqueBugCount(), static_cast<uint64_t>(kPairs));
+  EXPECT_EQ(mgr.OccurrenceCount(), static_cast<uint64_t>(kThreads * kPairs));
+}
+
+}  // namespace
+}  // namespace tsvd::campaign

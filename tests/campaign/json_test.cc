@@ -1,0 +1,75 @@
+// Json document model: deterministic dump, escaping, and strict-parse round-trip —
+// the foundation both artifact sinks and the schema-checking tests stand on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/campaign/json.h"
+
+namespace tsvd::campaign {
+namespace {
+
+TEST(JsonTest, DumpIsDeterministicWithSortedKeys) {
+  Json obj = Json::MakeObject();
+  obj.Set("zeta", 1);
+  obj.Set("alpha", true);
+  obj.Set("mid", "x");
+  EXPECT_EQ(obj.Dump(), R"({"alpha":true,"mid":"x","zeta":1})");
+}
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(Json::Escape("a\"b\\c\n\t\x01"), "a\\\"b\\\\c\\n\\t\\u0001");
+  Json s("line\nbreak");
+  EXPECT_EQ(s.Dump(), "\"line\\nbreak\"");
+}
+
+TEST(JsonTest, ParseRoundTripsNestedDocument) {
+  Json doc = Json::MakeObject();
+  doc.Set("n", nullptr);
+  doc.Set("i", int64_t{-42});
+  doc.Set("d", 1.5);
+  doc.Set("s", "héllo");
+  Json arr = Json::MakeArray();
+  arr.Push(1);
+  arr.Push(false);
+  Json inner = Json::MakeObject();
+  inner.Set("k", "v");
+  arr.Push(std::move(inner));
+  doc.Set("a", std::move(arr));
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(doc.Dump(2), &parsed));
+  EXPECT_EQ(parsed.Dump(), doc.Dump());
+  EXPECT_TRUE(parsed.Find("n")->is_null());
+  EXPECT_EQ(parsed.Find("i")->as_int(), -42);
+  EXPECT_EQ(parsed.Find("a")->at(2).Find("k")->as_string(), "v");
+}
+
+TEST(JsonTest, ParseHandlesUnicodeEscapes) {
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(R"({"s": "aéb"})", &parsed));
+  EXPECT_EQ(parsed.Find("s")->as_string(), "a\xc3\xa9"
+                                           "b");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  Json out;
+  EXPECT_FALSE(Json::Parse("", &out));
+  EXPECT_FALSE(Json::Parse("{", &out));
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}", &out));
+  EXPECT_FALSE(Json::Parse("[1 2]", &out));
+  EXPECT_FALSE(Json::Parse("\"unterminated", &out));
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing", &out));
+  EXPECT_FALSE(Json::Parse("nul", &out));
+}
+
+TEST(JsonTest, FindOnMissingKeyReturnsNull) {
+  Json obj = Json::MakeObject();
+  obj.Set("present", 1);
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+  EXPECT_TRUE(obj.Has("present"));
+  EXPECT_FALSE(obj.Has("absent"));
+}
+
+}  // namespace
+}  // namespace tsvd::campaign

@@ -1,0 +1,144 @@
+// Scheduler behavior: parallel execution across workers, job-order outcomes, retry of
+// thrown jobs, and crashed classification once attempts are exhausted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/scheduler.h"
+
+namespace tsvd::campaign {
+namespace {
+
+std::vector<RunJob> MakeJobs(int n, int round = 1) {
+  std::vector<RunJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(RunJob{i, round, 1});
+  }
+  return jobs;
+}
+
+TEST(SchedulerTest, OutcomesComeBackInJobOrder) {
+  Scheduler scheduler(/*workers=*/4, /*pool_threads_per_worker=*/2);
+  const std::vector<RunJob> jobs = MakeJobs(16);
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      jobs, [](const RunJob& job, tasks::ThreadPool&) {
+        // Finish out of submission order on purpose.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((16 - job.module_index) % 5));
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        outcome.round = job.round;
+        return outcome;
+      });
+
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].module_index, static_cast<int>(i));
+    EXPECT_EQ(outcomes[i].status, RunStatus::kOk);
+    EXPECT_EQ(outcomes[i].attempts, 1);
+  }
+}
+
+TEST(SchedulerTest, JobsRunInParallelAcrossWorkers) {
+  Scheduler scheduler(/*workers=*/4, /*pool_threads_per_worker=*/1);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+
+  scheduler.ExecuteRound(MakeJobs(12), [&](const RunJob&, tasks::ThreadPool&) {
+    const int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    --concurrent;
+    return RunOutcome{};
+  });
+
+  // With 4 workers and 20ms jobs, at least two must have overlapped.
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(SchedulerTest, ThrownJobIsRetriedAndSucceeds) {
+  Scheduler scheduler(/*workers=*/2, /*pool_threads_per_worker=*/1);
+  std::mutex mu;
+  std::set<int> failed_once;
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(6),
+      [&](const RunJob& job, tasks::ThreadPool&) {
+        if (job.module_index % 2 == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (failed_once.insert(job.module_index).second) {
+            throw std::runtime_error("transient crash");
+          }
+        }
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      },
+      /*max_attempts=*/2);
+
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (const RunOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, RunStatus::kOk);
+    const bool crashed_first = outcome.module_index % 2 == 0;
+    EXPECT_EQ(outcome.attempts, crashed_first ? 2 : 1) << outcome.module_index;
+  }
+}
+
+TEST(SchedulerTest, JobExhaustingAttemptsIsReportedCrashedNotDropped) {
+  Scheduler scheduler(/*workers=*/2, /*pool_threads_per_worker=*/1);
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(4),
+      [](const RunJob& job, tasks::ThreadPool&) -> RunOutcome {
+        if (job.module_index == 2) {
+          throw std::runtime_error("deterministic crash");
+        }
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      },
+      /*max_attempts=*/3);
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[2].status, RunStatus::kCrashed);
+  EXPECT_EQ(outcomes[2].attempts, 3);
+  EXPECT_NE(outcomes[2].error.find("deterministic crash"), std::string::npos);
+  for (int i : {0, 1, 3}) {
+    EXPECT_EQ(outcomes[i].status, RunStatus::kOk) << i;
+  }
+}
+
+TEST(SchedulerTest, SchedulerIsReusableAcrossRounds) {
+  Scheduler scheduler(/*workers=*/3);
+  for (int round = 1; round <= 3; ++round) {
+    std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+        MakeJobs(5, round), [](const RunJob& job, tasks::ThreadPool&) {
+          RunOutcome outcome;
+          outcome.module_index = job.module_index;
+          outcome.round = job.round;
+          return outcome;
+        });
+    ASSERT_EQ(outcomes.size(), 5u);
+    EXPECT_EQ(outcomes[4].round, round);
+  }
+  EXPECT_EQ(scheduler.workers(), 3);
+}
+
+TEST(SchedulerTest, EmptyRoundReturnsImmediately) {
+  Scheduler scheduler(/*workers=*/2);
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      {}, [](const RunJob&, tasks::ThreadPool&) { return RunOutcome{}; });
+  EXPECT_TRUE(outcomes.empty());
+}
+
+}  // namespace
+}  // namespace tsvd::campaign

@@ -1,0 +1,160 @@
+// Trap-file merge semantics (Section 3.4.6 scaled to campaign mode): canonical form,
+// union/dedupe under Merge, atomic persistence, corrupt-file rejection, and
+// OpId-independence of the signature identity the whole scheme rests on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/common/callsite.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(TrapMergeTest, CanonicalizeOrdersPairsAndDeduplicates) {
+  TrapFile file;
+  file.pairs = {
+      {"b.cc:2 Set", "a.cc:1 Add"},  // reversed within the pair
+      {"a.cc:1 Add", "b.cc:2 Set"},  // duplicate of the above, already ordered
+      {"c.cc:3 Sort", "c.cc:3 Sort"},
+      {"a.cc:1 Add", "a.cc:9 Get"},
+  };
+  file.Canonicalize();
+
+  ASSERT_EQ(file.size(), 3u);
+  EXPECT_EQ(file.pairs[0], (std::pair<std::string, std::string>{"a.cc:1 Add",
+                                                                "a.cc:9 Get"}));
+  EXPECT_EQ(file.pairs[1], (std::pair<std::string, std::string>{"a.cc:1 Add",
+                                                                "b.cc:2 Set"}));
+  EXPECT_EQ(file.pairs[2], (std::pair<std::string, std::string>{"c.cc:3 Sort",
+                                                                "c.cc:3 Sort"}));
+  EXPECT_TRUE(file.Contains("b.cc:2 Set", "a.cc:1 Add"));  // order-insensitive lookup
+  EXPECT_FALSE(file.Contains("a.cc:1 Add", "c.cc:3 Sort"));
+}
+
+TEST(TrapMergeTest, MergeIsUnionAndMonotone) {
+  TrapFile a;
+  a.pairs = {{"x.cc:1 Add", "y.cc:2 Set"}};
+  a.Canonicalize();
+
+  TrapFile b;
+  b.pairs = {{"y.cc:2 Set", "x.cc:1 Add"},  // same pair, reversed
+             {"z.cc:3 Sort", "z.cc:4 Count"}};
+
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  const size_t after_first = a.size();
+
+  // Merging the same content again must not grow or shrink the store.
+  a.Merge(b);
+  EXPECT_EQ(a.size(), after_first);
+
+  // Merging an empty file is a no-op.
+  a.Merge(TrapFile{});
+  EXPECT_EQ(a.size(), after_first);
+  EXPECT_TRUE(a.Contains("z.cc:4 Count", "z.cc:3 Sort"));
+}
+
+TEST(TrapMergeTest, SerializeRoundTripIsCanonical) {
+  TrapFile file;
+  file.pairs = {{"m.cc:9 Get", "a.cc:1 Add"}, {"a.cc:1 Add", "m.cc:9 Get"}};
+  file.Canonicalize();
+
+  TrapFile loaded = TrapFile::Deserialize(file.Serialize());
+  EXPECT_EQ(loaded.pairs, file.pairs);
+
+  // Deserialize canonicalizes even unsorted, duplicated input.
+  TrapFile messy = TrapFile::Deserialize(
+      "z.cc:5 Sort\ta.cc:1 Add\n"
+      "a.cc:1 Add\tz.cc:5 Sort\n"
+      "b.cc:2 Set\tb.cc:2 Set\n");
+  ASSERT_EQ(messy.size(), 2u);
+  EXPECT_EQ(messy.pairs[0].first, "a.cc:1 Add");
+  EXPECT_EQ(messy.pairs[0].second, "z.cc:5 Sort");
+}
+
+TEST(TrapMergeTest, StrictDeserializeRejectsUnsupportedHeader) {
+  TrapFile out;
+  EXPECT_FALSE(TrapFile::Deserialize("tsvd-trap-v9\na.cc:1 Add\tb.cc:2 Set\n", &out));
+  EXPECT_TRUE(TrapFile::Deserialize("tsvd-trap-v1\na.cc:1 Add\tb.cc:2 Set\n", &out));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(TrapMergeTest, LoadFromFailsOnCorruptFile) {
+  const std::string path = TempPath("tsvd_corrupt_trap_test.tsvd");
+  {
+    std::ofstream outf(path, std::ios::binary);
+    outf << "tsvd-trap-v9\nnot a pair line\n";
+  }
+  TrapFile out;
+  EXPECT_FALSE(TrapFile::LoadFrom(path, &out));
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(TrapFile::LoadFrom(TempPath("tsvd_no_such_file.tsvd"), &out));
+}
+
+TEST(TrapMergeTest, SaveToOverwritesAtomicallyAndLeavesNoTempBehind) {
+  const std::string path = TempPath("tsvd_atomic_trap_test.tsvd");
+
+  TrapFile first;
+  first.pairs = {{"a.cc:1 Add", "b.cc:2 Set"}};
+  first.Canonicalize();
+  ASSERT_TRUE(first.SaveTo(path));
+
+  TrapFile second = first;
+  second.Merge(TrapFile::Deserialize("c.cc:3 Sort\td.cc:4 Count\n"));
+  ASSERT_TRUE(second.SaveTo(path));
+
+  TrapFile loaded;
+  ASSERT_TRUE(TrapFile::LoadFrom(path, &loaded));
+  EXPECT_EQ(loaded.pairs, second.pairs);
+  EXPECT_EQ(ReadAll(path), second.Serialize());
+  std::remove(path.c_str());
+
+  // No "<path>.tmp.*" siblings survive a successful save.
+  const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  const std::string stem = std::filesystem::path(path).filename().string() + ".tmp.";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().filename().string().rfind(stem, 0), 0u)
+        << "leftover temp file: " << entry.path();
+  }
+}
+
+// The identity carried across runs is the signature string, never the OpId: interning
+// the same sites in a different order (as a second process would) yields different
+// OpIds but identical signatures, so a trap file written by one "run" still matches.
+TEST(TrapMergeTest, SignatureIdentityIsOpIdIndependent) {
+  CallSiteRegistry& registry = CallSiteRegistry::Instance();
+  const OpId id_a =
+      registry.InternRaw("opid_test.cc", 11, "Dictionary.Add", OpKind::kWrite);
+  const OpId id_b =
+      registry.InternRaw("opid_test.cc", 22, "Dictionary.Get", OpKind::kRead);
+  ASSERT_NE(id_a, id_b);
+
+  // A "previous run" persisted the pair by signature.
+  TrapFile file;
+  file.pairs = {{registry.Get(id_a).Signature(), registry.Get(id_b).Signature()}};
+  file.Canonicalize();
+
+  // The "next run" re-interns (idempotently here; a fresh process would get different
+  // ids) and resolves through the signature, not the id.
+  EXPECT_EQ(registry.FindBySignature("opid_test.cc:11 Dictionary.Add"), id_a);
+  EXPECT_TRUE(file.Contains(registry.Get(id_b).Signature(),
+                            registry.Get(id_a).Signature()));
+  EXPECT_EQ(registry.Get(id_a).Signature(), "opid_test.cc:11 Dictionary.Add");
+}
+
+}  // namespace
+}  // namespace tsvd

@@ -1,0 +1,146 @@
+// Tiny --flag=value command-line parser shared by the tsvd tools.
+//
+// Grammar: every argument must be "--name=value" or a bare "--name" (boolean true).
+// Unknown flags, positional arguments, malformed numbers, and out-of-range values are
+// hard errors with actionable messages — the CLIs are push-button, so silent
+// misconfiguration (the old atoi-returns-0 behavior) is worse than refusing to run.
+#ifndef TOOLS_FLAG_PARSER_H_
+#define TOOLS_FLAG_PARSER_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+namespace tsvd::tools {
+
+class FlagParser {
+ public:
+  // Parses argv[1..). On syntax error, error() is non-empty.
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+        error_ = "unexpected argument '" + arg + "' (flags are --name=value)";
+        return;
+      }
+      const size_t eq = arg.find('=');
+      const std::string name = arg.substr(2, eq == std::string::npos ? arg.npos : eq - 2);
+      const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+      if (name.empty()) {
+        error_ = "malformed flag '" + arg + "'";
+        return;
+      }
+      if (!flags_.emplace(name, value).second) {
+        error_ = "flag --" + name + " given twice";
+        return;
+      }
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty(); }
+
+  bool Has(const std::string& name) {
+    seen_.insert(name);
+    return flags_.contains(name);
+  }
+
+  std::string GetString(const std::string& name, const std::string& default_value) {
+    seen_.insert(name);
+    auto it = flags_.find(name);
+    return it == flags_.end() ? default_value : it->second;
+  }
+
+  // Integer flag with range validation. Rejects non-numeric and trailing garbage
+  // (unlike atoi) and values outside [min, max].
+  int64_t GetInt(const std::string& name, int64_t default_value, int64_t min,
+                 int64_t max) {
+    seen_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return default_value;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+      Fail("--" + name + "=" + it->second + " is not an integer");
+      return default_value;
+    }
+    if (v < min || v > max) {
+      Fail("--" + name + "=" + it->second + " out of range [" + std::to_string(min) +
+           ", " + std::to_string(max) + "]");
+      return default_value;
+    }
+    return v;
+  }
+
+  double GetDouble(const std::string& name, double default_value, double min,
+                   double max) {
+    seen_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return default_value;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+      Fail("--" + name + "=" + it->second + " is not a number");
+      return default_value;
+    }
+    if (v < min || v > max) {
+      Fail("--" + name + "=" + it->second + " out of range [" + std::to_string(min) +
+           ", " + std::to_string(max) + "]");
+      return default_value;
+    }
+    return v;
+  }
+
+  bool GetBool(const std::string& name, bool default_value) {
+    seen_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return default_value;
+    }
+    if (it->second.empty() || it->second == "true" || it->second == "1") {
+      return true;
+    }
+    if (it->second == "false" || it->second == "0") {
+      return false;
+    }
+    Fail("--" + name + "=" + it->second + " is not a boolean (use true/false)");
+    return default_value;
+  }
+
+  // Call after all Get*/Has calls: flags the user passed but the tool never read.
+  void RejectUnknown() {
+    if (!error_.empty()) {
+      return;
+    }
+    for (const auto& [name, value] : flags_) {
+      if (!seen_.contains(name)) {
+        Fail("unknown flag --" + name);
+        return;
+      }
+    }
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+  }
+
+  std::map<std::string, std::string> flags_;
+  std::set<std::string> seen_;
+  std::string error_;
+};
+
+}  // namespace tsvd::tools
+
+#endif  // TOOLS_FLAG_PARSER_H_

@@ -1,0 +1,102 @@
+// tsvd_campaign: fleet-scale campaign runner — the CLI form of the cloud service the
+// paper deployed over ~1,600 projects (Sections 2.1, 5.1). Schedules the synthetic
+// corpus through rounds of parallel runs, carries merged trap files forward between
+// rounds, and emits the unified JSON/SARIF artifact trail.
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "src/campaign/campaign.h"
+#include "src/tasks/thread_pool.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    R"(tsvd_campaign: run a multi-round TSVD campaign over the synthetic corpus.
+
+Usage: tsvd_campaign [--flag=value ...]
+
+  --workers=N      parallel campaign workers, each with its own task pool (default 4)
+  --rounds=N       max rounds; a round with no new unique bugs stops early (default 3)
+  --modules=N      corpus size (default 40)
+  --detector=NAME  TSVD | TSVDHB | DynamicRandom | DataCollider (default TSVD)
+  --scale=F        time scale vs. paper defaults, (0, 1] (default 0.02 = 2ms delays)
+  --seed=N         corpus + detector seed (default 42)
+  --retries=N      attempts per run, 1 = never retry a crashed run (default 2)
+  --no-converge    run all rounds even if a round finds no new unique bugs
+  --out=DIR        artifact directory: traps.tsvd, campaign.json, campaign.sarif
+                   (default "campaign-out"; --out= disables persistence)
+  --help           this text
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsvd;
+
+  tools::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  campaign::CampaignOptions options;
+  options.workers = static_cast<int>(flags.GetInt("workers", 4, 1, 256));
+  options.rounds = static_cast<int>(flags.GetInt("rounds", 3, 1, 1000));
+  options.num_modules = static_cast<int>(flags.GetInt("modules", 40, 1, 100000));
+  options.detector = flags.GetString("detector", "TSVD");
+  options.scale = flags.GetDouble("scale", 0.02, 1e-6, 1.0);
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", 42, 0, std::numeric_limits<int64_t>::max()));
+  options.max_attempts = static_cast<int>(flags.GetInt("retries", 2, 1, 10));
+  options.stop_when_converged = !flags.GetBool("no-converge", false);
+  options.out_dir = flags.GetString("out", "campaign-out");
+  flags.RejectUnknown();
+  if (!flags.ok()) {
+    std::fprintf(stderr, "tsvd_campaign: %s\nTry --help.\n", flags.error().c_str());
+    return 2;
+  }
+
+  std::printf(
+      "tsvd_campaign: %s, %d modules, %d worker(s), up to %d round(s), "
+      "scale %.3f, seed %llu\n",
+      options.detector.c_str(), options.num_modules, options.workers, options.rounds,
+      options.scale, static_cast<unsigned long long>(options.seed));
+
+  const campaign::CampaignResult result = campaign::RunCampaign(options);
+
+  std::printf("\n round  runs  crash  retry  new-bugs  retrapped  traps  wall\n");
+  for (const campaign::RoundStats& stats : result.rounds) {
+    std::printf(" %5d %5d %6d %6d %9llu %10llu %6zu  %.2fs\n", stats.round, stats.runs,
+                stats.crashed, stats.retried,
+                static_cast<unsigned long long>(stats.new_unique_bugs),
+                static_cast<unsigned long long>(stats.retrapped_imported),
+                stats.trap_pairs_after, static_cast<double>(stats.wall_us) / 1e6);
+  }
+  if (result.converged) {
+    std::printf(" converged after %zu round(s)\n", result.rounds.size());
+  }
+
+  std::printf("\nunique bugs: %llu   runs executed: %llu   false positives: %d\n",
+              static_cast<unsigned long long>(result.UniqueBugCount()),
+              static_cast<unsigned long long>(result.RunsExecuted()),
+              result.false_positives);
+
+  int printed = 0;
+  for (const auto& bug : result.bugs) {
+    if (printed++ == 8) {
+      std::printf("  ... and %zu more\n", result.bugs.size() - 8);
+      break;
+    }
+    std::printf("  [round %d, %llux] %s  <->  %s\n", bug.first_round,
+                static_cast<unsigned long long>(bug.occurrences),
+                bug.sig_first.c_str(), bug.sig_second.c_str());
+  }
+
+  if (!result.trap_path.empty()) {
+    std::printf("\nartifacts:\n  %s\n  %s\n  %s\n", result.trap_path.c_str(),
+                result.json_path.c_str(), result.sarif_path.c_str());
+  }
+  return 0;
+}

@@ -2,32 +2,108 @@
 // instrumenter+runtime ("the tool should be push button, requiring little or no
 // configuration", Section 2.1).
 //
-// Usage:
-//   tsvd_cli [detector] [num_modules] [runs] [scale] [seed]
-//     detector     TSVD (default) | TSVDHB | DynamicRandom | DataCollider
-//     num_modules  corpus size (default 40)
-//     runs         consecutive runs with trap-file carry-over (default 2)
-//     scale        time scale vs. paper defaults (default 0.02 = 2ms delays)
-//     seed         corpus + detector seed (default 42)
-//
-// Prints the run summary and the first few violation reports with both stack traces.
+// Runs the corpus sequentially with per-module trap-file carry-over; with --campaign
+// it instead hands the corpus to the campaign orchestrator (parallel workers, round
+// scheduling, merged trap store, JSON/SARIF artifacts — see tsvd_campaign for the
+// full-width campaign CLI).
 #include <cstdio>
-#include <cstdlib>
+#include <limits>
 #include <string>
 
+#include "src/campaign/campaign.h"
 #include "src/workload/corpus.h"
 #include "src/workload/scaling.h"
 #include "src/workload/stats.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    R"(tsvd_cli: run TSVD over the synthetic corpus and print a bug summary.
+
+Usage: tsvd_cli [--flag=value ...]
+
+  --detector=NAME  TSVD | TSVDHB | DynamicRandom | DataCollider (default TSVD)
+  --modules=N      corpus size (default 40)
+  --runs=N         consecutive runs with trap-file carry-over (default 2)
+  --scale=F        time scale vs. paper defaults, (0, 1] (default 0.02 = 2ms delays)
+  --seed=N         corpus + detector seed (default 42)
+  --campaign       campaign mode: parallel workers + rounds instead of sequential
+                   runs; --runs becomes the round bound (see also tsvd_campaign)
+  --workers=N      campaign mode only: parallel workers (default 4)
+  --out=DIR        campaign mode only: artifact directory (default none)
+  --help           this text
+)";
+
+int RunCampaignMode(const std::string& detector, int num_modules, int rounds,
+                    double scale, uint64_t seed, int workers,
+                    const std::string& out_dir) {
+  using namespace tsvd;
+
+  campaign::CampaignOptions options;
+  options.detector = detector;
+  options.num_modules = num_modules;
+  options.rounds = rounds;
+  options.scale = scale;
+  options.seed = seed;
+  options.workers = workers;
+  options.out_dir = out_dir;
+
+  std::printf("tsvd_cli --campaign: %s over %d modules, %d worker(s), up to %d round(s)\n",
+              detector.c_str(), num_modules, workers, rounds);
+
+  const campaign::CampaignResult result = campaign::RunCampaign(options);
+  for (const campaign::RoundStats& stats : result.rounds) {
+    std::printf("  round %d: %llu new bug(s), %llu retrapped, %zu trap pair(s)\n",
+                stats.round, static_cast<unsigned long long>(stats.new_unique_bugs),
+                static_cast<unsigned long long>(stats.retrapped_imported),
+                stats.trap_pairs_after);
+  }
+  std::printf("unique bugs: %llu   runs executed: %llu   false positives: %d%s\n",
+              static_cast<unsigned long long>(result.UniqueBugCount()),
+              static_cast<unsigned long long>(result.RunsExecuted()),
+              result.false_positives, result.converged ? "   (converged)" : "");
+  if (!result.json_path.empty()) {
+    std::printf("artifacts: %s, %s, %s\n", result.trap_path.c_str(),
+                result.json_path.c_str(), result.sarif_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tsvd;
   using namespace tsvd::workload;
 
-  const std::string detector = argc > 1 ? argv[1] : "TSVD";
-  const int num_modules = argc > 2 ? std::atoi(argv[2]) : 40;
-  const int runs = argc > 3 ? std::atoi(argv[3]) : 2;
-  const double scale = argc > 4 ? std::atof(argv[4]) : 0.02;
-  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+  tools::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  const std::string detector = flags.GetString("detector", "TSVD");
+  const int num_modules = static_cast<int>(flags.GetInt("modules", 40, 1, 100000));
+  const int runs = static_cast<int>(flags.GetInt("runs", 2, 1, 1000));
+  const double scale = flags.GetDouble("scale", 0.02, 1e-6, 1.0);
+  const uint64_t seed = static_cast<uint64_t>(
+      flags.GetInt("seed", 42, 0, std::numeric_limits<int64_t>::max()));
+  const bool campaign_mode = flags.GetBool("campaign", false);
+  const int workers = static_cast<int>(flags.GetInt("workers", 4, 1, 256));
+  const std::string out_dir = flags.GetString("out", "");
+  flags.RejectUnknown();
+  if (!flags.ok()) {
+    std::fprintf(stderr, "tsvd_cli: %s\nTry --help.\n", flags.error().c_str());
+    return 2;
+  }
+  if (!campaign_mode && (flags.Has("workers") || flags.Has("out"))) {
+    std::fprintf(stderr, "tsvd_cli: --workers/--out require --campaign\nTry --help.\n");
+    return 2;
+  }
+
+  if (campaign_mode) {
+    return RunCampaignMode(detector, num_modules, runs, scale, seed, workers, out_dir);
+  }
 
   CorpusOptions options;
   options.num_modules = num_modules;
