@@ -1,0 +1,121 @@
+// Sandbox overhead: cost of fork + pipe protocol + watchdog + reap per run, versus
+// executing the same job in-process. The paper's service runs every test in its own
+// process; this quantifies what that isolation costs the campaign per run, and how
+// it amortizes against a realistically sized instrumented module run.
+//
+//   ./bench/sandbox_overhead [iters] [scale]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/sandbox/sandbox.h"
+#include "src/tasks/thread_pool.h"
+#include "src/workload/corpus.h"
+#include "src/workload/runner.h"
+#include "src/workload/scaling.h"
+
+using namespace tsvd;
+
+namespace {
+
+Micros MedianOf(std::vector<Micros>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0 : samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 20;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.02;
+
+  if (!sandbox::ForkSupported()) {
+    std::printf("sandbox_overhead: no fork() on this platform, nothing to measure\n");
+    return 0;
+  }
+
+  // Trivial job: isolates the pure sandbox machinery (fork, pipe, encode/decode,
+  // watchdog arm/disarm, waitpid).
+  std::vector<Micros> trivial_forked;
+  std::vector<Micros> trivial_direct;
+  for (int i = 0; i < iters; ++i) {
+    const auto job = [] {
+      campaign::RunOutcome outcome;
+      outcome.module = "trivial";
+      return outcome;
+    };
+    Micros start = NowMicros();
+    sandbox::ForkRun run = sandbox::RunForked(job, /*timeout_ms=*/10000);
+    trivial_forked.push_back(NowMicros() - start);
+    if (run.status != sandbox::ChildStatus::kOk) {
+      std::fprintf(stderr, "forked trivial job failed: %s\n", run.error.c_str());
+      return 1;
+    }
+    start = NowMicros();
+    campaign::RunOutcome direct = job();
+    trivial_direct.push_back(NowMicros() - start);
+    (void)direct;
+  }
+
+  // Realistic job: one instrumented run of a generated module at the given scale —
+  // the unit the campaign actually schedules.
+  workload::CorpusOptions corpus_options;
+  corpus_options.num_modules = 1;
+  corpus_options.buggy_module_fraction = 1.0;
+  corpus_options.params = workload::ScaledParams(scale);
+  const std::vector<workload::ModuleSpec> corpus =
+      workload::GenerateCorpus(corpus_options);
+  const Config config = workload::ScaledConfig(scale);
+  const workload::DetectorFactory factory = workload::FactoryFor("TSVD");
+
+  const auto module_job = [&]() -> campaign::RunOutcome {
+    // A fresh pool per job: fork() carries over only the calling thread, so the
+    // child must not inherit the parent's global pool object (its workers do not
+    // exist in the child, and queued tasks would wait forever).
+    tsvd::tasks::ThreadPool pool(4);
+    workload::ModuleRunner runner(config, &pool);
+    workload::SingleRun single =
+        runner.RunOnce(corpus[0], factory, TrapFile{}, /*salt=*/1);
+    campaign::RunOutcome outcome;
+    outcome.wall_us = single.run.wall_us;
+    outcome.traps = std::move(single.traps);
+    return outcome;
+  };
+
+  std::vector<Micros> module_forked;
+  std::vector<Micros> module_direct;
+  const int module_iters = std::max(3, iters / 4);
+  for (int i = 0; i < module_iters; ++i) {
+    Micros start = NowMicros();
+    sandbox::ForkRun run = sandbox::RunForked(module_job, /*timeout_ms=*/60000);
+    module_forked.push_back(NowMicros() - start);
+    if (run.status != sandbox::ChildStatus::kOk) {
+      std::fprintf(stderr, "forked module job failed: %s\n", run.error.c_str());
+      return 1;
+    }
+    start = NowMicros();
+    (void)module_job();
+    module_direct.push_back(NowMicros() - start);
+  }
+
+  const Micros trivial_f = MedianOf(trivial_forked);
+  const Micros trivial_d = MedianOf(trivial_direct);
+  const Micros module_f = MedianOf(module_forked);
+  const Micros module_d = MedianOf(module_direct);
+
+  std::printf("sandbox_overhead (%d trivial / %d module iters, scale %.3f)\n\n",
+              iters, module_iters, scale);
+  std::printf("  %-28s %10s %10s %10s\n", "job", "direct", "forked", "overhead");
+  std::printf("  %-28s %8lld us %8lld us %8lld us\n", "trivial (pure machinery)",
+              static_cast<long long>(trivial_d), static_cast<long long>(trivial_f),
+              static_cast<long long>(trivial_f - trivial_d));
+  std::printf("  %-28s %8lld us %8lld us %8.1f %%\n", "instrumented module run",
+              static_cast<long long>(module_d), static_cast<long long>(module_f),
+              module_d > 0
+                  ? 100.0 * static_cast<double>(module_f - module_d) / module_d
+                  : 0.0);
+  return 0;
+}

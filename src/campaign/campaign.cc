@@ -1,5 +1,6 @@
 #include "src/campaign/campaign.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <unordered_set>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "src/campaign/sinks.h"
 #include "src/common/callsite.h"
 #include "src/workload/corpus.h"
+#include "src/workload/faults.h"
 #include "src/workload/runner.h"
 #include "src/workload/scaling.h"
 
@@ -25,11 +27,37 @@ std::pair<std::string, std::string> SignaturesOf(const LocationPair& pair) {
   return {std::move(a), std::move(b)};
 }
 
-RunOutcome ExecuteJob(const RunJob& job, tasks::ThreadPool& pool,
+// The delay-degradation ladder (graceful degradation after watchdog timeouts): each
+// level multiplies delay_us down and tightens the per-thread delay budget, so a
+// retried run injects less total delay and finishes inside the deadline instead of
+// thrashing against the watchdog. An unlimited budget is first pinned to
+// initial_budget_delays full-length delays so there is something to tighten.
+Config DegradeConfig(Config cfg, int level, const sandbox::SandboxPolicy& policy) {
+  if (level <= 0) {
+    return cfg;
+  }
+  if (cfg.max_delay_per_thread_us <= 0) {
+    cfg.max_delay_per_thread_us =
+        static_cast<Micros>(policy.initial_budget_delays) * cfg.delay_us;
+  }
+  for (int i = 0; i < level; ++i) {
+    cfg.delay_us = std::max<Micros>(
+        policy.min_delay_us,
+        static_cast<Micros>(static_cast<double>(cfg.delay_us) * policy.degrade_delay_factor));
+    cfg.max_delay_per_thread_us = std::max<Micros>(
+        policy.min_delay_us,
+        static_cast<Micros>(static_cast<double>(cfg.max_delay_per_thread_us) *
+                            policy.degrade_budget_factor));
+  }
+  return cfg;
+}
+
+// One instrumented run on an already-configured runner; lifts run records into the
+// campaign data model.
+RunOutcome ExecuteJob(const RunJob& job, workload::ModuleRunner& runner,
                       const workload::ModuleSpec& spec,
-                      const workload::DetectorFactory& factory, const Config& config,
+                      const workload::DetectorFactory& factory,
                       const TrapFile& imported, uint64_t campaign_seed) {
-  workload::ModuleRunner runner(config, &pool);
   // The per-run salt depends only on (campaign seed, round): same-seed campaigns
   // replay the same workload randomness per round no matter which worker runs the
   // job or in what order.
@@ -41,6 +69,7 @@ RunOutcome ExecuteJob(const RunJob& job, tasks::ThreadPool& pool,
   outcome.module_index = job.module_index;
   outcome.module = spec.name;
   outcome.round = job.round;
+  outcome.degrade_level = job.degrade_level;
   outcome.wall_us = single.run.wall_us;
   outcome.oncall_count = single.run.summary.oncall_count;
   outcome.delays_injected = single.run.summary.delays_injected;
@@ -92,7 +121,25 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   corpus_options.seed = options.seed;
   corpus_options.buggy_module_fraction = options.buggy_module_fraction;
   corpus_options.params = workload::ScaledParams(options.scale);
-  const std::vector<workload::ModuleSpec> corpus = workload::GenerateCorpus(corpus_options);
+  std::vector<workload::ModuleSpec> corpus = workload::GenerateCorpus(corpus_options);
+
+  // Fault-injection modules ride at the end of the corpus so their indices do not
+  // shift the generated modules' seeds.
+  for (int i = 0; i < options.fault_crash_modules; ++i) {
+    corpus.push_back(workload::MakeCrashModule("fault_crash_" + std::to_string(i),
+                                               options.seed ^ (0xc0ffee00ULL + i),
+                                               corpus_options.params));
+  }
+  for (int i = 0; i < options.fault_hang_modules; ++i) {
+    corpus.push_back(workload::MakeHangModule("fault_hang_" + std::to_string(i),
+                                              options.seed ^ (0xbadcafe00ULL + i),
+                                              corpus_options.params));
+  }
+  for (int i = 0; i < options.fault_throw_modules; ++i) {
+    corpus.push_back(workload::MakeNonStdThrowModule(
+        "fault_throw_" + std::to_string(i), options.seed ^ (0xdeadbea700ULL + i),
+        corpus_options.params));
+  }
 
   const Config config = workload::ScaledConfig(options.scale);
   const workload::DetectorFactory factory = workload::FactoryFor(options.detector);
@@ -104,29 +151,121 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
         (std::filesystem::path(options.out_dir) / "traps.tsvd").string();
   }
 
+  // Sandbox mode needs a scratch directory for the children's atomically-written
+  // trap checkpoints (salvaged by the parent when a child dies mid-run).
+  const bool sandboxed = options.sandbox.enabled && sandbox::ForkSupported();
+  std::string checkpoint_dir;
+  if (sandboxed) {
+    std::filesystem::path dir =
+        persist ? std::filesystem::path(options.out_dir) / "sandbox"
+                : std::filesystem::temp_directory_path() /
+                      ("tsvd-sandbox-" + std::to_string(
+                                             static_cast<uint64_t>(NowMicros())));
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    checkpoint_dir = dir.string();
+  }
+
   BugReportMgr mgr;
   TrapFile merged;  // the fleet-wide trap store, canonical at all times
+  std::vector<char> quarantined(corpus.size(), 0);
   Scheduler scheduler(options.workers, options.pool_threads_per_worker);
+
+  RetryPolicy retry;
+  retry.max_attempts = options.max_attempts;
+  retry.backoff_base_ms = options.sandbox.backoff_base_ms;
+  retry.backoff_cap_ms = options.sandbox.backoff_cap_ms;
 
   const int rounds = options.rounds > 0 ? options.rounds : 1;
   for (int round = 1; round <= rounds; ++round) {
     std::vector<RunJob> jobs;
     jobs.reserve(corpus.size());
     for (size_t m = 0; m < corpus.size(); ++m) {
-      jobs.push_back(RunJob{static_cast<int>(m), round, 1});
+      if (quarantined[m]) {
+        continue;  // a module that exhausted its attempts stays benched
+      }
+      jobs.push_back(RunJob{static_cast<int>(m), round, 1, 0});
+    }
+    if (jobs.empty()) {
+      break;
     }
 
     // Snapshot the store for the round: workers read it concurrently, the merge
     // below happens only after every run of the round completed.
     const TrapFile imported = merged;
+
+    const Scheduler::JobFn in_process = [&](const RunJob& job,
+                                            tasks::ThreadPool& pool) {
+      const Config run_cfg =
+          DegradeConfig(config, job.degrade_level, options.sandbox);
+      workload::ModuleRunner runner(run_cfg, &pool);
+      return ExecuteJob(job, runner, corpus[job.module_index], factory, imported,
+                        options.seed);
+    };
+
+    const Scheduler::JobFn forked = [&](const RunJob& job, tasks::ThreadPool& pool) {
+      (void)pool;  // the child builds its own pool; the parent's threads don't fork
+      const workload::ModuleSpec& spec = corpus[job.module_index];
+      const std::string ckpt =
+          (std::filesystem::path(checkpoint_dir) /
+           ("ckpt-m" + std::to_string(job.module_index) + "-r" +
+            std::to_string(job.round) + ".tsvd"))
+              .string();
+
+      sandbox::ForkRun fork_run = sandbox::RunForked(
+          [&]() -> RunOutcome {
+            // Child side. fork() carried over only this thread: build a fresh task
+            // pool, and stream forensics markers so the parent can attribute a
+            // crash or SIGKILL even when no outcome ever arrives.
+            tasks::ThreadPool child_pool(options.pool_threads_per_worker);
+            const Config run_cfg =
+                DegradeConfig(config, job.degrade_level, options.sandbox);
+            workload::ModuleRunner runner(run_cfg, &child_pool);
+            runner.set_test_begin_hook([](int index, const std::string& name) {
+              sandbox::MarkPhase("test:" + std::to_string(index) + ":" + name);
+            });
+            runner.set_checkpoint_hook([&ckpt](int, const TrapFile& traps) {
+              traps.SaveTo(ckpt);  // atomic: a crash never leaves a torn checkpoint
+            });
+            runner.set_trap_arm_hook([](const std::string& site) {
+              sandbox::MarkTrapSite(site);
+            });
+            return ExecuteJob(job, runner, spec, factory, imported, options.seed);
+          },
+          options.sandbox.run_timeout_ms);
+
+      std::error_code ec;
+      if (fork_run.status == sandbox::ChildStatus::kOk) {
+        std::filesystem::remove(ckpt, ec);
+        return std::move(fork_run.outcome);
+      }
+
+      // The child died (signal, watchdog, escaped exception): build a forensics
+      // outcome and salvage whatever trap pairs its last checkpoint preserved.
+      RunOutcome outcome;
+      outcome.module_index = job.module_index;
+      outcome.module = spec.name;
+      outcome.round = job.round;
+      outcome.degrade_level = job.degrade_level;
+      outcome.status = fork_run.status == sandbox::ChildStatus::kTimedOut
+                           ? RunStatus::kTimedOut
+                           : RunStatus::kCrashed;
+      outcome.error = fork_run.error;
+      outcome.killed_by_signal = fork_run.signature.signal;
+      outcome.crash_signature = fork_run.signature.Render();
+      outcome.wall_us = fork_run.child_wall_us;
+      TrapFile salvaged;
+      if (TrapFile::SalvageFrom(ckpt, &salvaged)) {
+        outcome.salvaged_trap_pairs = salvaged.size();
+        outcome.traps = std::move(salvaged);
+      }
+      std::filesystem::remove(ckpt, ec);
+      return outcome;
+    };
+
     const Micros round_start = NowMicros();
-    std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
-        jobs,
-        [&](const RunJob& job, tasks::ThreadPool& pool) {
-          return ExecuteJob(job, pool, corpus[job.module_index], factory, config,
-                            imported, options.seed);
-        },
-        options.max_attempts);
+    std::vector<RunOutcome> outcomes =
+        scheduler.ExecuteRound(jobs, sandboxed ? forked : in_process, retry);
 
     RoundStats stats;
     stats.round = round;
@@ -135,11 +274,30 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     // Outcomes are in job (= module) order, so ingestion order — and therefore every
     // artifact — is deterministic for a given seed regardless of worker scheduling.
     for (RunOutcome& outcome : outcomes) {
+      // An attempt that threw produces a synthesized outcome with no module name
+      // (the scheduler only knows indices); backfill it for the artifact trail.
+      if (outcome.module.empty() && outcome.module_index >= 0 &&
+          outcome.module_index < static_cast<int>(corpus.size())) {
+        outcome.module = corpus[outcome.module_index].name;
+      }
       if (outcome.status == RunStatus::kCrashed) {
         ++stats.crashed;
+        if (outcome.killed_by_signal != 0) {
+          ++stats.killed_by_signal;
+        }
+      }
+      if (outcome.status == RunStatus::kTimedOut) {
+        ++stats.timed_out;
       }
       if (outcome.attempts > 1) {
         ++stats.retried;
+      }
+      if (outcome.quarantined) {
+        ++stats.quarantined;
+        if (outcome.module_index >= 0 &&
+            outcome.module_index < static_cast<int>(quarantined.size())) {
+          quarantined[outcome.module_index] = 1;
+        }
       }
       stats.delays_injected += outcome.delays_injected;
       stats.retrapped_imported += outcome.retrapped_imported;
@@ -170,24 +328,32 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   result.bugs = mgr.Bugs();
   result.merged_traps = std::move(merged);
 
+  if (sandboxed) {
+    std::error_code ec;
+    std::filesystem::remove_all(checkpoint_dir, ec);
+  }
+
   if (persist) {
     CampaignMeta meta;
     meta.detector = options.detector;
-    meta.num_modules = options.num_modules;
+    meta.num_modules = static_cast<int>(corpus.size());
     meta.workers = scheduler.workers();
     meta.rounds_requested = rounds;
     meta.rounds_executed = static_cast<int>(result.rounds.size());
     meta.converged = result.converged;
+    meta.sandbox = sandboxed;
     meta.scale = options.scale;
     meta.seed = options.seed;
 
     const std::filesystem::path dir(options.out_dir);
     const std::string json_path = (dir / "campaign.json").string();
     const std::string sarif_path = (dir / "campaign.sarif").string();
-    if (WriteFileAtomic(json_path, RenderJson(meta, result.rounds, result.bugs))) {
+    if (WriteFileAtomic(json_path, RenderJson(meta, result.rounds, result.bugs,
+                                              result.outcomes))) {
       result.json_path = json_path;
     }
-    if (WriteFileAtomic(sarif_path, RenderSarif(meta, result.bugs))) {
+    if (WriteFileAtomic(sarif_path,
+                        RenderSarif(meta, result.bugs, result.outcomes))) {
       result.sarif_path = sarif_path;
     }
   }

@@ -17,6 +17,7 @@
 
 #include "src/campaign/bug_report_mgr.h"
 #include "src/campaign/round.h"
+#include "src/sandbox/sandbox.h"
 #include "src/tasks/thread_pool.h"
 
 namespace tsvd::campaign {
@@ -36,6 +37,18 @@ struct CampaignOptions {
   // created if missing): traps.tsvd (merged store, rewritten atomically after every
   // round), campaign.json, campaign.sarif.
   std::string out_dir;
+  // Process isolation: when sandbox.enabled and the platform supports fork(), every
+  // run executes in a forked child under a watchdog deadline (src/sandbox/). A run
+  // that crashes or hangs is retried with exponential backoff and delay degradation,
+  // then quarantined — the campaign itself never dies with a run.
+  sandbox::SandboxPolicy sandbox;
+  // Fault-injection modules appended to the corpus (workload/faults.h): each crash
+  // module segfaults, each hang module sleeps past any watchdog deadline, each throw
+  // module throws a non-std value. Only sensible with the sandbox enabled (except
+  // throw, which the in-process scheduler also survives).
+  int fault_crash_modules = 0;
+  int fault_hang_modules = 0;
+  int fault_throw_modules = 0;
 };
 
 struct CampaignResult {

@@ -20,11 +20,16 @@ struct RunJob {
   int module_index = 0;
   int round = 0;  // 1-based, as reported to users
   int attempt = 1;
+  // Delay-degradation ladder step this attempt runs at. The scheduler raises it when
+  // a sandboxed attempt times out, so the retry re-runs with a halved delay_us and a
+  // tightened per-thread delay budget (see sandbox::SandboxPolicy).
+  int degrade_level = 0;
 };
 
 enum class RunStatus {
   kOk,
-  kCrashed,  // every attempt threw; outcome carries the last error, no run data
+  kCrashed,   // attempt threw or the sandbox child died on a signal; no run data
+  kTimedOut,  // the sandbox watchdog SIGKILLed the attempt at its deadline
 };
 
 // One detected violation lifted out of the run, keyed entirely by stable call-site
@@ -49,7 +54,24 @@ struct RunOutcome {
   int round = 0;
   RunStatus status = RunStatus::kOk;
   int attempts = 1;
-  std::string error;  // last failure message when attempts > 1 or status == kCrashed
+  std::string error;  // last failure message when attempts > 1 or status != kOk
+  // Every failed attempt's error in attempt order ("attempt N: ..."), not just the
+  // last — a flaky module's first-attempt crash stays diagnosable after its retry
+  // succeeds.
+  std::vector<std::string> attempt_errors;
+  // Failure forensics (sandbox mode). killed_by_signal is the fatal signal of the
+  // final attempt (0 = none); crash_signature is the rendered sandbox forensics line
+  // (signal, last phase marker, last armed trap site).
+  int killed_by_signal = 0;
+  std::string crash_signature;
+  // Degradation ladder step the final attempt ran at (> 0 after timeout retries).
+  int degrade_level = 0;
+  // True when the job exhausted max_attempts; the campaign excludes the module from
+  // subsequent rounds instead of re-running a known-bad job forever.
+  bool quarantined = false;
+  // Trap pairs recovered from failed attempts' atomically-checkpointed exports (they
+  // are already merged into `traps`, so a crash mid-run loses no learned pairs).
+  uint64_t salvaged_trap_pairs = 0;
 
   Micros wall_us = 0;
   uint64_t oncall_count = 0;
@@ -69,7 +91,10 @@ struct RoundStats {
   int round = 0;
   int runs = 0;
   int crashed = 0;
-  int retried = 0;  // runs that needed more than one attempt
+  int retried = 0;      // runs that needed more than one attempt
+  int timed_out = 0;    // runs whose final attempt hit the sandbox watchdog deadline
+  int killed_by_signal = 0;  // runs whose final attempt died on a fatal signal
+  int quarantined = 0;  // runs that exhausted max_attempts this round
   uint64_t new_unique_bugs = 0;
   uint64_t retrapped_imported = 0;
   size_t trap_pairs_after = 0;  // merged trap-store size after this round

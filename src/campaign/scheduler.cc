@@ -1,8 +1,26 @@
 #include "src/campaign/scheduler.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
+#include <utility>
 
 namespace tsvd::campaign {
+namespace {
+
+Micros BackoffDelayUs(const RetryPolicy& policy, int completed_attempts) {
+  if (policy.backoff_base_ms <= 0) {
+    return 0;
+  }
+  // First retry waits the base; each further retry doubles it, capped.
+  const int doublings = std::min(completed_attempts - 1, 20);
+  const int64_t ms = std::min<int64_t>(
+      static_cast<int64_t>(policy.backoff_base_ms) << doublings,
+      std::max<int64_t>(policy.backoff_cap_ms, policy.backoff_base_ms));
+  return ms * 1000;
+}
+
+}  // namespace
 
 Scheduler::Scheduler(int workers, int pool_threads_per_worker)
     : pool_threads_per_worker_(pool_threads_per_worker > 0 ? pool_threads_per_worker
@@ -26,15 +44,17 @@ Scheduler::~Scheduler() {
 }
 
 std::vector<RunOutcome> Scheduler::ExecuteRound(const std::vector<RunJob>& jobs,
-                                                const JobFn& fn, int max_attempts) {
+                                                const JobFn& fn,
+                                                const RetryPolicy& policy) {
   std::vector<RunOutcome> outcomes(jobs.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
-    max_attempts_ = max_attempts > 0 ? max_attempts : 1;
+    policy_ = policy;
+    policy_.max_attempts = std::max(policy.max_attempts, 1);
     outcomes_ = &outcomes;
     for (size_t i = 0; i < jobs.size(); ++i) {
-      queue_.push_back(QueuedJob{jobs[i], i});
+      queue_.push_back(QueuedJob{jobs[i], i, 0, {}, {}});
     }
     outstanding_ = jobs.size();
   }
@@ -47,6 +67,36 @@ std::vector<RunOutcome> Scheduler::ExecuteRound(const std::vector<RunJob>& jobs,
   return outcomes;
 }
 
+bool Scheduler::NextJob(std::unique_lock<std::mutex>& lock, QueuedJob* out) {
+  for (;;) {
+    if (shutdown_ && queue_.empty()) {
+      return false;
+    }
+    if (!queue_.empty()) {
+      const Micros now = NowMicros();
+      Micros earliest = queue_.front().ready_at_us;
+      auto ready = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        earliest = std::min(earliest, it->ready_at_us);
+        if (it->ready_at_us <= now) {
+          ready = it;
+          break;
+        }
+      }
+      if (ready != queue_.end()) {
+        *out = std::move(*ready);
+        queue_.erase(ready);
+        return true;
+      }
+      // Everything queued is still backing off: sleep until the earliest window
+      // opens (or a new job / shutdown wakes us).
+      work_cv_.wait_for(lock, std::chrono::microseconds(earliest - now));
+      continue;
+    }
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  }
+}
+
 void Scheduler::WorkerLoop(int worker_index) {
   (void)worker_index;
   // The worker's private task pool: every run this worker executes schedules its
@@ -57,17 +107,14 @@ void Scheduler::WorkerLoop(int worker_index) {
   for (;;) {
     QueuedJob item;
     const JobFn* fn = nullptr;
-    int max_attempts = 1;
+    RetryPolicy policy;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) {
+      if (!NextJob(lock, &item)) {
         return;
       }
-      item = std::move(queue_.front());
-      queue_.pop_front();
       fn = fn_;
-      max_attempts = max_attempts_;
+      policy = policy_;
     }
 
     RunOutcome outcome;
@@ -75,31 +122,64 @@ void Scheduler::WorkerLoop(int worker_index) {
     std::string error;
     try {
       outcome = (*fn)(item.job, pool);
-      ok = true;
+      ok = outcome.status == RunStatus::kOk;
+      if (!ok) {
+        error = outcome.error.empty() ? "run failed" : outcome.error;
+      }
     } catch (const std::exception& e) {
       error = e.what();
     } catch (...) {
-      error = "unknown exception";
+      // A non-standard throw (int, const char*, ...) must degrade to a crashed
+      // outcome, not terminate the worker thread.
+      error = "non-standard exception";
     }
 
     std::lock_guard<std::mutex> lock(mu_);
-    if (!ok && item.job.attempt < max_attempts) {
+    if (!ok) {
+      item.errors.push_back("attempt " + std::to_string(item.job.attempt) + ": " +
+                            error);
+      // Failed sandbox attempts can still carry trap pairs salvaged from the
+      // child's atomic checkpoint; keep them across retries.
+      if (!outcome.traps.empty()) {
+        item.salvaged.Merge(outcome.traps);
+      }
+    }
+    if (!ok && item.job.attempt < policy.max_attempts) {
       // Re-queue the crashed run for another attempt, like the fleet re-running a
-      // flaky test process. outstanding_ is unchanged: the job is still pending.
-      QueuedJob retry = item;
+      // flaky test process — after an exponential-backoff window, and one step down
+      // the delay-degradation ladder if the watchdog killed it. outstanding_ is
+      // unchanged: the job is still pending.
+      QueuedJob retry = std::move(item);
+      if (outcome.status == RunStatus::kTimedOut) {
+        ++retry.job.degrade_level;
+      }
+      retry.ready_at_us = NowMicros() + BackoffDelayUs(policy, retry.job.attempt);
       ++retry.job.attempt;
       queue_.push_back(std::move(retry));
       work_cv_.notify_one();
       continue;
     }
     if (!ok) {
-      outcome = RunOutcome{};
+      // Preserve whatever forensics the failed outcome carries (crash signature,
+      // fatal signal); an exception path synthesizes a crashed outcome.
+      if (outcome.status == RunStatus::kOk) {
+        outcome = RunOutcome{};
+        outcome.status = RunStatus::kCrashed;
+      }
       outcome.module_index = item.job.module_index;
       outcome.round = item.job.round;
-      outcome.status = RunStatus::kCrashed;
       outcome.error = error;
+      outcome.quarantined = true;
+      outcome.observations.clear();
+      outcome.traps = std::move(item.salvaged);
+    } else if (!item.salvaged.empty()) {
+      // Earlier failed attempts' learning survives a successful retry.
+      outcome.traps.Merge(item.salvaged);
     }
+    outcome.salvaged_trap_pairs = ok ? item.salvaged.size() : outcome.traps.size();
+    outcome.attempt_errors = std::move(item.errors);
     outcome.attempts = item.job.attempt;
+    outcome.degrade_level = item.job.degrade_level;
     (*outcomes_)[item.slot] = std::move(outcome);
     if (--outstanding_ == 0) {
       done_cv_.notify_all();

@@ -4,9 +4,17 @@
 // the module under an ExecDomain bound to that pool, so W workers execute W
 // instrumented runs concurrently with process-style isolation (fresh Runtime each, no
 // shared instrumentation state) — the in-process analogue of the deployment's
-// one-process-per-run fleet. A job that throws is retried up to max_attempts times
-// (the paper's cloud service re-queues crashed test runs); a job that exhausts its
-// attempts is reported as crashed, never dropped.
+// one-process-per-run fleet. In sandbox mode the job function additionally forks a
+// real child process per run (src/sandbox/).
+//
+// Failure handling mirrors the paper's cloud service, which re-queues crashed test
+// runs: an attempt that throws — any exception, standard or not — or returns a
+// non-kOk outcome (a sandboxed child that crashed or hit its watchdog deadline) is
+// retried up to max_attempts times with exponential backoff; a timed-out attempt is
+// retried one step further down the delay-degradation ladder; a job that exhausts
+// its attempts is reported with `quarantined = true`, never dropped. Every failed
+// attempt's error is recorded, and trap pairs salvaged from failed attempts are
+// carried into the final outcome so no learned near-miss pair is lost.
 #ifndef SRC_CAMPAIGN_SCHEDULER_H_
 #define SRC_CAMPAIGN_SCHEDULER_H_
 
@@ -15,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,10 +32,21 @@
 
 namespace tsvd::campaign {
 
+// Retry shape for one round. backoff_base_ms 0 (the default) retries immediately,
+// preserving the original scheduler behavior; otherwise the n-th retry of a job
+// waits backoff_base_ms * 2^(n-1) ms, capped at backoff_cap_ms, before it becomes
+// eligible again (workers run other jobs in the meantime).
+struct RetryPolicy {
+  int max_attempts = 2;
+  int backoff_base_ms = 0;
+  int backoff_cap_ms = 2'000;
+};
+
 class Scheduler {
  public:
-  // Executes one job on the calling worker's private pool. Thrown exceptions trigger
-  // retry; the returned outcome is stored in job order.
+  // Executes one job on the calling worker's private pool. A thrown exception or a
+  // returned outcome with status != kOk triggers retry; the returned outcome is
+  // stored in job order.
   using JobFn = std::function<RunOutcome(const RunJob& job, tasks::ThreadPool& pool)>;
 
   explicit Scheduler(int workers,
@@ -40,7 +60,13 @@ class Scheduler {
   // exhausted max_attempts). Outcomes are returned in job order regardless of which
   // worker ran them or in what order they finished. Not reentrant.
   std::vector<RunOutcome> ExecuteRound(const std::vector<RunJob>& jobs, const JobFn& fn,
-                                       int max_attempts = 2);
+                                       const RetryPolicy& policy);
+  std::vector<RunOutcome> ExecuteRound(const std::vector<RunJob>& jobs, const JobFn& fn,
+                                       int max_attempts = 2) {
+    RetryPolicy policy;
+    policy.max_attempts = max_attempts;
+    return ExecuteRound(jobs, fn, policy);
+  }
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
@@ -48,9 +74,15 @@ class Scheduler {
   struct QueuedJob {
     RunJob job;
     size_t slot = 0;
+    Micros ready_at_us = 0;               // backoff: not eligible before this time
+    std::vector<std::string> errors;      // every failed attempt so far
+    TrapFile salvaged;                    // traps recovered from failed attempts
   };
 
   void WorkerLoop(int worker_index);
+  // Pops the first eligible job, waiting out backoff windows. Returns false on
+  // shutdown with an empty queue.
+  bool NextJob(std::unique_lock<std::mutex>& lock, QueuedJob* out);
 
   const int pool_threads_per_worker_;
 
@@ -59,7 +91,7 @@ class Scheduler {
   std::condition_variable done_cv_;   // ExecuteRound waits for completion
   std::deque<QueuedJob> queue_;
   const JobFn* fn_ = nullptr;         // valid for the duration of one ExecuteRound
-  int max_attempts_ = 1;
+  RetryPolicy policy_;
   size_t outstanding_ = 0;            // queued + executing
   std::vector<RunOutcome>* outcomes_ = nullptr;
   bool shutdown_ = false;

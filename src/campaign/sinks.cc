@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "src/campaign/json.h"
+#include "src/sandbox/outcome_codec.h"
 
 namespace tsvd::campaign {
 
@@ -56,10 +57,37 @@ Json BugToJson(const BugReportMgr::UniqueBug& bug) {
   return j;
 }
 
+// A run is reportable when it ended badly or needed more than one attempt; healthy
+// first-attempt runs stay out of the forensics trail.
+bool IsFailureRecord(const RunOutcome& outcome) {
+  return outcome.status != RunStatus::kOk || outcome.attempts > 1;
+}
+
+Json FailureToJson(const RunOutcome& outcome) {
+  Json j = Json::MakeObject();
+  j.Set("module", outcome.module);
+  j.Set("module_index", outcome.module_index);
+  j.Set("round", outcome.round);
+  j.Set("status", sandbox::RunStatusName(outcome.status));
+  j.Set("attempts", outcome.attempts);
+  j.Set("degrade_level", outcome.degrade_level);
+  j.Set("quarantined", outcome.quarantined);
+  j.Set("killed_by_signal", outcome.killed_by_signal);
+  j.Set("crash_signature", outcome.crash_signature);
+  j.Set("salvaged_trap_pairs", outcome.salvaged_trap_pairs);
+  Json errors = Json::MakeArray();
+  for (const std::string& error : outcome.attempt_errors) {
+    errors.Push(error);
+  }
+  j.Set("attempt_errors", std::move(errors));
+  return j;
+}
+
 }  // namespace
 
 std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& rounds,
-                       const std::vector<BugReportMgr::UniqueBug>& bugs) {
+                       const std::vector<BugReportMgr::UniqueBug>& bugs,
+                       const std::vector<RunOutcome>& outcomes) {
   Json root = Json::MakeObject();
 
   Json campaign = Json::MakeObject();
@@ -69,6 +97,7 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
   campaign.Set("rounds_requested", meta.rounds_requested);
   campaign.Set("rounds_executed", meta.rounds_executed);
   campaign.Set("converged", meta.converged);
+  campaign.Set("sandbox", meta.sandbox);
   campaign.Set("scale", meta.scale);
   campaign.Set("seed", meta.seed);
   root.Set("campaign", std::move(campaign));
@@ -81,6 +110,9 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
     jr.Set("runs", r.runs);
     jr.Set("crashed", r.crashed);
     jr.Set("retried", r.retried);
+    jr.Set("timed_out", r.timed_out);
+    jr.Set("killed_by_signal", r.killed_by_signal);
+    jr.Set("quarantined", r.quarantined);
     jr.Set("new_unique_bugs", r.new_unique_bugs);
     jr.Set("retrapped_imported", r.retrapped_imported);
     jr.Set("trap_pairs_after", r.trap_pairs_after);
@@ -99,17 +131,31 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
   }
   root.Set("unique_bugs", std::move(bug_array));
 
+  // Failure forensics: one record per run that crashed, timed out, or retried —
+  // in outcome (= job) order, so the rendering is deterministic.
+  Json failures = Json::MakeArray();
+  uint64_t salvaged = 0;
+  for (const RunOutcome& outcome : outcomes) {
+    if (IsFailureRecord(outcome)) {
+      failures.Push(FailureToJson(outcome));
+      salvaged += outcome.salvaged_trap_pairs;
+    }
+  }
+  root.Set("run_failures", std::move(failures));
+
   Json totals = Json::MakeObject();
   totals.Set("unique_bugs", bugs.size());
   totals.Set("distinct_stack_pairs", manifestations);
   totals.Set("delays_injected", total_delays);
+  totals.Set("salvaged_trap_pairs", salvaged);
   root.Set("totals", std::move(totals));
 
   return root.Dump(2);
 }
 
 std::string RenderSarif(const CampaignMeta& meta,
-                        const std::vector<BugReportMgr::UniqueBug>& bugs) {
+                        const std::vector<BugReportMgr::UniqueBug>& bugs,
+                        const std::vector<RunOutcome>& outcomes) {
   Json root = Json::MakeObject();
   root.Set("$schema",
            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
@@ -193,6 +239,46 @@ std::string RenderSarif(const CampaignMeta& meta,
   Json run = Json::MakeObject();
   run.Set("tool", std::move(tool));
   run.Set("results", std::move(results));
+
+  // SARIF invocations: one per failed/retried campaign run, carrying the sandbox
+  // forensics. Omitted entirely when no outcome trail was provided (legacy calls)
+  // so the baseline output shape is unchanged.
+  if (!outcomes.empty()) {
+    Json invocations = Json::MakeArray();
+    for (const RunOutcome& outcome : outcomes) {
+      if (!IsFailureRecord(outcome)) {
+        continue;
+      }
+      Json invocation = Json::MakeObject();
+      invocation.Set("executionSuccessful", outcome.status == RunStatus::kOk);
+      if (!outcome.error.empty()) {
+        Json notifications = Json::MakeArray();
+        Json note = Json::MakeObject();
+        note.Set("level", outcome.status == RunStatus::kOk ? "warning" : "error");
+        Json msg = Json::MakeObject();
+        msg.Set("text", outcome.error);
+        note.Set("message", std::move(msg));
+        notifications.Push(std::move(note));
+        invocation.Set("toolExecutionNotifications", std::move(notifications));
+      }
+      Json properties = Json::MakeObject();
+      properties.Set("module", outcome.module);
+      properties.Set("round", outcome.round);
+      properties.Set("status", sandbox::RunStatusName(outcome.status));
+      properties.Set("attempts", outcome.attempts);
+      properties.Set("degradeLevel", outcome.degrade_level);
+      properties.Set("quarantined", outcome.quarantined);
+      properties.Set("killedBySignal", outcome.killed_by_signal);
+      properties.Set("crashSignature", outcome.crash_signature);
+      properties.Set("salvagedTrapPairs", outcome.salvaged_trap_pairs);
+      invocation.Set("properties", std::move(properties));
+      invocations.Push(std::move(invocation));
+    }
+    if (invocations.size() > 0) {
+      run.Set("invocations", std::move(invocations));
+    }
+  }
+
   Json runs = Json::MakeArray();
   runs.Push(std::move(run));
   root.Set("runs", std::move(runs));

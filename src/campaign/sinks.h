@@ -27,15 +27,24 @@ struct CampaignMeta {
   int rounds_requested = 0;
   int rounds_executed = 0;
   bool converged = false;
+  bool sandbox = false;  // runs executed in forked sandbox children
   double scale = 0;
   uint64_t seed = 0;
 };
 
+// `outcomes` (every run of every round, in order) feeds the failure forensics:
+// the JSON gains a "run_failures" array (module, round, status, attempts, fatal
+// signal, crash signature, salvaged trap pairs, per-attempt errors) and the SARIF
+// run gains `invocations` with executionSuccessful=false per failed run. Callers
+// that have no outcome trail (or predate it) omit the argument and get the
+// previous output shape minus nothing.
 std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& rounds,
-                       const std::vector<BugReportMgr::UniqueBug>& bugs);
+                       const std::vector<BugReportMgr::UniqueBug>& bugs,
+                       const std::vector<RunOutcome>& outcomes = {});
 
 std::string RenderSarif(const CampaignMeta& meta,
-                        const std::vector<BugReportMgr::UniqueBug>& bugs);
+                        const std::vector<BugReportMgr::UniqueBug>& bugs,
+                        const std::vector<RunOutcome>& outcomes = {});
 
 // Atomic file write (temp + rename); returns false on I/O failure.
 bool WriteFileAtomic(const std::string& path, const std::string& content);

@@ -51,6 +51,12 @@ class CallSiteRegistry {
   // Finds an already-interned site by signature; returns kInvalidOp if unknown.
   OpId FindBySignature(const std::string& signature) const;
 
+  // Fork-safety hooks: the sandbox holds the interning lock across fork() so a child
+  // forked while another thread was mid-intern cannot inherit a locked mutex and
+  // deadlock on its first instrumented call.
+  void LockForFork() const { mu_.lock(); }
+  void UnlockForFork() const { mu_.unlock(); }
+
  private:
   CallSiteRegistry() = default;
 

@@ -69,6 +69,9 @@ void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) {
 
   TrapRegistry::Trap* trap = traps_.Set(access, ScopeStack::Current().Snapshot());
   delays_injected_.fetch_add(1, std::memory_order_relaxed);
+  if (trap_arm_observer_) {
+    trap_arm_observer_(op);
+  }
   const Micros start = NowMicros();
   SleepMicros(decision.duration_us);
   const Micros end = NowMicros();

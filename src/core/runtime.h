@@ -65,6 +65,14 @@ class Runtime {
     observer_ = std::move(observer);
   }
 
+  // Observer invoked synchronously whenever a trap is armed (just before the delay
+  // sleep), with the trapped location. The sandbox streams the site's signature to
+  // its parent process so a crash signature can name the last armed trap. Called
+  // from workload threads on the delay path — keep it cheap.
+  void SetTrapArmObserver(std::function<void(OpId)> observer) {
+    trap_arm_observer_ = std::move(observer);
+  }
+
   // --- installation ---
   //
   // Two routing layers. The classic layer is a process-wide pointer (Install /
@@ -130,6 +138,7 @@ class Runtime {
   mutable std::mutex reports_mu_;
   std::vector<BugReport> reports_;
   std::function<void(const BugReport&)> observer_;
+  std::function<void(OpId)> trap_arm_observer_;
 
   std::atomic<uint64_t> oncall_count_{0};
   std::atomic<uint64_t> delays_injected_{0};

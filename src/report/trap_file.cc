@@ -57,11 +57,17 @@ TrapFile TrapFile::Deserialize(const std::string& text) {
   return file;
 }
 
-bool TrapFile::Deserialize(const std::string& text, TrapFile* out) {
+namespace {
+
+// Shared line parser. Strict mode treats an unsupported "tsvd-trap-*" header as
+// fatal (parse nothing); salvage mode counts it as one skipped line and keeps
+// mining the rest. Returns the number of malformed lines skipped, or -1 for the
+// strict fatal-header case.
+int ParsePairs(const std::string& text, TrapFile* out, bool strict_header) {
   out->pairs.clear();
   std::istringstream in(text);
   std::string line;
-  bool ok = true;
+  int skipped = 0;
   bool first = true;
   while (std::getline(in, line)) {
     if (first) {
@@ -71,22 +77,42 @@ bool TrapFile::Deserialize(const std::string& text, TrapFile* out) {
       }
       if (line.starts_with(kHeaderPrefix)) {
         // A trap header of a version this build does not understand: corrupt or
-        // foreign. Parse nothing from it.
-        return false;
+        // foreign.
+        if (strict_header) {
+          return -1;
+        }
+        ++skipped;
+        continue;
       }
       // Headerless input: fall through and parse the first line as a pair.
     }
     const size_t tab = line.find('\t');
     if (tab == std::string::npos) {
       if (!line.empty()) {
-        ok = false;  // malformed line: skipped, reported to the strict caller
+        ++skipped;  // malformed line: skipped, reported to the caller
       }
       continue;
     }
     out->pairs.emplace_back(line.substr(0, tab), line.substr(tab + 1));
   }
   out->Canonicalize();
-  return ok;
+  return skipped;
+}
+
+}  // namespace
+
+bool TrapFile::Deserialize(const std::string& text, TrapFile* out) {
+  const int skipped = ParsePairs(text, out, /*strict_header=*/true);
+  return skipped == 0;
+}
+
+TrapFile TrapFile::Salvage(const std::string& text, int* skipped_lines) {
+  TrapFile file;
+  const int skipped = ParsePairs(text, &file, /*strict_header=*/false);
+  if (skipped_lines != nullptr) {
+    *skipped_lines = skipped;
+  }
+  return file;
 }
 
 bool TrapFile::SaveTo(const std::string& path) const {
@@ -123,6 +149,20 @@ bool TrapFile::LoadFrom(const std::string& path, TrapFile* out) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return Deserialize(buffer.str(), out);
+}
+
+bool TrapFile::SalvageFrom(const std::string& path, TrapFile* out, int* skipped_lines) {
+  std::ifstream in(path);
+  if (!in) {
+    if (skipped_lines != nullptr) {
+      *skipped_lines = 0;
+    }
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = Salvage(buffer.str(), skipped_lines);
+  return true;
 }
 
 }  // namespace tsvd

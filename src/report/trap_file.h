@@ -46,11 +46,21 @@ struct TrapFile {
   // used by LoadFrom.
   static bool Deserialize(const std::string& text, TrapFile* out);
 
+  // Salvage parse: keeps every well-formed pair line, drops malformed lines and
+  // unsupported headers, and reports how many lines were skipped. Where the strict
+  // Deserialize rejects a whole file on any malformed content, salvage recovers the
+  // valid remainder — the mode the campaign uses when merging the trap export of a
+  // run that crashed (or a corrupt/foreign store it would rather mine than discard).
+  static TrapFile Salvage(const std::string& text, int* skipped_lines = nullptr);
+
   // File I/O; returns false on I/O failure. SaveTo is atomic: the content is written
   // to a sibling temp file and renamed over `path`, so concurrent readers see either
   // the old or the new store, never a torn one.
   bool SaveTo(const std::string& path) const;
   static bool LoadFrom(const std::string& path, TrapFile* out);
+  // Salvage-mode load; false only when the file cannot be read at all.
+  static bool SalvageFrom(const std::string& path, TrapFile* out,
+                          int* skipped_lines = nullptr);
 };
 
 }  // namespace tsvd

@@ -1,0 +1,30 @@
+// RunOutcome <-> Json codec for the sandbox pipe protocol.
+//
+// The child process serializes its finished RunOutcome (counters, observations, trap
+// export) with the campaign's Json model and streams it to the parent; the parent
+// decodes it back. The encoding is also reused by anything that wants a durable
+// machine-readable per-run record. Round-trips are exact for every field the
+// campaign consumes.
+#ifndef SRC_SANDBOX_OUTCOME_CODEC_H_
+#define SRC_SANDBOX_OUTCOME_CODEC_H_
+
+#include <string>
+
+#include "src/campaign/json.h"
+#include "src/campaign/round.h"
+
+namespace tsvd::sandbox {
+
+campaign::Json EncodeRunOutcome(const campaign::RunOutcome& outcome);
+
+// Strict decode; returns false when `doc` is not an encoded RunOutcome. Unknown
+// fields are ignored so the protocol can grow without breaking older parents.
+bool DecodeRunOutcome(const campaign::Json& doc, campaign::RunOutcome* out);
+
+// String forms used by the codec and the sinks ("ok", "crashed", "timed_out").
+const char* RunStatusName(campaign::RunStatus status);
+bool RunStatusFromName(const std::string& name, campaign::RunStatus* out);
+
+}  // namespace tsvd::sandbox
+
+#endif  // SRC_SANDBOX_OUTCOME_CODEC_H_

@@ -1,0 +1,64 @@
+#include "src/workload/faults.h"
+
+#include "src/common/clock.h"
+#include "src/workload/patterns.h"
+
+namespace tsvd::workload {
+namespace {
+
+// Written through a volatile pointer-to-pointer so no compiler can prove the store
+// away or turn the UB into something other than a fault.
+int* volatile g_null_target = nullptr;
+
+ModuleSpec FaultModuleBase(const std::string& name, uint64_t seed,
+                           const WorkloadParams& params) {
+  ModuleSpec spec;
+  spec.name = name;
+  spec.seed = seed;
+  spec.params = params;
+  // A real buggy pattern first: the run learns dangerous pairs before the fault
+  // fires, so crash-salvage has something to recover.
+  spec.tests.push_back(MakeTest(PatternId::kDictReadWrite));
+  return spec;
+}
+
+}  // namespace
+
+ModuleSpec MakeCrashModule(const std::string& name, uint64_t seed,
+                           const WorkloadParams& params) {
+  ModuleSpec spec = FaultModuleBase(name, seed, params);
+  TestCase crash;
+  crash.name = "fault_sigsegv";
+  crash.fn = [](TestContext&) { *g_null_target = 42; };
+  spec.tests.push_back(std::move(crash));
+  return spec;
+}
+
+ModuleSpec MakeHangModule(const std::string& name, uint64_t seed,
+                          const WorkloadParams& params, Micros hang_us) {
+  ModuleSpec spec = FaultModuleBase(name, seed, params);
+  TestCase hang;
+  hang.name = "fault_hang";
+  hang.fn = [hang_us](TestContext&) {
+    // Sleep in slices: the total far exceeds any watchdog deadline, but the test
+    // still terminates eventually if someone runs it without a sandbox.
+    const Micros deadline = NowMicros() + hang_us;
+    while (NowMicros() < deadline) {
+      SleepMicros(10'000);
+    }
+  };
+  spec.tests.push_back(std::move(hang));
+  return spec;
+}
+
+ModuleSpec MakeNonStdThrowModule(const std::string& name, uint64_t seed,
+                                 const WorkloadParams& params) {
+  ModuleSpec spec = FaultModuleBase(name, seed, params);
+  TestCase thrower;
+  thrower.name = "fault_nonstd_throw";
+  thrower.fn = [](TestContext&) { throw 42; };
+  spec.tests.push_back(std::move(thrower));
+  return spec;
+}
+
+}  // namespace tsvd::workload

@@ -42,17 +42,30 @@ tasks::ThreadPool& ModuleRunner::pool() const {
 }
 
 void ModuleRunner::ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth,
-                                uint64_t salt) {
+                                uint64_t salt,
+                                const std::function<void(int, const TestCase&)>& before_test,
+                                const std::function<void(int)>& after_test) {
   Rng module_rng(spec.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
   int test_id = 0;
   for (const TestCase& test : spec.tests) {
+    const int index = test_id++;
+    if (before_test) {
+      before_test(index, test);
+    }
     // Fixture work (setup, teardown, assertions) unrelated to any race; identical in
     // baseline and instrumented runs.
     SleepMicros(spec.params.fixture_us);
-    ScopedFrame module_frame(spec.name);
-    ScopedFrame test_frame(test.name);
-    TestContext ctx(module_rng.Fork(), spec.params, truth, test_id++, test.tags);
-    test.fn(ctx);
+    {
+      ScopedFrame module_frame(spec.name);
+      ScopedFrame test_frame(test.name);
+      TestContext ctx(module_rng.Fork(), spec.params, truth, index, test.tags);
+      test.fn(ctx);
+    }
+    if (after_test) {
+      // Quiesce the pool so the checkpoint sees every pair the test produced.
+      pool().WaitIdle();
+      after_test(index);
+    }
   }
   pool().WaitIdle();
 }
@@ -115,6 +128,26 @@ SingleRun ModuleRunner::RunOnce(const ModuleSpec& spec, const DetectorFactory& f
     run_result.records.push_back(std::move(record));
   });
 
+  if (trap_arm_hook_) {
+    runtime.SetTrapArmObserver([this](OpId op) {
+      trap_arm_hook_(CallSiteRegistry::Instance().Get(op).Signature());
+    });
+  }
+  std::function<void(int, const TestCase&)> before_test;
+  std::function<void(int)> after_test;
+  if (test_begin_hook_) {
+    before_test = [this](int index, const TestCase& test) {
+      test_begin_hook_(index, test.name);
+    };
+  }
+  if (checkpoint_hook_) {
+    after_test = [this, &runtime](int index) {
+      TrapFile traps = runtime.detector().ExportTrapFile();
+      traps.Canonicalize();
+      checkpoint_hook_(index, traps);
+    };
+  }
+
   const Micros start = NowMicros();
   {
     // Section 4: instrumentation forces asynchrony. The domain scopes the runtime,
@@ -122,7 +155,7 @@ SingleRun ModuleRunner::RunOnce(const ModuleSpec& spec, const DetectorFactory& f
     // concurrently without sharing instrumentation state.
     tasks::ExecDomain domain{&pool(), &runtime, /*force_async=*/true};
     tasks::DomainGuard guard(&domain);
-    ExecuteTests(spec, &truth, salt);
+    ExecuteTests(spec, &truth, salt, before_test, after_test);
   }
   run_result.wall_us = NowMicros() - start;
 

@@ -104,12 +104,36 @@ class ModuleRunner {
   SingleRun RunOnce(const ModuleSpec& spec, const DetectorFactory& factory,
                     const TrapFile& import, uint64_t salt);
 
+  // --- sandbox forensics hooks (all optional, instrumented runs only) ---
+  //
+  // Called with (test_index, test_name) just before each test of RunOnce starts.
+  // The sandbox streams it as a phase marker so a crash mid-test is attributable.
+  void set_test_begin_hook(std::function<void(int, const std::string&)> hook) {
+    test_begin_hook_ = std::move(hook);
+  }
+  // Called after each test of RunOnce completes with the test index and the
+  // detector's current canonical trap export. The sandbox checkpoints it atomically
+  // so a later crash salvages every near-miss pair learned so far.
+  void set_checkpoint_hook(std::function<void(int, const TrapFile&)> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+  // Called with the site signature whenever the run arms a trap (delay injection).
+  // Invoked from workload threads mid-run — must be cheap and thread-safe.
+  void set_trap_arm_hook(std::function<void(const std::string&)> hook) {
+    trap_arm_hook_ = std::move(hook);
+  }
+
  private:
-  void ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth, uint64_t salt);
+  void ExecuteTests(const ModuleSpec& spec, TruthRegistry* truth, uint64_t salt,
+                    const std::function<void(int, const TestCase&)>& before_test = {},
+                    const std::function<void(int)>& after_test = {});
   tasks::ThreadPool& pool() const;
 
   Config config_;
   tasks::ThreadPool* pool_;
+  std::function<void(int, const std::string&)> test_begin_hook_;
+  std::function<void(int, const TrapFile&)> checkpoint_hook_;
+  std::function<void(const std::string&)> trap_arm_hook_;
 };
 
 }  // namespace tsvd::workload

@@ -140,5 +140,257 @@ TEST(SchedulerTest, EmptyRoundReturnsImmediately) {
   EXPECT_TRUE(outcomes.empty());
 }
 
+TEST(SchedulerTest, NonStdThrowIsCapturedNotFatal) {
+  Scheduler scheduler(/*workers=*/2, /*pool_threads_per_worker=*/1);
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(3),
+      [](const RunJob& job, tasks::ThreadPool&) -> RunOutcome {
+        if (job.module_index == 1) {
+          throw 42;  // not a std::exception
+        }
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      },
+      /*max_attempts=*/1);
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[1].status, RunStatus::kCrashed);
+  EXPECT_NE(outcomes[1].error.find("non-standard exception"), std::string::npos);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kOk);
+  EXPECT_EQ(outcomes[2].status, RunStatus::kOk);
+}
+
+TEST(SchedulerTest, NonOkOutcomeTriggersRetryLikeAThrow) {
+  // Sandbox-mode failures arrive as returned outcomes, not exceptions.
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::atomic<int> calls{0};
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [&](const RunJob& job, tasks::ThreadPool&) {
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        if (++calls == 1) {
+          outcome.status = RunStatus::kCrashed;
+          outcome.error = "child died";
+        }
+        return outcome;
+      },
+      /*max_attempts=*/2);
+
+  EXPECT_EQ(calls.load(), 2);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kOk);
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  ASSERT_EQ(outcomes[0].attempt_errors.size(), 1u);
+  EXPECT_NE(outcomes[0].attempt_errors[0].find("attempt 1: child died"),
+            std::string::npos);
+}
+
+TEST(SchedulerTest, EveryFailedAttemptErrorIsRecorded) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [](const RunJob& job, tasks::ThreadPool&) -> RunOutcome {
+        throw std::runtime_error("boom attempt " + std::to_string(job.attempt));
+      },
+      /*max_attempts=*/3);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kCrashed);
+  EXPECT_TRUE(outcomes[0].quarantined);
+  ASSERT_EQ(outcomes[0].attempt_errors.size(), 3u);
+  EXPECT_NE(outcomes[0].attempt_errors[0].find("attempt 1: boom attempt 1"),
+            std::string::npos);
+  EXPECT_NE(outcomes[0].attempt_errors[2].find("attempt 3: boom attempt 3"),
+            std::string::npos);
+}
+
+TEST(SchedulerTest, SuccessfulRunIsNeverQuarantined) {
+  Scheduler scheduler(/*workers=*/1);
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1), [](const RunJob&, tasks::ThreadPool&) { return RunOutcome{}; });
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].quarantined);
+}
+
+TEST(SchedulerTest, TimedOutAttemptRetriesDownTheDegradationLadder) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::vector<int> levels_seen;
+  std::mutex mu;
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [&](const RunJob& job, tasks::ThreadPool&) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          levels_seen.push_back(job.degrade_level);
+        }
+        RunOutcome outcome;
+        outcome.status = RunStatus::kTimedOut;
+        outcome.error = "watchdog";
+        return outcome;
+      },
+      /*max_attempts=*/3);
+
+  // Every timed-out retry stepped the ladder: 0, 1, 2.
+  EXPECT_EQ(levels_seen, (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kTimedOut);
+  EXPECT_EQ(outcomes[0].degrade_level, 2);
+}
+
+TEST(SchedulerTest, CrashRetriesDoNotDegrade) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [](const RunJob& job, tasks::ThreadPool&) -> RunOutcome {
+        EXPECT_EQ(job.degrade_level, 0);  // only timeouts walk the ladder
+        throw std::runtime_error("crash");
+      },
+      /*max_attempts=*/3);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].degrade_level, 0);
+}
+
+TEST(SchedulerTest, RetryWaitsOutTheExponentialBackoffWindow) {
+  Scheduler scheduler(/*workers=*/2, /*pool_threads_per_worker=*/1);
+  std::mutex mu;
+  std::vector<Micros> attempt_times;
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_ms = 60;
+  policy.backoff_cap_ms = 2000;
+
+  scheduler.ExecuteRound(
+      MakeJobs(1),
+      [&](const RunJob&, tasks::ThreadPool&) -> RunOutcome {
+        std::lock_guard<std::mutex> lock(mu);
+        attempt_times.push_back(NowMicros());
+        throw std::runtime_error("always");
+      },
+      policy);
+
+  ASSERT_EQ(attempt_times.size(), 3u);
+  // Attempt 2 waits >= base (60ms), attempt 3 >= 2*base (120ms). Allow scheduling
+  // slack downward of ~10%.
+  EXPECT_GE(attempt_times[1] - attempt_times[0], 54'000);
+  EXPECT_GE(attempt_times[2] - attempt_times[1], 108'000);
+}
+
+TEST(SchedulerTest, BackoffDoesNotBlockOtherJobs) {
+  // While one job sits in its backoff window, the single worker must keep running
+  // the rest of the round.
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::mutex mu;
+  std::vector<int> completion_order;
+  std::atomic<int> failures{0};
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_base_ms = 150;
+
+  scheduler.ExecuteRound(
+      MakeJobs(4),
+      [&](const RunJob& job, tasks::ThreadPool&) -> RunOutcome {
+        if (job.module_index == 0 && job.attempt == 1) {
+          ++failures;
+          throw std::runtime_error("flaky");
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        completion_order.push_back(job.module_index);
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      },
+      policy);
+
+  EXPECT_EQ(failures.load(), 1);
+  ASSERT_EQ(completion_order.size(), 4u);
+  // Job 0's retry waited 150ms; jobs 1-3 completed first.
+  EXPECT_EQ(completion_order.back(), 0);
+}
+
+TEST(SchedulerTest, SalvagedTrapsFromFailedAttemptsSurviveIntoFinalOutcome) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+
+  // Attempt 1 fails but carries a salvaged checkpoint; attempt 2 succeeds with a
+  // different pair. The final outcome must hold the union.
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [](const RunJob& job, tasks::ThreadPool&) {
+        RunOutcome outcome;
+        if (job.attempt == 1) {
+          outcome.status = RunStatus::kCrashed;
+          outcome.error = "died mid-run";
+          outcome.traps.pairs = {{"a.cc:1 Get", "a.cc:2 Set"}};
+          outcome.traps.Canonicalize();
+        } else {
+          outcome.traps.pairs = {{"b.cc:3 Add", "b.cc:4 Remove"}};
+          outcome.traps.Canonicalize();
+        }
+        return outcome;
+      },
+      /*max_attempts=*/2);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kOk);
+  EXPECT_EQ(outcomes[0].salvaged_trap_pairs, 1u);
+  EXPECT_TRUE(outcomes[0].traps.Contains("a.cc:1 Get", "a.cc:2 Set"));
+  EXPECT_TRUE(outcomes[0].traps.Contains("b.cc:3 Add", "b.cc:4 Remove"));
+}
+
+TEST(SchedulerTest, SalvagedTrapsAccumulateAcrossAllFailedAttempts) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [](const RunJob& job, tasks::ThreadPool&) {
+        RunOutcome outcome;
+        outcome.status = RunStatus::kCrashed;
+        outcome.error = "always dies";
+        outcome.traps.pairs = {{"f.cc:" + std::to_string(job.attempt) + " Get",
+                                "g.cc:9 Set"}};
+        outcome.traps.Canonicalize();
+        return outcome;
+      },
+      /*max_attempts=*/3);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kCrashed);
+  EXPECT_TRUE(outcomes[0].quarantined);
+  // All three attempts' salvage merged: f.cc:1, f.cc:2, f.cc:3 against g.cc:9.
+  EXPECT_EQ(outcomes[0].traps.size(), 3u);
+  EXPECT_EQ(outcomes[0].salvaged_trap_pairs, 3u);
+  EXPECT_TRUE(outcomes[0].traps.Contains("f.cc:2 Get", "g.cc:9 Set"));
+}
+
+TEST(SchedulerTest, FinalFailurePreservesSandboxForensics) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [](const RunJob& job, tasks::ThreadPool&) {
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        outcome.module = "victim";
+        outcome.status = RunStatus::kCrashed;
+        outcome.error = "run crashed: SIGSEGV";
+        outcome.killed_by_signal = 11;
+        outcome.crash_signature = "SIGSEGV in phase 'test:2:dict'";
+        return outcome;
+      },
+      /*max_attempts=*/1);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].module, "victim");
+  EXPECT_EQ(outcomes[0].killed_by_signal, 11);
+  EXPECT_EQ(outcomes[0].crash_signature, "SIGSEGV in phase 'test:2:dict'");
+  EXPECT_TRUE(outcomes[0].quarantined);
+}
+
 }  // namespace
 }  // namespace tsvd::campaign

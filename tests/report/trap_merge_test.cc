@@ -132,6 +132,67 @@ TEST(TrapMergeTest, SaveToOverwritesAtomicallyAndLeavesNoTempBehind) {
   }
 }
 
+TEST(TrapMergeTest, SalvageKeepsValidPairsAndCountsSkippedLines) {
+  // A store torn by a crash (or scribbled by a dying run): salvage mines the valid
+  // remainder where strict Deserialize would reject everything.
+  int skipped = -1;
+  TrapFile salvaged = TrapFile::Salvage(
+      "tsvd-trap-v1\n"
+      "a.cc:1 Add\tb.cc:2 Set\n"
+      "garbage line without a tab\n"
+      "c.cc:3 Sort\td.cc:4 Count\n"
+      "half-a-pai",
+      &skipped);
+  EXPECT_EQ(skipped, 2);  // the garbage line and the truncated tail
+  ASSERT_EQ(salvaged.size(), 2u);
+  EXPECT_TRUE(salvaged.Contains("a.cc:1 Add", "b.cc:2 Set"));
+  EXPECT_TRUE(salvaged.Contains("c.cc:3 Sort", "d.cc:4 Count"));
+}
+
+TEST(TrapMergeTest, SalvageMinesUnsupportedHeaderFiles) {
+  // A foreign/newer header fails strict Deserialize outright; salvage skips the
+  // header as one bad line and keeps the pairs.
+  const std::string text = "tsvd-trap-v9\na.cc:1 Add\tb.cc:2 Set\n";
+  TrapFile strict;
+  EXPECT_FALSE(TrapFile::Deserialize(text, &strict));
+
+  int skipped = 0;
+  TrapFile salvaged = TrapFile::Salvage(text, &skipped);
+  EXPECT_EQ(skipped, 1);
+  EXPECT_EQ(salvaged.size(), 1u);
+}
+
+TEST(TrapMergeTest, SalvageOfCleanTextSkipsNothing) {
+  TrapFile file;
+  file.pairs = {{"a.cc:1 Add", "b.cc:2 Set"}};
+  file.Canonicalize();
+  int skipped = -1;
+  TrapFile salvaged = TrapFile::Salvage(file.Serialize(), &skipped);
+  EXPECT_EQ(skipped, 0);
+  EXPECT_EQ(salvaged.pairs, file.pairs);
+}
+
+TEST(TrapMergeTest, SalvageFromRecoversWhatLoadFromRejects) {
+  const std::string path = TempPath("tsvd_salvage_trap_test.tsvd");
+  {
+    std::ofstream outf(path, std::ios::binary);
+    outf << "tsvd-trap-v1\na.cc:1 Add\tb.cc:2 Set\n###corrupt###\n";
+  }
+  TrapFile strict;
+  EXPECT_FALSE(TrapFile::Deserialize(ReadAll(path), &strict));
+
+  TrapFile salvaged;
+  int skipped = 0;
+  ASSERT_TRUE(TrapFile::SalvageFrom(path, &salvaged, &skipped));
+  EXPECT_EQ(skipped, 1);
+  EXPECT_EQ(salvaged.size(), 1u);
+  std::remove(path.c_str());
+
+  // Only an unreadable file fails.
+  EXPECT_FALSE(
+      TrapFile::SalvageFrom(TempPath("tsvd_no_such_file.tsvd"), &salvaged, &skipped));
+}
+
 // The identity carried across runs is the signature string, never the OpId: interning
 // the same sites in a different order (as a second process would) yields different
 // OpIds but identical signatures, so a trap file written by one "run" still matches.

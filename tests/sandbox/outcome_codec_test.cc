@@ -1,0 +1,137 @@
+// RunOutcome <-> Json codec: exact round-trips for every campaign-consumed field,
+// strict rejection of non-outcome documents, and stable status names.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/campaign/json.h"
+#include "src/campaign/round.h"
+#include "src/sandbox/outcome_codec.h"
+
+namespace tsvd::sandbox {
+namespace {
+
+campaign::RunOutcome FullOutcome() {
+  campaign::RunOutcome outcome;
+  outcome.module_index = 11;
+  outcome.module = "corpus_mod_11";
+  outcome.round = 3;
+  outcome.status = campaign::RunStatus::kTimedOut;
+  outcome.attempts = 2;
+  outcome.error = "watchdog";
+  outcome.attempt_errors = {"attempt 1: watchdog"};
+  outcome.killed_by_signal = 9;
+  outcome.crash_signature = "TIMEOUT (watchdog SIGKILL)";
+  outcome.degrade_level = 1;
+  outcome.quarantined = true;
+  outcome.salvaged_trap_pairs = 2;
+  outcome.wall_us = 123456;
+  outcome.oncall_count = 1000;
+  outcome.delays_injected = 17;
+  outcome.imported_pairs = 4;
+  outcome.retrapped_imported = 3;
+  outcome.false_positives = 0;
+
+  campaign::BugObservation obs;
+  obs.sig_first = "a.cc:10 ContainsKey";
+  obs.sig_second = "a.cc:20 Set";
+  obs.api_first = "ContainsKey";
+  obs.api_second = "Set";
+  obs.stack_digest = 0xdeadbeefULL;
+  obs.module = "corpus_mod_11";
+  obs.round = 3;
+  obs.read_write = true;
+  obs.same_location = false;
+  obs.async_flavor = true;
+  obs.false_positive = false;
+  outcome.observations.push_back(obs);
+
+  outcome.traps.pairs = {{"a.cc:10 ContainsKey", "a.cc:20 Set"},
+                         {"b.cc:5 Add", "b.cc:9 Remove"}};
+  outcome.traps.Canonicalize();
+  return outcome;
+}
+
+TEST(OutcomeCodecTest, RoundTripsEveryField) {
+  const campaign::RunOutcome original = FullOutcome();
+  campaign::RunOutcome decoded;
+  ASSERT_TRUE(DecodeRunOutcome(EncodeRunOutcome(original), &decoded));
+
+  EXPECT_EQ(decoded.module_index, original.module_index);
+  EXPECT_EQ(decoded.module, original.module);
+  EXPECT_EQ(decoded.round, original.round);
+  EXPECT_EQ(decoded.status, original.status);
+  EXPECT_EQ(decoded.attempts, original.attempts);
+  EXPECT_EQ(decoded.error, original.error);
+  EXPECT_EQ(decoded.attempt_errors, original.attempt_errors);
+  EXPECT_EQ(decoded.killed_by_signal, original.killed_by_signal);
+  EXPECT_EQ(decoded.crash_signature, original.crash_signature);
+  EXPECT_EQ(decoded.degrade_level, original.degrade_level);
+  EXPECT_EQ(decoded.quarantined, original.quarantined);
+  EXPECT_EQ(decoded.salvaged_trap_pairs, original.salvaged_trap_pairs);
+  EXPECT_EQ(decoded.wall_us, original.wall_us);
+  EXPECT_EQ(decoded.oncall_count, original.oncall_count);
+  EXPECT_EQ(decoded.delays_injected, original.delays_injected);
+  EXPECT_EQ(decoded.imported_pairs, original.imported_pairs);
+  EXPECT_EQ(decoded.retrapped_imported, original.retrapped_imported);
+  EXPECT_EQ(decoded.false_positives, original.false_positives);
+
+  ASSERT_EQ(decoded.observations.size(), 1u);
+  const campaign::BugObservation& obs = decoded.observations[0];
+  EXPECT_EQ(obs.sig_first, "a.cc:10 ContainsKey");
+  EXPECT_EQ(obs.sig_second, "a.cc:20 Set");
+  EXPECT_EQ(obs.api_first, "ContainsKey");
+  EXPECT_EQ(obs.api_second, "Set");
+  EXPECT_EQ(obs.stack_digest, 0xdeadbeefULL);
+  EXPECT_TRUE(obs.read_write);
+  EXPECT_TRUE(obs.async_flavor);
+
+  EXPECT_EQ(decoded.traps.pairs, original.traps.pairs);
+}
+
+TEST(OutcomeCodecTest, RoundTripSurvivesJsonTextForm) {
+  // The sandbox streams the compact Dump() over a pipe; parse it back like the
+  // parent does.
+  const campaign::RunOutcome original = FullOutcome();
+  const std::string text = EncodeRunOutcome(original).Dump();
+  campaign::Json parsed;
+  ASSERT_TRUE(campaign::Json::Parse(text, &parsed));
+  campaign::RunOutcome decoded;
+  ASSERT_TRUE(DecodeRunOutcome(parsed, &decoded));
+  EXPECT_EQ(decoded.module, original.module);
+  EXPECT_EQ(decoded.traps.pairs, original.traps.pairs);
+}
+
+TEST(OutcomeCodecTest, RejectsNonOutcomeDocuments) {
+  campaign::RunOutcome decoded;
+  campaign::Json not_object;
+  ASSERT_TRUE(campaign::Json::Parse("[1,2,3]", &not_object));
+  EXPECT_FALSE(DecodeRunOutcome(not_object, &decoded));
+
+  campaign::Json mistyped;
+  ASSERT_TRUE(campaign::Json::Parse(R"({"module_index":"seven"})", &mistyped));
+  EXPECT_FALSE(DecodeRunOutcome(mistyped, &decoded));
+}
+
+TEST(OutcomeCodecTest, EmptyOutcomeRoundTrips) {
+  campaign::RunOutcome decoded;
+  ASSERT_TRUE(DecodeRunOutcome(EncodeRunOutcome(campaign::RunOutcome{}), &decoded));
+  EXPECT_EQ(decoded.status, campaign::RunStatus::kOk);
+  EXPECT_TRUE(decoded.observations.empty());
+  EXPECT_TRUE(decoded.traps.empty());
+}
+
+TEST(OutcomeCodecTest, StatusNamesRoundTrip) {
+  for (const campaign::RunStatus status :
+       {campaign::RunStatus::kOk, campaign::RunStatus::kCrashed,
+        campaign::RunStatus::kTimedOut}) {
+    campaign::RunStatus back;
+    ASSERT_TRUE(RunStatusFromName(RunStatusName(status), &back));
+    EXPECT_EQ(back, status);
+  }
+  campaign::RunStatus unused;
+  EXPECT_FALSE(RunStatusFromName("exploded", &unused));
+}
+
+}  // namespace
+}  // namespace tsvd::sandbox

@@ -1,12 +1,15 @@
 // tsvd_campaign: fleet-scale campaign runner — the CLI form of the cloud service the
 // paper deployed over ~1,600 projects (Sections 2.1, 5.1). Schedules the synthetic
 // corpus through rounds of parallel runs, carries merged trap files forward between
-// rounds, and emits the unified JSON/SARIF artifact trail.
+// rounds, and emits the unified JSON/SARIF artifact trail. With --sandbox, every run
+// executes in a forked child under a watchdog, so crashing or hanging modules cost a
+// run, never the campaign.
 #include <cstdio>
 #include <limits>
 #include <string>
 
 #include "src/campaign/campaign.h"
+#include "src/sandbox/sandbox.h"
 #include "src/tasks/thread_pool.h"
 #include "tools/flag_parser.h"
 
@@ -23,10 +26,22 @@ Usage: tsvd_campaign [--flag=value ...]
   --detector=NAME  TSVD | TSVDHB | DynamicRandom | DataCollider (default TSVD)
   --scale=F        time scale vs. paper defaults, (0, 1] (default 0.02 = 2ms delays)
   --seed=N         corpus + detector seed (default 42)
-  --retries=N      attempts per run, 1 = never retry a crashed run (default 2)
   --no-converge    run all rounds even if a round finds no new unique bugs
   --out=DIR        artifact directory: traps.tsvd, campaign.json, campaign.sarif
                    (default "campaign-out"; --out= disables persistence)
+
+ process sandbox (POSIX only; elsewhere runs stay in-process):
+  --sandbox            fork one child per run; a crash or hang kills the child only
+  --run_timeout_ms=N   per-attempt watchdog deadline, SIGKILL on expiry; 0 disables
+                       (default 30000)
+  --max_attempts=N     attempts per run before quarantine (alias --retries; default 2)
+  --backoff_ms=N       base retry backoff, doubling per attempt (default 50)
+
+ fault injection (exercises the sandbox; pair with --sandbox):
+  --fault-crash=N      append N modules whose last test SIGSEGVs (default 0)
+  --fault-hang=N       append N modules whose last test outlives any deadline (default 0)
+  --fault-throw=N      append N modules whose last test throws a non-std value (default 0)
+
   --help           this text
 )";
 
@@ -49,27 +64,46 @@ int main(int argc, char** argv) {
   options.scale = flags.GetDouble("scale", 0.02, 1e-6, 1.0);
   options.seed = static_cast<uint64_t>(
       flags.GetInt("seed", 42, 0, std::numeric_limits<int64_t>::max()));
-  options.max_attempts = static_cast<int>(flags.GetInt("retries", 2, 1, 10));
+  // --max_attempts is the documented name; --retries remains as an alias.
+  const int64_t retries_alias = flags.GetInt("retries", 2, 1, 10);
+  options.max_attempts =
+      static_cast<int>(flags.GetInt("max_attempts", retries_alias, 1, 10));
   options.stop_when_converged = !flags.GetBool("no-converge", false);
   options.out_dir = flags.GetString("out", "campaign-out");
+  options.sandbox.enabled = flags.GetBool("sandbox", false);
+  options.sandbox.run_timeout_ms =
+      static_cast<int>(flags.GetInt("run_timeout_ms", 30000, 0, 86400000));
+  options.sandbox.backoff_base_ms =
+      static_cast<int>(flags.GetInt("backoff_ms", 50, 0, 60000));
+  options.fault_crash_modules = static_cast<int>(flags.GetInt("fault-crash", 0, 0, 100));
+  options.fault_hang_modules = static_cast<int>(flags.GetInt("fault-hang", 0, 0, 100));
+  options.fault_throw_modules = static_cast<int>(flags.GetInt("fault-throw", 0, 0, 100));
   flags.RejectUnknown();
   if (!flags.ok()) {
     std::fprintf(stderr, "tsvd_campaign: %s\nTry --help.\n", flags.error().c_str());
     return 2;
   }
+  if (options.sandbox.enabled && !sandbox::ForkSupported()) {
+    std::fprintf(stderr,
+                 "tsvd_campaign: --sandbox needs fork(); running in-process.\n");
+  }
 
   std::printf(
       "tsvd_campaign: %s, %d modules, %d worker(s), up to %d round(s), "
-      "scale %.3f, seed %llu\n",
+      "scale %.3f, seed %llu%s\n",
       options.detector.c_str(), options.num_modules, options.workers, options.rounds,
-      options.scale, static_cast<unsigned long long>(options.seed));
+      options.scale, static_cast<unsigned long long>(options.seed),
+      options.sandbox.enabled && sandbox::ForkSupported() ? ", sandboxed" : "");
 
   const campaign::CampaignResult result = campaign::RunCampaign(options);
 
-  std::printf("\n round  runs  crash  retry  new-bugs  retrapped  traps  wall\n");
+  std::printf(
+      "\n round  runs  crash  t/out  signal  retry  quar  new-bugs  retrapped  "
+      "traps  wall\n");
   for (const campaign::RoundStats& stats : result.rounds) {
-    std::printf(" %5d %5d %6d %6d %9llu %10llu %6zu  %.2fs\n", stats.round, stats.runs,
-                stats.crashed, stats.retried,
+    std::printf(" %5d %5d %6d %6d %7d %6d %5d %9llu %10llu %6zu  %.2fs\n",
+                stats.round, stats.runs, stats.crashed, stats.timed_out,
+                stats.killed_by_signal, stats.retried, stats.quarantined,
                 static_cast<unsigned long long>(stats.new_unique_bugs),
                 static_cast<unsigned long long>(stats.retrapped_imported),
                 stats.trap_pairs_after, static_cast<double>(stats.wall_us) / 1e6);
@@ -92,6 +126,25 @@ int main(int argc, char** argv) {
     std::printf("  [round %d, %llux] %s  <->  %s\n", bug.first_round,
                 static_cast<unsigned long long>(bug.occurrences),
                 bug.sig_first.c_str(), bug.sig_second.c_str());
+  }
+
+  // Failure forensics: every run that crashed, timed out, or needed a retry.
+  printed = 0;
+  for (const campaign::RunOutcome& outcome : result.outcomes) {
+    if (outcome.status == campaign::RunStatus::kOk && outcome.attempts <= 1) {
+      continue;
+    }
+    if (printed++ == 0) {
+      std::printf("\nrun failures:\n");
+    }
+    std::printf("  [round %d] %s: %s after %d attempt(s)%s%s%s\n", outcome.round,
+                outcome.module.c_str(),
+                outcome.status == campaign::RunStatus::kOk          ? "recovered"
+                : outcome.status == campaign::RunStatus::kTimedOut  ? "timed out"
+                                                                    : "crashed",
+                outcome.attempts, outcome.quarantined ? ", quarantined" : "",
+                outcome.crash_signature.empty() ? "" : " — ",
+                outcome.crash_signature.c_str());
   }
 
   if (!result.trap_path.empty()) {
