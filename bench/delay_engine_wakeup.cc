@@ -1,0 +1,101 @@
+// delay_engine_wakeup: quantifies what interruptible parks buy over the paper's
+// fixed-length Sleep(). Each round stages the canonical TSVD catch: a victim thread
+// is trapped with a long delay and a racer springs the trap a few milliseconds
+// later. With fixed sleeps the victim serves the full sentence every time; with
+// catch wakes it is released the moment the conflict is observed, so the round
+// costs roughly the racer gap instead of the delay length.
+//
+// Environment overrides: TSVD_BENCH_RUNS (rounds, default 30),
+// TSVD_BENCH_DELAY_MS (trap delay, default 20), TSVD_BENCH_GAP_MS (racer arrival
+// gap, default 2).
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/core/runtime.h"
+
+namespace tsvd::bench {
+namespace {
+
+// Traps only op 1 (the victim's side); the racer's op 2 springs the trap.
+class TrapVictimDetector : public Detector {
+ public:
+  explicit TrapVictimDetector(Micros delay) : delay_(delay) {}
+  std::string name() const override { return "trap-victim"; }
+  DelayDecision OnCall(const Access& access) override {
+    return DelayDecision{access.op == 1, delay_};
+  }
+
+ private:
+  Micros delay_;
+};
+
+struct ModeResult {
+  Micros wall_us = 0;
+  RunSummary summary;
+};
+
+ModeResult RunMode(bool disable_early_wake, int rounds, Micros delay_us,
+                   Micros gap_us) {
+  Config cfg;
+  cfg.stall_grace_us = 0;  // isolate the catch-wake path from the sentinel
+  cfg.disable_early_wake = disable_early_wake;
+  Runtime runtime(cfg, std::make_unique<TrapVictimDetector>(delay_us));
+
+  const Micros start = NowMicros();
+  for (int r = 0; r < rounds; ++r) {
+    const uintptr_t object = 0x1000 + static_cast<uintptr_t>(r);
+    std::thread victim([&] { runtime.OnCall(object, 1, OpKind::kWrite); });
+    std::thread racer([&] {
+      SleepMicros(gap_us);
+      runtime.OnCall(object, 2, OpKind::kWrite);
+    });
+    victim.join();
+    racer.join();
+  }
+  ModeResult result;
+  result.wall_us = NowMicros() - start;
+  result.summary = runtime.Summary();
+  return result;
+}
+
+void Report(const char* mode, int rounds, Micros delay_us, const ModeResult& r) {
+  std::printf(" %-11s %6d %9.1f %9.1f %13.2f %12llu %9.1f\n", mode, rounds,
+              static_cast<double>(delay_us) / 1e3,
+              static_cast<double>(r.wall_us) / 1e3,
+              static_cast<double>(r.wall_us) / 1e3 / rounds,
+              static_cast<unsigned long long>(r.summary.delays_early_woken),
+              static_cast<double>(r.summary.early_wake_saved_us) / 1e3);
+}
+
+}  // namespace
+}  // namespace tsvd::bench
+
+int main() {
+  using namespace tsvd;
+  using namespace tsvd::bench;
+
+  const int rounds = EnvInt("TSVD_BENCH_RUNS", 30);
+  const Micros delay_us = 1000 * EnvInt("TSVD_BENCH_DELAY_MS", 20);
+  const Micros gap_us = 1000 * EnvInt("TSVD_BENCH_GAP_MS", 2);
+
+  PrintHeader("delay_engine_wakeup: fixed sleep vs catch wake");
+  std::printf(" mode        rounds  delay_ms   wall_ms  per-round_ms  early_woken  saved_ms\n");
+
+  const ModeResult fixed = RunMode(/*disable_early_wake=*/true, rounds, delay_us, gap_us);
+  Report("fixed-sleep", rounds, delay_us, fixed);
+
+  const ModeResult wake = RunMode(/*disable_early_wake=*/false, rounds, delay_us, gap_us);
+  Report("early-wake", rounds, delay_us, wake);
+
+  if (wake.wall_us > 0) {
+    std::printf(" speedup: %.1fx   wake latency vs racer arrival: %.2f ms/round\n",
+                static_cast<double>(fixed.wall_us) / static_cast<double>(wake.wall_us),
+                (static_cast<double>(wake.wall_us) / rounds -
+                 static_cast<double>(gap_us)) /
+                    1e3);
+  }
+  return 0;
+}

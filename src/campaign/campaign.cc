@@ -73,6 +73,11 @@ RunOutcome ExecuteJob(const RunJob& job, workload::ModuleRunner& runner,
   outcome.wall_us = single.run.wall_us;
   outcome.oncall_count = single.run.summary.oncall_count;
   outcome.delays_injected = single.run.summary.delays_injected;
+  outcome.delays_early_woken = single.run.summary.delays_early_woken;
+  outcome.delays_aborted_stall = single.run.summary.delays_aborted_stall;
+  outcome.delays_skipped_budget = single.run.summary.delays_skipped_budget;
+  outcome.internal_errors = single.run.summary.internal_errors;
+  outcome.runtime_disabled = single.run.summary.runtime_disabled;
   outcome.imported_pairs = single.imported_pairs;
   outcome.false_positives = single.run.false_positives;
   outcome.traps = std::move(single.traps);
@@ -140,8 +145,28 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
         "fault_throw_" + std::to_string(i), options.seed ^ (0xdeadbea700ULL + i),
         corpus_options.params));
   }
+  for (int i = 0; i < options.fault_deadlock_modules; ++i) {
+    corpus.push_back(workload::MakeDeadlockModule(
+        "fault_deadlock_" + std::to_string(i), options.seed ^ (0xdead10c000ULL + i),
+        corpus_options.params));
+  }
 
-  const Config config = workload::ScaledConfig(options.scale);
+  Config config = workload::ScaledConfig(options.scale);
+  if (options.delay_us_override > 0) {
+    config.delay_us = options.delay_us_override;
+    // Keep the budget:delay ratio ScaledConfig established, otherwise a long
+    // override would be skipped by its own per-thread budget.
+    config.max_delay_per_thread_us = 20 * config.delay_us;
+  }
+  if (options.stall_grace_us >= 0) {
+    config.stall_grace_us = options.stall_grace_us;
+  }
+  if (options.max_overhead_pct >= 0) {
+    config.max_overhead_pct = options.max_overhead_pct;
+  }
+  if (options.max_internal_errors >= 0) {
+    config.max_internal_errors = options.max_internal_errors;
+  }
   const workload::DetectorFactory factory = workload::FactoryFor(options.detector);
 
   const bool persist = !options.out_dir.empty();
@@ -300,6 +325,12 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
         }
       }
       stats.delays_injected += outcome.delays_injected;
+      stats.delays_early_woken += outcome.delays_early_woken;
+      stats.delays_aborted_stall += outcome.delays_aborted_stall;
+      stats.delays_skipped_budget += outcome.delays_skipped_budget;
+      if (outcome.runtime_disabled) {
+        ++stats.runtime_disabled;
+      }
       stats.retrapped_imported += outcome.retrapped_imported;
       result.false_positives += outcome.false_positives;
       for (const BugObservation& obs : outcome.observations) {

@@ -49,6 +49,19 @@ struct CampaignOptions {
   int fault_crash_modules = 0;
   int fault_hang_modules = 0;
   int fault_throw_modules = 0;
+  // Each deadlock module delays while holding a lock a peer needs (§4.2's hazard);
+  // the delay engine's progress sentinel must resolve it in-process, so this one is
+  // also meaningful without the sandbox.
+  int fault_deadlock_modules = 0;
+
+  // Delay-engine overrides layered onto the scaled config (ScaledConfig already
+  // derives stall_grace_us and the per-thread budget from `scale`; these pin
+  // individual knobs for experiments and the deadlock e2e test).
+  Micros delay_us_override = 0;     // > 0: replace the scaled delay length (the
+                                    // per-thread budget is re-derived from it)
+  Micros stall_grace_us = -1;       // >= 0: replace the scaled sentinel grace
+  double max_overhead_pct = -1.0;   // >= 0: set the adaptive overhead cap
+  int max_internal_errors = -1;     // >= 0: set the fail-open firewall threshold
 };
 
 struct CampaignResult {

@@ -76,6 +76,16 @@ struct RunOutcome {
   Micros wall_us = 0;
   uint64_t oncall_count = 0;
   uint64_t delays_injected = 0;
+  // Delay-engine outcomes (src/core/delay_engine.h): trapped threads released the
+  // moment their trap was sprung, delays the progress sentinel cancelled to unstall
+  // the run, and delays skipped by a budget or the overhead cap.
+  uint64_t delays_early_woken = 0;
+  uint64_t delays_aborted_stall = 0;
+  uint64_t delays_skipped_budget = 0;
+  // Fail-open firewall: internal runtime faults absorbed during the run, and whether
+  // they crossed max_internal_errors so the run finished uninstrumented.
+  uint64_t internal_errors = 0;
+  bool runtime_disabled = false;
   uint64_t imported_pairs = 0;  // trap-set size seeded from the merged store
   // Bugs caught this run whose pair was armed from the *imported* store — i.e. the
   // run could trap them on their first occurrence. Nonzero in round 2+ is the
@@ -99,6 +109,10 @@ struct RoundStats {
   uint64_t retrapped_imported = 0;
   size_t trap_pairs_after = 0;  // merged trap-store size after this round
   uint64_t delays_injected = 0;
+  uint64_t delays_early_woken = 0;
+  uint64_t delays_aborted_stall = 0;
+  uint64_t delays_skipped_budget = 0;
+  int runtime_disabled = 0;  // runs that finished with instrumentation self-disabled
   Micros wall_us = 0;  // wall time of the round (parallel, not summed)
 };
 

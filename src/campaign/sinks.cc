@@ -57,10 +57,12 @@ Json BugToJson(const BugReportMgr::UniqueBug& bug) {
   return j;
 }
 
-// A run is reportable when it ended badly or needed more than one attempt; healthy
+// A run is reportable when it ended badly, needed more than one attempt, or ran
+// part of its length uninstrumented because the fail-open firewall tripped; healthy
 // first-attempt runs stay out of the forensics trail.
 bool IsFailureRecord(const RunOutcome& outcome) {
-  return outcome.status != RunStatus::kOk || outcome.attempts > 1;
+  return outcome.status != RunStatus::kOk || outcome.attempts > 1 ||
+         outcome.runtime_disabled;
 }
 
 Json FailureToJson(const RunOutcome& outcome) {
@@ -75,6 +77,8 @@ Json FailureToJson(const RunOutcome& outcome) {
   j.Set("killed_by_signal", outcome.killed_by_signal);
   j.Set("crash_signature", outcome.crash_signature);
   j.Set("salvaged_trap_pairs", outcome.salvaged_trap_pairs);
+  j.Set("internal_errors", outcome.internal_errors);
+  j.Set("runtime_disabled", outcome.runtime_disabled);
   Json errors = Json::MakeArray();
   for (const std::string& error : outcome.attempt_errors) {
     errors.Push(error);
@@ -117,6 +121,10 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
     jr.Set("retrapped_imported", r.retrapped_imported);
     jr.Set("trap_pairs_after", r.trap_pairs_after);
     jr.Set("delays_injected", r.delays_injected);
+    jr.Set("delays_early_woken", r.delays_early_woken);
+    jr.Set("delays_aborted_stall", r.delays_aborted_stall);
+    jr.Set("delays_skipped_budget", r.delays_skipped_budget);
+    jr.Set("runtime_disabled", r.runtime_disabled);
     jr.Set("wall_us", static_cast<int64_t>(r.wall_us));
     round_array.Push(std::move(jr));
     total_delays += r.delays_injected;
@@ -143,10 +151,23 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
   }
   root.Set("run_failures", std::move(failures));
 
+  uint64_t total_early = 0, total_aborted = 0, total_skipped = 0;
+  int total_disabled = 0;
+  for (const RoundStats& r : rounds) {
+    total_early += r.delays_early_woken;
+    total_aborted += r.delays_aborted_stall;
+    total_skipped += r.delays_skipped_budget;
+    total_disabled += r.runtime_disabled;
+  }
+
   Json totals = Json::MakeObject();
   totals.Set("unique_bugs", bugs.size());
   totals.Set("distinct_stack_pairs", manifestations);
   totals.Set("delays_injected", total_delays);
+  totals.Set("delays_early_woken", total_early);
+  totals.Set("delays_aborted_stall", total_aborted);
+  totals.Set("delays_skipped_budget", total_skipped);
+  totals.Set("runtime_disabled", total_disabled);
   totals.Set("salvaged_trap_pairs", salvaged);
   root.Set("totals", std::move(totals));
 
@@ -271,6 +292,9 @@ std::string RenderSarif(const CampaignMeta& meta,
       properties.Set("killedBySignal", outcome.killed_by_signal);
       properties.Set("crashSignature", outcome.crash_signature);
       properties.Set("salvagedTrapPairs", outcome.salvaged_trap_pairs);
+      properties.Set("internalErrors", outcome.internal_errors);
+      properties.Set("runtimeDisabled", outcome.runtime_disabled);
+      properties.Set("delaysAbortedStall", outcome.delays_aborted_stall);
       invocation.Set("properties", std::move(properties));
       invocations.Push(std::move(invocation));
     }

@@ -63,6 +63,26 @@ struct Config {
   // runtime feature (2)); requests span tasks via RequestScope. <= 0 means unlimited.
   Micros max_delay_per_request_us = 0;
 
+  // ---- Delay engine (deadlock safety; hardening beyond Section 4.2) ----
+  // The progress sentinel cancels all active delays when no thread has entered
+  // OnCall for this long, or when every recently active instrumented thread is
+  // itself parked in a delay. <= 0 disables the sentinel (delays then always run
+  // their full length unless caught).
+  Micros stall_grace_us = 500'000;
+  // Aggregate cap on delay injected across all threads in one run. <= 0: unlimited.
+  Micros max_delay_total_us = 0;
+  // Adaptive overhead cap: skip new delays whenever injected-delay wall time would
+  // exceed this percentage of elapsed run time (the paper reports ~33% overhead,
+  // Table 3). <= 0 disables the cap.
+  double max_overhead_pct = 0.0;
+  // Fail-open firewall: after this many internal runtime faults the instrumentation
+  // self-disables for the rest of the run (the host test keeps running
+  // uninstrumented) instead of crashing the module. <= 0: never disable.
+  int max_internal_errors = 25;
+  // Ablation/bench knob: do not release a trapped thread early when its trap is
+  // sprung — sleep the full delay like the paper's runtime.
+  bool disable_early_wake = false;
+
   // ---- Variant parameters ----
   // DynamicRandom: probability of injecting a delay at any TSVD point (paper: 0.05).
   double dynamic_random_probability = 0.05;

@@ -27,6 +27,12 @@ struct DelayOutcome {
   // True iff another thread walked into the trap during the sleep, i.e. the delay
   // exposed a violation.
   bool conflict_found = false;
+  // True iff the delay was cut short by the progress sentinel (or the fail-open
+  // firewall) rather than running its course. The [start_us, end_us] window is the
+  // time actually slept. Aborted delays still count as failed ones for P_loc decay:
+  // conflict_found is false, and a delay that stalls the run is exactly the kind of
+  // site whose probability should drop.
+  bool aborted = false;
 };
 
 class Detector {

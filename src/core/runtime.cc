@@ -14,7 +14,8 @@ Runtime::Runtime(const Config& config, std::unique_ptr<Detector> detector)
     : config_(config),
       detector_(std::move(detector)),
       wants_sync_(detector_->WantsSyncEvents()),
-      phase_(config.phase_buffer_size) {}
+      phase_(config.phase_buffer_size),
+      engine_(config) {}
 
 Runtime::~Runtime() {
   // Guard against a runtime being destroyed while still installed.
@@ -34,8 +35,21 @@ void Runtime::Uninstall(Runtime* rt) {
   current_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
 }
 
-void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) {
+void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) noexcept {
+  if (disabled_.load(std::memory_order_relaxed)) {
+    return;  // fail-open: the host test runs on, uninstrumented
+  }
+  try {
+    OnCallImpl(obj, op, kind);
+  } catch (...) {
+    RecordInternalError();
+  }
+}
+
+void Runtime::OnCallImpl(ObjectId obj, OpId op, OpKind kind) {
   const ThreadId tid = CurrentThreadId();
+  engine_.NoteProgress(tid);
+
   Access access;
   access.tid = tid;
   access.obj = obj;
@@ -48,17 +62,20 @@ void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) {
   oncall_count_.fetch_add(1, std::memory_order_relaxed);
   coverage_.Record(op, access.concurrent_phase);
 
-  // check_for_trap: catch a conflicting sleeper red-handed.
+  // check_for_trap: catch a conflicting sleeper red-handed — and wake it, the
+  // rest of its sleep is pure overhead now that the bug is on record.
   TrapRegistry::Conflict conflict = traps_.CheckAndMark(access);
   if (conflict.found) {
     ReportViolation(conflict, access);
     detector_->OnViolation(conflict.trapped_access, access);
+    if (!config_.disable_early_wake) {
+      engine_.WakeThread(conflict.trapped_access.tid, WakeReason::kCatchWake);
+    }
   }
 
-  // should_delay + bookkeeping.
+  // should_delay + admission control.
   const DelayDecision decision = detector_->OnCall(access);
-  if (!decision.inject || decision.duration_us <= 0 ||
-      !BudgetAllows(tid, decision.duration_us)) {
+  if (!decision.inject || decision.duration_us <= 0) {
     return;
   }
   if (config_.serialize_delays && traps_.ArmedCount() > 0) {
@@ -66,28 +83,54 @@ void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) {
     // rejects this design).
     return;
   }
+  if (!RequestBudgetAllows(decision.duration_us)) {
+    engine_.NoteSkippedBudget();
+    return;
+  }
+  if (!engine_.Admit(tid, decision.duration_us)) {
+    return;  // per-thread / aggregate budget or overhead cap; engine counts it
+  }
 
   TrapRegistry::Trap* trap = traps_.Set(access, ScopeStack::Current().Snapshot());
   delays_injected_.fetch_add(1, std::memory_order_relaxed);
   if (trap_arm_observer_) {
     trap_arm_observer_(op);
   }
-  const Micros start = NowMicros();
-  SleepMicros(decision.duration_us);
-  const Micros end = NowMicros();
-  total_delay_us_.fetch_add(end - start, std::memory_order_relaxed);
-  ChargeBudgets(tid, end - start);
+  const ParkResult park = engine_.Park(tid, op, decision.duration_us);
+  ChargeRequestBudget(park.end_us - park.start_us);
 
   const bool hit = traps_.Clear(trap);
-  detector_->OnDelayFinished(access, DelayOutcome{start, end, hit});
+  DelayOutcome outcome;
+  outcome.start_us = park.start_us;
+  outcome.end_us = park.end_us;
+  outcome.conflict_found = hit;
+  outcome.aborted = park.reason == WakeReason::kStallCancel ||
+                    park.reason == WakeReason::kShutdown;
+  detector_->OnDelayFinished(access, outcome);
 }
 
-void Runtime::OnSync(const SyncEvent& event) {
-  if (!wants_sync_) {
+void Runtime::OnSync(const SyncEvent& event) noexcept {
+  if (!wants_sync_ || disabled_.load(std::memory_order_relaxed)) {
     return;
   }
-  sync_events_.fetch_add(1, std::memory_order_relaxed);
-  detector_->OnSync(event);
+  try {
+    sync_events_.fetch_add(1, std::memory_order_relaxed);
+    detector_->OnSync(event);
+  } catch (...) {
+    RecordInternalError();
+  }
+}
+
+void Runtime::RecordInternalError() noexcept {
+  const uint64_t errors = internal_errors_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.max_internal_errors > 0 &&
+      errors >= static_cast<uint64_t>(config_.max_internal_errors)) {
+    if (!disabled_.exchange(true, std::memory_order_acq_rel)) {
+      // Release anyone still parked; their OnCallImpl frames resume and finish
+      // inside their own try blocks.
+      engine_.CancelAllParked(WakeReason::kShutdown);
+    }
+  }
 }
 
 void Runtime::ReportViolation(const TrapRegistry::Conflict& conflict, const Access& racing) {
@@ -112,11 +155,7 @@ void Runtime::ReportViolation(const TrapRegistry::Conflict& conflict, const Acce
   }
 }
 
-bool Runtime::BudgetAllows(ThreadId tid, Micros duration) {
-  if (config_.max_delay_per_thread_us > 0 &&
-      budgets_.Get(tid).used + duration > config_.max_delay_per_thread_us) {
-    return false;
-  }
+bool Runtime::RequestBudgetAllows(Micros duration) {
   if (config_.max_delay_per_request_us > 0) {
     const RequestId request = CurrentRequest();
     if (request != kNoRequest) {
@@ -129,8 +168,7 @@ bool Runtime::BudgetAllows(ThreadId tid, Micros duration) {
   return true;
 }
 
-void Runtime::ChargeBudgets(ThreadId tid, Micros spent) {
-  budgets_.Get(tid).used += spent;
+void Runtime::ChargeRequestBudget(Micros spent) {
   if (config_.max_delay_per_request_us > 0) {
     const RequestId request = CurrentRequest();
     if (request != kNoRequest) {
@@ -151,9 +189,15 @@ RunSummary Runtime::Summary() const {
   }
   s.oncall_count = oncall_count_.load(std::memory_order_relaxed);
   s.delays_injected = delays_injected_.load(std::memory_order_relaxed);
-  s.total_delay_us = total_delay_us_.load(std::memory_order_relaxed);
+  s.total_delay_us = engine_.TotalSleptUs();
   s.sync_events = sync_events_.load(std::memory_order_relaxed);
   s.trap_set_size = detector_->TrapSetSize();
+  s.delays_early_woken = engine_.EarlyWoken();
+  s.delays_aborted_stall = engine_.AbortedStall();
+  s.delays_skipped_budget = engine_.SkippedBudget();
+  s.early_wake_saved_us = engine_.EarlyWakeSavedUs();
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.runtime_disabled = disabled_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -23,8 +23,8 @@
 
 #include "src/common/config.h"
 #include "src/common/execution_context.h"
-#include "src/common/per_thread.h"
 #include "src/common/request_context.h"
+#include "src/core/delay_engine.h"
 #include "src/core/detector.h"
 #include "src/core/phase_detector.h"
 #include "src/core/trap_registry.h"
@@ -41,11 +41,17 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Entry point from instrumented container methods.
-  void OnCall(ObjectId obj, OpId op, OpKind kind);
+  // Entry point from instrumented container methods. This is the fail-open
+  // firewall boundary: an internal fault in the detector, the trap machinery, or
+  // the delay engine must never take down the host test. Faults are counted, and
+  // past config.max_internal_errors the runtime self-disables — every further
+  // OnCall is a no-op and the run completes uninstrumented (flagged
+  // runtime_disabled in the summary).
+  void OnCall(ObjectId obj, OpId op, OpKind kind) noexcept;
 
   // Entry point from the task runtime (forwarded only if the detector wants it).
-  void OnSync(const SyncEvent& event);
+  // Same firewall boundary as OnCall.
+  void OnSync(const SyncEvent& event) noexcept;
   bool WantsSyncEvents() const { return wants_sync_; }
 
   // Finalizes counters into a summary. Callable once the run's tasks are quiescent.
@@ -123,9 +129,11 @@ class Runtime {
   };
 
  private:
+  void OnCallImpl(ObjectId obj, OpId op, OpKind kind);
   void ReportViolation(const TrapRegistry::Conflict& conflict, const Access& racing);
-  bool BudgetAllows(ThreadId tid, Micros duration);
-  void ChargeBudgets(ThreadId tid, Micros spent);
+  bool RequestBudgetAllows(Micros duration);
+  void ChargeRequestBudget(Micros spent);
+  void RecordInternalError() noexcept;
 
   Config config_;
   std::unique_ptr<Detector> detector_;
@@ -134,6 +142,7 @@ class Runtime {
   TrapRegistry traps_;
   PhaseDetector phase_;
   CoverageTracker coverage_;
+  DelayEngine engine_;
 
   mutable std::mutex reports_mu_;
   std::vector<BugReport> reports_;
@@ -142,14 +151,12 @@ class Runtime {
 
   std::atomic<uint64_t> oncall_count_{0};
   std::atomic<uint64_t> delays_injected_{0};
-  std::atomic<int64_t> total_delay_us_{0};
   std::atomic<uint64_t> sync_events_{0};
+  std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<bool> disabled_{false};
 
-  struct BudgetSlot {
-    Micros used = 0;
-  };
-  PerThread<BudgetSlot> budgets_;
-
+  // Per-thread and aggregate delay budgets live in the engine's governor; the
+  // per-request budget stays here because it needs the request TLS.
   std::mutex request_budget_mu_;
   std::unordered_map<RequestId, Micros> request_budgets_;
 

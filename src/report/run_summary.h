@@ -26,6 +26,20 @@ struct RunSummary {
   // Dangerous pairs known at run end (persisted into the trap file for the next run).
   uint64_t trap_set_size = 0;
 
+  // Delay-engine outcomes: delays released the moment their trap was sprung, delays
+  // cancelled by the progress sentinel, and delays never injected because a budget
+  // or the overhead cap said no.
+  uint64_t delays_early_woken = 0;
+  uint64_t delays_aborted_stall = 0;
+  uint64_t delays_skipped_budget = 0;
+  // Tail sleep avoided by catch wakes (requested minus actually slept).
+  Micros early_wake_saved_us = 0;
+
+  // Fail-open firewall: faults absorbed at the OnCall boundary, and whether they
+  // crossed max_internal_errors and disabled instrumentation for the rest of the run.
+  uint64_t internal_errors = 0;
+  bool runtime_disabled = false;
+
   void Merge(const RunSummary& other) {
     reports.insert(reports.end(), other.reports.begin(), other.reports.end());
     unique_pairs.insert(other.unique_pairs.begin(), other.unique_pairs.end());
@@ -35,6 +49,12 @@ struct RunSummary {
     sync_events += other.sync_events;
     wall_time_us += other.wall_time_us;
     trap_set_size += other.trap_set_size;
+    delays_early_woken += other.delays_early_woken;
+    delays_aborted_stall += other.delays_aborted_stall;
+    delays_skipped_budget += other.delays_skipped_budget;
+    early_wake_saved_us += other.early_wake_saved_us;
+    internal_errors += other.internal_errors;
+    runtime_disabled = runtime_disabled || other.runtime_disabled;
   }
 };
 

@@ -54,6 +54,11 @@ Json EncodeRunOutcome(const RunOutcome& outcome) {
   j.Set("wall_us", static_cast<int64_t>(outcome.wall_us));
   j.Set("oncall_count", outcome.oncall_count);
   j.Set("delays_injected", outcome.delays_injected);
+  j.Set("delays_early_woken", outcome.delays_early_woken);
+  j.Set("delays_aborted_stall", outcome.delays_aborted_stall);
+  j.Set("delays_skipped_budget", outcome.delays_skipped_budget);
+  j.Set("internal_errors", outcome.internal_errors);
+  j.Set("runtime_disabled", outcome.runtime_disabled);
   j.Set("imported_pairs", outcome.imported_pairs);
   j.Set("retrapped_imported", outcome.retrapped_imported);
   j.Set("false_positives", outcome.false_positives);
@@ -137,7 +142,8 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
 
   int64_t module_index = out->module_index, round = out->round,
           attempts = out->attempts, killed = 0, degrade = 0, false_positives = 0,
-          wall = 0, oncall = 0, delays = 0, imported = 0, retrapped = 0, salvaged = 0;
+          wall = 0, oncall = 0, delays = 0, imported = 0, retrapped = 0, salvaged = 0,
+          early_woken = 0, aborted_stall = 0, skipped_budget = 0, internal_errors = 0;
   std::string status_name = "ok";
   if (!ReadInt(doc, "module_index", &module_index) ||
       !ReadString(doc, "module", &out->module) || !ReadInt(doc, "round", &round) ||
@@ -150,6 +156,11 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
       !ReadInt(doc, "salvaged_trap_pairs", &salvaged) ||
       !ReadInt(doc, "wall_us", &wall) || !ReadInt(doc, "oncall_count", &oncall) ||
       !ReadInt(doc, "delays_injected", &delays) ||
+      !ReadInt(doc, "delays_early_woken", &early_woken) ||
+      !ReadInt(doc, "delays_aborted_stall", &aborted_stall) ||
+      !ReadInt(doc, "delays_skipped_budget", &skipped_budget) ||
+      !ReadInt(doc, "internal_errors", &internal_errors) ||
+      !ReadBool(doc, "runtime_disabled", &out->runtime_disabled) ||
       !ReadInt(doc, "imported_pairs", &imported) ||
       !ReadInt(doc, "retrapped_imported", &retrapped) ||
       !ReadInt(doc, "false_positives", &false_positives)) {
@@ -167,6 +178,10 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
   out->wall_us = wall;
   out->oncall_count = static_cast<uint64_t>(oncall);
   out->delays_injected = static_cast<uint64_t>(delays);
+  out->delays_early_woken = static_cast<uint64_t>(early_woken);
+  out->delays_aborted_stall = static_cast<uint64_t>(aborted_stall);
+  out->delays_skipped_budget = static_cast<uint64_t>(skipped_budget);
+  out->internal_errors = static_cast<uint64_t>(internal_errors);
   out->imported_pairs = static_cast<uint64_t>(imported);
   out->retrapped_imported = static_cast<uint64_t>(retrapped);
   out->false_positives = static_cast<int>(false_positives);

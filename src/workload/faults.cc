@@ -1,6 +1,11 @@
 #include "src/workload/faults.h"
 
+#include <mutex>
+
 #include "src/common/clock.h"
+#include "src/common/scope_stack.h"
+#include "src/instrument/dictionary.h"
+#include "src/tasks/task.h"
 #include "src/workload/patterns.h"
 
 namespace tsvd::workload {
@@ -58,6 +63,56 @@ ModuleSpec MakeNonStdThrowModule(const std::string& name, uint64_t seed,
   thrower.name = "fault_nonstd_throw";
   thrower.fn = [](TestContext&) { throw 42; };
   spec.tests.push_back(std::move(thrower));
+  return spec;
+}
+
+ModuleSpec MakeDeadlockModule(const std::string& name, uint64_t seed,
+                              const WorkloadParams& params) {
+  ModuleSpec spec = FaultModuleBase(name, seed, params);
+  TestCase dl;
+  dl.name = "fault_deadlock";
+  dl.buggy = true;
+  dl.fn = [](TestContext& ctx) {
+    TSVD_SCOPE("DeadlockFault");
+    Dictionary<int, int> shared;
+    ctx.RegisterBuggy(&shared);
+    const WorkloadParams& p = ctx.params();
+    // Plain std::mutex, deliberately not tasks::Mutex: the runtime cannot see it,
+    // exactly the "TSVD does not know what locks the delayed thread holds"
+    // situation of §4.2.
+    std::mutex gate;
+    int guarded = 0;
+    for (int r = 0; r < std::max(2, p.rounds); ++r) {
+      // The peer's unlocked write goes first: it seeds the near-miss history, so
+      // the *holder* is the thread that discovers the dangerous pair — and parks
+      // while owning `gate`.
+      tasks::Task<void> peer = tasks::Run(
+          [&] {
+            TSVD_SCOPE("Peer");
+            shared.Set(1, r);
+            SleepMicros(p.tiny_gap_us);
+            // Needs the gate the trapped holder owns. A raw lock acquisition with
+            // no instrumented calls: nothing here can spring the holder's trap,
+            // so only the progress sentinel can end the stall.
+            std::lock_guard<std::mutex> g(gate);
+            ++guarded;
+          },
+          tasks::TaskTraits{.label = "peer"});
+      tasks::Task<void> holder = tasks::Run(
+          [&] {
+            TSVD_SCOPE("Holder");
+            std::lock_guard<std::mutex> g(gate);
+            SleepMicros(p.brush_gap_us);  // land inside the peer's near-miss window
+            shared.Set(2, r);  // discovers the pair -> delays while holding `gate`
+          },
+          tasks::TaskTraits{.label = "holder"});
+      holder.Wait();
+      peer.Wait();
+      SleepMicros(p.pass_gap_us);
+    }
+    (void)guarded;
+  };
+  spec.tests.push_back(std::move(dl));
   return spec;
 }
 

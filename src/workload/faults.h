@@ -34,6 +34,15 @@ ModuleSpec MakeHangModule(const std::string& name, uint64_t seed,
 ModuleSpec MakeNonStdThrowModule(const std::string& name, uint64_t seed,
                                  const WorkloadParams& params);
 
+// The §4.2 hazard on demand: the trapped callsite holds a plain std::mutex —
+// invisible to the instrumentation, like the unknown locks the paper warns about —
+// that a peer thread needs to make progress. With an uninterruptible sleep the run
+// stalls for the whole delay (or until the sandbox watchdog SIGKILLs it); the delay
+// engine's progress sentinel must instead cancel the delay in-process, release the
+// lock, and let the run finish with its learning intact.
+ModuleSpec MakeDeadlockModule(const std::string& name, uint64_t seed,
+                              const WorkloadParams& params);
+
 }  // namespace tsvd::workload
 
 #endif  // SRC_WORKLOAD_FAULTS_H_

@@ -22,6 +22,9 @@ inline Config ScaledConfig(double scale = 0.02) {
   // instrumented tests cannot time out. Random techniques routinely saturate this
   // budget on cold, sequential sites; targeted techniques never come close.
   cfg.max_delay_per_thread_us = 20 * cfg.delay_us;
+  // The sentinel grace period scales with everything else: it must stay an order of
+  // magnitude above the delay length so healthy delays never look like stalls.
+  cfg.stall_grace_us = static_cast<Micros>(500'000 * scale);
   return cfg;
 }
 

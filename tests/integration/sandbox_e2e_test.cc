@@ -177,6 +177,61 @@ TEST_F(SandboxE2ETest, CrashingAndHangingModulesDoNotSinkTheCampaign) {
   EXPECT_TRUE(sarif_segv);
 }
 
+TEST_F(SandboxE2ETest, DeadlockFaultIsUnstalledBySentinelNotTheWatchdog) {
+  // The §4.2 hazard made real: the deadlock module delays while holding a lock its
+  // peer needs, and the injected delay (60s) dwarfs the watchdog deadline (15s). If
+  // the progress sentinel failed to cancel the park, the child could only die by
+  // SIGKILL and the run would show up timed out. Instead every run must complete
+  // normally, with the stall recorded in the delay-engine counters and the trap
+  // learning from the run preserved.
+  CampaignOptions options;
+  options.num_modules = 1;
+  options.workers = 2;
+  options.rounds = 1;
+  options.scale = 0.05;
+  options.seed = 42;
+  options.out_dir = out_dir_;
+  options.sandbox.enabled = true;
+  options.sandbox.run_timeout_ms = 15000;
+  options.sandbox.backoff_base_ms = 10;
+  options.fault_deadlock_modules = 1;
+  options.delay_us_override = 60'000'000;  // 60s >> the 15s watchdog
+  options.stall_grace_us = 150'000;
+
+  const CampaignResult result = RunCampaign(options);
+  ASSERT_EQ(result.rounds.size(), 1u);
+
+  // Zero runs needed the watchdog: the sentinel released every stalled park
+  // in-process, well before any deadline.
+  const RoundStats& round = result.rounds[0];
+  EXPECT_EQ(round.runs, 2);  // 1 corpus + 1 deadlock module
+  EXPECT_EQ(round.timed_out, 0);
+  EXPECT_EQ(round.crashed, 0);
+  EXPECT_EQ(round.killed_by_signal, 0);
+  EXPECT_GT(round.delays_aborted_stall, 0u);
+
+  const RunOutcome* deadlock = FindOutcome(result, "fault_deadlock_0", 1);
+  ASSERT_NE(deadlock, nullptr);
+  EXPECT_EQ(deadlock->status, RunStatus::kOk);
+  EXPECT_EQ(deadlock->attempts, 1);
+  EXPECT_FALSE(deadlock->quarantined);
+  EXPECT_GT(deadlock->delays_aborted_stall, 0u);
+  EXPECT_FALSE(deadlock->runtime_disabled);
+  // A sentinel-cancelled run still contributes its near-miss learning.
+  EXPECT_FALSE(deadlock->traps.empty());
+
+  // The counters crossed the sandbox pipe into the JSON artifact.
+  ASSERT_FALSE(result.json_path.empty());
+  Json json;
+  ASSERT_TRUE(Json::Parse(Slurp(result.json_path), &json));
+  const Json* totals = json.Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_GT(totals->Find("delays_aborted_stall")->as_int(), 0);
+  const Json& jround = json.Find("rounds")->at(0);
+  EXPECT_EQ(jround.Find("timed_out")->as_int(), 0);
+  EXPECT_GT(jround.Find("delays_aborted_stall")->as_int(), 0);
+}
+
 TEST_F(SandboxE2ETest, InProcessFallbackSurvivesNonStdThrow) {
   // No sandbox: the scheduler's catch(...) must absorb a non-std throw, record the
   // attempts, and let the rest of the round finish untouched.

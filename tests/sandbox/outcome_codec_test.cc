@@ -28,6 +28,11 @@ campaign::RunOutcome FullOutcome() {
   outcome.wall_us = 123456;
   outcome.oncall_count = 1000;
   outcome.delays_injected = 17;
+  outcome.delays_early_woken = 5;
+  outcome.delays_aborted_stall = 2;
+  outcome.delays_skipped_budget = 7;
+  outcome.internal_errors = 1;
+  outcome.runtime_disabled = true;
   outcome.imported_pairs = 4;
   outcome.retrapped_imported = 3;
   outcome.false_positives = 0;
@@ -72,6 +77,11 @@ TEST(OutcomeCodecTest, RoundTripsEveryField) {
   EXPECT_EQ(decoded.wall_us, original.wall_us);
   EXPECT_EQ(decoded.oncall_count, original.oncall_count);
   EXPECT_EQ(decoded.delays_injected, original.delays_injected);
+  EXPECT_EQ(decoded.delays_early_woken, original.delays_early_woken);
+  EXPECT_EQ(decoded.delays_aborted_stall, original.delays_aborted_stall);
+  EXPECT_EQ(decoded.delays_skipped_budget, original.delays_skipped_budget);
+  EXPECT_EQ(decoded.internal_errors, original.internal_errors);
+  EXPECT_EQ(decoded.runtime_disabled, original.runtime_disabled);
   EXPECT_EQ(decoded.imported_pairs, original.imported_pairs);
   EXPECT_EQ(decoded.retrapped_imported, original.retrapped_imported);
   EXPECT_EQ(decoded.false_positives, original.false_positives);
@@ -119,6 +129,26 @@ TEST(OutcomeCodecTest, EmptyOutcomeRoundTrips) {
   EXPECT_EQ(decoded.status, campaign::RunStatus::kOk);
   EXPECT_TRUE(decoded.observations.empty());
   EXPECT_TRUE(decoded.traps.empty());
+}
+
+TEST(OutcomeCodecTest, LegacyDocumentWithoutDelayEngineFieldsDecodes) {
+  // Protocol growth: a document from a child built before the delay engine still
+  // decodes, with the new counters at their zero defaults.
+  campaign::Json doc;
+  ASSERT_TRUE(campaign::Json::Parse(R"({"module":"m","delays_injected":3})", &doc));
+  campaign::RunOutcome decoded;
+  ASSERT_TRUE(DecodeRunOutcome(doc, &decoded));
+  EXPECT_EQ(decoded.delays_injected, 3u);
+  EXPECT_EQ(decoded.delays_early_woken, 0u);
+  EXPECT_EQ(decoded.delays_aborted_stall, 0u);
+  EXPECT_EQ(decoded.delays_skipped_budget, 0u);
+  EXPECT_EQ(decoded.internal_errors, 0u);
+  EXPECT_FALSE(decoded.runtime_disabled);
+
+  // Present-but-mistyped new fields are rejected like any other field.
+  campaign::Json mistyped;
+  ASSERT_TRUE(campaign::Json::Parse(R"({"runtime_disabled":"yes"})", &mistyped));
+  EXPECT_FALSE(DecodeRunOutcome(mistyped, &decoded));
 }
 
 TEST(OutcomeCodecTest, StatusNamesRoundTrip) {

@@ -41,6 +41,15 @@ Usage: tsvd_campaign [--flag=value ...]
   --fault-crash=N      append N modules whose last test SIGSEGVs (default 0)
   --fault-hang=N       append N modules whose last test outlives any deadline (default 0)
   --fault-throw=N      append N modules whose last test throws a non-std value (default 0)
+  --fault-deadlock=N   append N modules that delay while holding a lock a peer needs;
+                       the progress sentinel must unstall them in-process (default 0)
+
+ delay engine (defaults derive from --scale; see src/core/delay_engine.h):
+  --delay_ms=N           override the injected delay length
+  --stall_grace_ms=N     progress-sentinel grace period; 0 disables the sentinel
+  --max_overhead_pct=F   skip new delays when injected delay exceeds F%% of run time
+  --max_internal_errors=N  internal faults absorbed before instrumentation
+                       self-disables for the rest of the run (fail-open)
 
   --help           this text
 )";
@@ -78,6 +87,13 @@ int main(int argc, char** argv) {
   options.fault_crash_modules = static_cast<int>(flags.GetInt("fault-crash", 0, 0, 100));
   options.fault_hang_modules = static_cast<int>(flags.GetInt("fault-hang", 0, 0, 100));
   options.fault_throw_modules = static_cast<int>(flags.GetInt("fault-throw", 0, 0, 100));
+  options.fault_deadlock_modules =
+      static_cast<int>(flags.GetInt("fault-deadlock", 0, 0, 100));
+  options.delay_us_override = 1000 * flags.GetInt("delay_ms", 0, 0, 3600000);
+  options.stall_grace_us = 1000 * flags.GetInt("stall_grace_ms", -1, -1, 3600000);
+  options.max_overhead_pct = flags.GetDouble("max_overhead_pct", -1.0, -1.0, 100.0);
+  options.max_internal_errors =
+      static_cast<int>(flags.GetInt("max_internal_errors", -1, -1, 1000000));
   flags.RejectUnknown();
   if (!flags.ok()) {
     std::fprintf(stderr, "tsvd_campaign: %s\nTry --help.\n", flags.error().c_str());
@@ -116,6 +132,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.UniqueBugCount()),
               static_cast<unsigned long long>(result.RunsExecuted()),
               result.false_positives);
+
+  unsigned long long early = 0, aborted = 0, skipped = 0;
+  int disabled = 0;
+  for (const campaign::RoundStats& stats : result.rounds) {
+    early += stats.delays_early_woken;
+    aborted += stats.delays_aborted_stall;
+    skipped += stats.delays_skipped_budget;
+    disabled += stats.runtime_disabled;
+  }
+  if (early + aborted + skipped > 0 || disabled > 0) {
+    std::printf(
+        "delay engine: %llu early-woken, %llu aborted by sentinel, "
+        "%llu skipped by budget, %d run(s) fail-open disabled\n",
+        early, aborted, skipped, disabled);
+  }
 
   int printed = 0;
   for (const auto& bug : result.bugs) {
