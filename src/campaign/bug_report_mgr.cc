@@ -45,6 +45,18 @@ std::vector<BugReportMgr::UniqueBug> BugReportMgr::Bugs() const {
   return out;
 }
 
+void BugReportMgr::Restore(std::vector<UniqueBug> bugs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bugs_.clear();
+  for (UniqueBug& bug : bugs) {
+    PairKey key(bug.sig_first, bug.sig_second);
+    if (key.second < key.first) {
+      std::swap(key.first, key.second);
+    }
+    bugs_[std::move(key)] = std::move(bug);
+  }
+}
+
 uint64_t BugReportMgr::UniqueBugCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bugs_.size();

@@ -47,6 +47,10 @@ class BugReportMgr {
   // Snapshot sorted by (sig_first, sig_second): deterministic across runs.
   std::vector<UniqueBug> Bugs() const;
 
+  // Replaces the manager's state with a prior Bugs() snapshot — the resume path's
+  // journal-snapshot restore. Ingest picks up exactly where the snapshot left off.
+  void Restore(std::vector<UniqueBug> bugs);
+
   uint64_t UniqueBugCount() const;
   uint64_t ManifestationCount() const;  // distinct (pair, stack digest)
   uint64_t OccurrenceCount() const;     // raw reports ingested

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/campaign/journal.h"
 #include "src/campaign/scheduler.h"
 #include "src/campaign/sinks.h"
 #include "src/common/callsite.h"
@@ -170,6 +171,10 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   const workload::DetectorFactory factory = workload::FactoryFor(options.detector);
 
   const bool persist = !options.out_dir.empty();
+  if (options.resume && !persist) {
+    result.error = "resume requires an output directory (out_dir)";
+    return result;
+  }
   if (persist) {
     std::filesystem::create_directories(options.out_dir);
     result.trap_path =
@@ -194,30 +199,249 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   BugReportMgr mgr;
   TrapFile merged;  // the fleet-wide trap store, canonical at all times
   std::vector<char> quarantined(corpus.size(), 0);
+
+  const int rounds = options.rounds > 0 ? options.rounds : 1;
+
+  // The journal's identity stamp: resume refuses a ledger written under a
+  // different (detector, seed, corpus, scale) — the replayed outcomes would not
+  // match what this campaign would have produced.
+  JournalHeader header;
+  header.detector = options.detector;
+  header.seed = options.seed;
+  header.num_modules = static_cast<int>(corpus.size());
+  header.scale = options.scale;
+  header.rounds = rounds;
+
+  CampaignJournal journal;
+  std::vector<RunOutcome> pending;  // replayed runs of the interrupted round
+  int start_round = 1;
+  bool already_done = false;  // the journal says the campaign finished
+  uint64_t last_snapshot_mark = 0;
+
+  if (persist) {
+    const std::string journal_path = CampaignJournal::PathIn(options.out_dir);
+    result.journal_path = journal_path;
+    bool fresh = true;
+    if (options.resume) {
+      JournalReplay replay;
+      std::error_code ec;
+      if (std::filesystem::exists(journal_path, ec) &&
+          CampaignJournal::Load(journal_path, &replay) && replay.has_header) {
+        // A missing/unreadable/headerless journal falls through to a fresh start
+        // (automation can always pass resume, even after a kill that predated the
+        // first append); an identity mismatch is a hard error.
+        std::string why;
+        if (!header.CompatibleWith(replay.header, &why)) {
+          result.error = "resume refused: journal identity mismatch (" + why + ")";
+          return result;
+        }
+        fresh = false;
+        if (replay.torn_tail) {
+          // Cut the dangling partial record of the crashed append so this
+          // session's records start on a clean line.
+          std::filesystem::resize_file(journal_path, replay.valid_bytes, ec);
+        }
+        result.rounds = replay.completed_rounds;
+        result.resumed_rounds = static_cast<int>(replay.completed_rounds.size());
+        result.resumed_runs = replay.outcomes.size();
+        start_round = result.resumed_rounds + 1;
+
+        // Dedup-state fast path: restore the last snapshot, then re-ingest only
+        // the ledger tail it does not cover.
+        BugMgrSnapshot snap;
+        uint64_t covered = 0;
+        if (LoadBugMgrSnapshot(CampaignJournal::SnapshotPathIn(options.out_dir),
+                               &snap) &&
+            snap.watermark <= replay.outcomes.size()) {
+          mgr.Restore(std::move(snap.bugs));
+          covered = snap.watermark;
+        }
+        last_snapshot_mark = covered;
+
+        // Partition the run records: completed rounds are reconstructed here and
+        // never re-executed; records of the interrupted round are carried into
+        // the round loop and processed uniformly with the runs that finish it.
+        std::vector<std::pair<uint64_t, RunOutcome>> completed;
+        completed.reserve(replay.outcomes.size());
+        for (uint64_t i = 0; i < replay.outcomes.size(); ++i) {
+          RunOutcome& o = replay.outcomes[i];
+          if (o.quarantined && o.module_index >= 0 &&
+              o.module_index < static_cast<int>(quarantined.size())) {
+            quarantined[o.module_index] = 1;  // stays benched across the resume
+          }
+          if (o.module.empty() && o.module_index >= 0 &&
+              o.module_index < static_cast<int>(corpus.size())) {
+            o.module = corpus[o.module_index].name;
+          }
+          if (o.round >= start_round) {
+            pending.push_back(std::move(o));
+          } else {
+            completed.emplace_back(i, std::move(o));
+          }
+        }
+        // The ledger appends in completion order (non-deterministic across
+        // workers); the live campaign ingests and reports in (round, module)
+        // order. Restore that canonical order so resumed artifacts match an
+        // uninterrupted campaign's.
+        std::sort(completed.begin(), completed.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.second.round != b.second.round) {
+                      return a.second.round < b.second.round;
+                    }
+                    if (a.second.module_index != b.second.module_index) {
+                      return a.second.module_index < b.second.module_index;
+                    }
+                    return a.first < b.first;
+                  });
+        std::sort(pending.begin(), pending.end(),
+                  [](const RunOutcome& a, const RunOutcome& b) {
+                    return a.module_index < b.module_index;
+                  });
+        for (auto& [index, o] : completed) {
+          if (index >= covered) {
+            for (const BugObservation& obs : o.observations) {
+              mgr.Ingest(obs);
+            }
+          }
+          // The fleet store is exactly the union of every processed outcome's
+          // trap export, so rebuilding it from the ledger reproduces the store
+          // the interrupted round imported — traps.tsvd is not even needed.
+          merged.Merge(o.traps);
+          result.false_positives += o.false_positives;
+          result.outcomes.push_back(std::move(o));
+        }
+
+        if (replay.complete) {
+          already_done = true;
+          result.converged = replay.converged;
+        } else if (pending.empty() && options.stop_when_converged &&
+                   !result.rounds.empty() &&
+                   result.rounds.back().new_unique_bugs == 0) {
+          // Crash in the window between the round record and the complete
+          // record: reconstruct the convergence decision the dead campaign was
+          // about to commit.
+          already_done = true;
+          result.converged = true;
+        }
+      }
+    }
+    if (!journal.Open(journal_path, header, /*truncate=*/fresh,
+                      /*fsync=*/DurableFileSyncEnabled())) {
+      result.error = "failed to open campaign journal at " + journal_path;
+      return result;
+    }
+    journal.set_replayed_run_records(result.resumed_runs);
+  }
+
+  // Reap what a dead orchestrator's children left behind. On resume the salvaged
+  // pairs rejoin the fleet store (below, after the next imported snapshot); a
+  // fresh campaign only clears the litter so its own crash forensics can never
+  // salvage another campaign's stale checkpoint.
+  TrapFile stale_salvage;
+  if (sandboxed) {
+    result.salvaged_checkpoints = ReapStaleCheckpoints(checkpoint_dir, &stale_salvage);
+    if (!options.resume) {
+      stale_salvage = TrapFile{};
+    }
+  }
+
   Scheduler scheduler(options.workers, options.pool_threads_per_worker);
+  if (journal.is_open()) {
+    // The commit point: one fsync'd ledger record the moment a run reaches its
+    // final outcome, on the worker thread that finished it. Runs a drain skipped
+    // or cut short are never journaled — resume re-executes them.
+    scheduler.SetCompletionCallback([&](const RunOutcome& outcome) {
+      RunOutcome record = outcome;
+      if (record.module.empty() && record.module_index >= 0 &&
+          record.module_index < static_cast<int>(corpus.size())) {
+        record.module = corpus[record.module_index].name;
+      }
+      journal.AppendRun(record);
+    });
+  }
+
+  // Sinks flush after every round (and once more at the end): campaign.json and
+  // campaign.sarif always reflect the last committed state, stamped
+  // "interrupted": true when a drain cut the campaign short.
+  const auto flush_reports = [&]() {
+    if (!persist) {
+      return;
+    }
+    CampaignMeta meta;
+    meta.detector = options.detector;
+    meta.num_modules = static_cast<int>(corpus.size());
+    meta.workers = scheduler.workers();
+    meta.rounds_requested = rounds;
+    meta.rounds_executed = static_cast<int>(result.rounds.size());
+    meta.converged = result.converged;
+    meta.interrupted = result.interrupted;
+    meta.sandbox = sandboxed;
+    meta.scale = options.scale;
+    meta.seed = options.seed;
+    const std::filesystem::path dir(options.out_dir);
+    const std::string json_path = (dir / "campaign.json").string();
+    const std::string sarif_path = (dir / "campaign.sarif").string();
+    const std::vector<BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+    if (WriteFileAtomic(json_path,
+                        RenderJson(meta, result.rounds, bugs, result.outcomes))) {
+      result.json_path = json_path;
+    }
+    if (WriteFileAtomic(sarif_path, RenderSarif(meta, bugs, result.outcomes))) {
+      result.sarif_path = sarif_path;
+    }
+  };
 
   RetryPolicy retry;
   retry.max_attempts = options.max_attempts;
   retry.backoff_base_ms = options.sandbox.backoff_base_ms;
   retry.backoff_cap_ms = options.sandbox.backoff_cap_ms;
 
-  const int rounds = options.rounds > 0 ? options.rounds : 1;
-  for (int round = 1; round <= rounds; ++round) {
+  const std::function<bool()>& interrupt = options.interrupt;
+  for (int round = start_round; !already_done && round <= rounds; ++round) {
+    if (interrupt && interrupt()) {
+      // Signal arrived between rounds: stop before dispatching anything.
+      result.interrupted = true;
+      break;
+    }
+    // Runs of this round already committed to the ledger (resume of an
+    // interrupted round): reconstructed, not re-executed.
+    std::vector<RunOutcome> replayed;
+    if (round == start_round && !pending.empty()) {
+      replayed = std::move(pending);
+      pending.clear();
+    }
+    std::vector<char> already(corpus.size(), 0);
+    for (const RunOutcome& o : replayed) {
+      if (o.module_index >= 0 && o.module_index < static_cast<int>(already.size())) {
+        already[o.module_index] = 1;
+      }
+    }
+
     std::vector<RunJob> jobs;
     jobs.reserve(corpus.size());
     for (size_t m = 0; m < corpus.size(); ++m) {
-      if (quarantined[m]) {
-        continue;  // a module that exhausted its attempts stays benched
+      if (quarantined[m] || already[m]) {
+        continue;  // benched, or its ledger record already exists for this round
       }
       jobs.push_back(RunJob{static_cast<int>(m), round, 1, 0});
     }
-    if (jobs.empty()) {
+    if (jobs.empty() && replayed.empty()) {
       break;
     }
 
     // Snapshot the store for the round: workers read it concurrently, the merge
-    // below happens only after every run of the round completed.
+    // below happens only after every run of the round completed. On resume this
+    // equals the store the uninterrupted campaign would import — the replayed
+    // partial round's own traps are merged only during round processing, exactly
+    // like live outcomes' traps.
     const TrapFile imported = merged;
+    if (!stale_salvage.empty()) {
+      // Dead children's checkpointed learning joins the fleet store now — after
+      // the imported snapshot, so the snapshot stays bit-identical to the
+      // uninterrupted campaign's.
+      merged.Merge(stale_salvage);
+      stale_salvage = TrapFile{};
+    }
 
     const Scheduler::JobFn in_process = [&](const RunJob& job,
                                             tasks::ThreadPool& pool) {
@@ -289,16 +513,35 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     };
 
     const Micros round_start = NowMicros();
-    std::vector<RunOutcome> outcomes =
-        scheduler.ExecuteRound(jobs, sandboxed ? forked : in_process, retry);
+    std::vector<RunOutcome> outcomes;
+    if (!jobs.empty()) {
+      outcomes = scheduler.ExecuteRound(jobs, sandboxed ? forked : in_process,
+                                        retry, interrupt);
+    }
+    const bool drained = scheduler.draining();
 
     RoundStats stats;
     stats.round = round;
-    stats.runs = static_cast<int>(outcomes.size());
     stats.wall_us = NowMicros() - round_start;
-    // Outcomes are in job (= module) order, so ingestion order — and therefore every
-    // artifact — is deterministic for a given seed regardless of worker scheduling.
+    stats.interrupted = drained;
+    // Replayed ledger records and freshly executed runs are processed uniformly,
+    // in module order — the same ingestion order as an uninterrupted round, so
+    // every artifact is deterministic for a given seed regardless of worker
+    // scheduling or where a crash split the round.
+    for (RunOutcome& o : replayed) {
+      outcomes.push_back(std::move(o));
+    }
+    std::stable_sort(outcomes.begin(), outcomes.end(),
+                     [](const RunOutcome& a, const RunOutcome& b) {
+                       return a.module_index < b.module_index;
+                     });
     for (RunOutcome& outcome : outcomes) {
+      if (outcome.status == RunStatus::kSkipped) {
+        // Never dispatched (drain). Not a run: no stats, no ledger record, no
+        // report entry — the resumed campaign executes it from scratch.
+        continue;
+      }
+      ++stats.runs;
       // An attempt that threw produces a synthesized outcome with no module name
       // (the scheduler only knows indices); backfill it for the artifact trail.
       if (outcome.module.empty() && outcome.module_index >= 0 &&
@@ -342,52 +585,62 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       result.outcomes.push_back(std::move(outcome));
     }
     stats.trap_pairs_after = merged.size();
+    result.rounds.push_back(stats);
+
+    if (drained) {
+      // The round is uncommitted: no trap-store save, no round record, no
+      // snapshot. The ledger's run records cover exactly the runs that finished
+      // before the drain; a resumed campaign executes the rest with the same
+      // imported trap snapshot and recomputes this round's stats in full.
+      result.interrupted = true;
+      break;
+    }
 
     if (persist) {
       if (!merged.SaveTo(result.trap_path)) {
         result.trap_path.clear();
       }
     }
-
-    result.rounds.push_back(stats);
+    if (journal.is_open()) {
+      // Commit the round — strictly after the trap store hit disk, so a round
+      // record always implies traps.tsvd reflects that round.
+      journal.AppendRoundComplete(stats, mgr.UniqueBugCount());
+      if (options.journal_snapshot_every > 0 &&
+          journal.run_records() - last_snapshot_mark >=
+              static_cast<uint64_t>(options.journal_snapshot_every)) {
+        if (SaveBugMgrSnapshot(CampaignJournal::SnapshotPathIn(options.out_dir),
+                               mgr, journal.run_records(),
+                               DurableFileSyncEnabled())) {
+          last_snapshot_mark = journal.run_records();
+        }
+      }
+    }
     if (options.stop_when_converged && stats.new_unique_bugs == 0) {
       result.converged = true;
+    }
+    flush_reports();
+    if (result.converged) {
       break;
     }
   }
 
   result.bugs = mgr.Bugs();
+  if (!stale_salvage.empty()) {
+    merged.Merge(stale_salvage);  // no round ran; keep the reaped learning anyway
+  }
   result.merged_traps = std::move(merged);
+
+  if (journal.is_open() && !result.interrupted && !already_done) {
+    journal.AppendCampaignComplete(result.converged);
+  }
+  journal.Close();
 
   if (sandboxed) {
     std::error_code ec;
     std::filesystem::remove_all(checkpoint_dir, ec);
   }
 
-  if (persist) {
-    CampaignMeta meta;
-    meta.detector = options.detector;
-    meta.num_modules = static_cast<int>(corpus.size());
-    meta.workers = scheduler.workers();
-    meta.rounds_requested = rounds;
-    meta.rounds_executed = static_cast<int>(result.rounds.size());
-    meta.converged = result.converged;
-    meta.sandbox = sandboxed;
-    meta.scale = options.scale;
-    meta.seed = options.seed;
-
-    const std::filesystem::path dir(options.out_dir);
-    const std::string json_path = (dir / "campaign.json").string();
-    const std::string sarif_path = (dir / "campaign.sarif").string();
-    if (WriteFileAtomic(json_path, RenderJson(meta, result.rounds, result.bugs,
-                                              result.outcomes))) {
-      result.json_path = json_path;
-    }
-    if (WriteFileAtomic(sarif_path,
-                        RenderSarif(meta, result.bugs, result.outcomes))) {
-      result.sarif_path = sarif_path;
-    }
-  }
+  flush_reports();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #ifndef SRC_CAMPAIGN_CAMPAIGN_H_
 #define SRC_CAMPAIGN_CAMPAIGN_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,26 @@ struct CampaignOptions {
   // also meaningful without the sandbox.
   int fault_deadlock_modules = 0;
 
+  // Crash consistency (requires out_dir; see src/campaign/journal.h and DESIGN.md
+  // §11). `resume` replays out_dir/journal.tsvdj — completed rounds and runs are
+  // reconstructed, never re-executed — and continues from the first unfinished run
+  // of the interrupted round with the same per-round seeds, so a resumed campaign
+  // converges to the same unique-bug set as an uninterrupted one. A missing or
+  // empty journal starts fresh (so automation can always pass --resume); a journal
+  // whose identity (detector/seed/corpus/scale) disagrees with the options is a
+  // hard error reported through CampaignResult::error.
+  bool resume = false;
+  // BugReportMgr snapshot cadence: at the first round boundary after every N
+  // journaled runs, dedup state is snapshotted to out_dir/bugmgr.snap.json so
+  // resume replays only the journal tail. 0 disables snapshots.
+  int journal_snapshot_every = 64;
+  // Graceful-stop poll (the SIGINT/SIGTERM hook; handlers set an atomic flag and
+  // this closure reads it). Polled between runs: the first `true` stops
+  // dispatching, lets in-flight runs finish, flushes the journal and partial
+  // reports (stamped "interrupted": true), and returns. Never called from a signal
+  // handler context, so it may take locks.
+  std::function<bool()> interrupt;
+
   // Delay-engine overrides layered onto the scaled config (ScaledConfig already
   // derives stall_grace_us and the per-thread budget from `scale`; these pin
   // individual knobs for experiments and the deadlock e2e test).
@@ -71,12 +92,22 @@ struct CampaignResult {
   std::vector<RunOutcome> outcomes;           // every run of every round, in order
   TrapFile merged_traps;                      // final fleet-wide trap store
   bool converged = false;
+  // A drain (options.interrupt fired) cut the campaign short. The journal holds
+  // every completed run; artifacts are partial and stamped "interrupted": true.
+  bool interrupted = false;
   int false_positives = 0;
+  // Fatal orchestration error (resume identity mismatch, journal I/O failure);
+  // when non-empty no rounds were executed.
+  std::string error;
+  uint64_t resumed_runs = 0;        // run records replayed from the journal
+  int resumed_rounds = 0;           // completed rounds replayed from the journal
+  int salvaged_checkpoints = 0;     // stale per-run trap checkpoints reaped
 
   // Artifact paths; empty when out_dir was not set or a write failed.
   std::string trap_path;
   std::string json_path;
   std::string sarif_path;
+  std::string journal_path;
 
   uint64_t UniqueBugCount() const { return bugs.size(); }
   uint64_t RunsExecuted() const { return outcomes.size(); }

@@ -1,0 +1,140 @@
+// Crash-consistent campaign journal: the durable run ledger behind --resume.
+//
+// The paper's deployment is a push-button cloud service over ~1,600 projects and
+// 84,795 runs (Sections 2.1, 3.4.6); at that scale orchestrator preemption is
+// routine and re-running a fleet from scratch is exactly the waste systematic
+// testing tries to avoid. The journal makes the orchestrator itself survivable:
+//
+//   out_dir/journal.tsvdj — append-only, one JSON record per line:
+//     {"type":"header",...}   campaign identity (seed, detector, corpus, scale),
+//                             written once when the journal is created;
+//     {"type":"run","round":r,"module_index":m,"outcome":{...}}
+//                             appended and fsync'd the moment a run reaches its
+//                             final outcome (ok or quarantined) — the commit point
+//                             for "this run happened; never re-execute it";
+//     {"type":"round",...}    round completion: stats + the cumulative unique-bug
+//                             count, appended after the merged trap store was
+//                             atomically saved (so a round record implies
+//                             traps.tsvd reflects that round);
+//     {"type":"complete",...} the campaign finished (converged or rounds
+//                             exhausted).
+//
+//   out_dir/bugmgr.snap.json — periodic atomic snapshot of BugReportMgr dedup
+//     state as of `watermark` run records, so resume replays only the ledger tail
+//     instead of re-ingesting every observation of a long campaign.
+//
+// Replay is torn-tail tolerant: a crash mid-append leaves at most one partial
+// trailing line, which Load drops (and reports) while keeping every record before
+// it — the append-only analogue of TrapFile's salvage mode.
+#ifndef SRC_CAMPAIGN_JOURNAL_H_
+#define SRC_CAMPAIGN_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/campaign/bug_report_mgr.h"
+#include "src/campaign/round.h"
+
+namespace tsvd::campaign {
+
+// Identity stamp of the campaign that owns a journal. Resume refuses a journal
+// whose identity disagrees with the requested options: the per-round salt — and
+// therefore every replayed outcome — would no longer match, silently breaking the
+// resumed-equals-uninterrupted determinism contract.
+struct JournalHeader {
+  int version = 1;
+  std::string detector;
+  uint64_t seed = 0;
+  int num_modules = 0;  // full corpus size, fault-injection modules included
+  double scale = 0;
+  int rounds = 0;  // requested round bound (informational; may grow on resume)
+
+  // True when `other` describes the same campaign identity; otherwise `why` gets a
+  // human-readable mismatch description.
+  bool CompatibleWith(const JournalHeader& other, std::string* why) const;
+};
+
+// Everything a dead campaign left behind, reconstructed from its journal.
+struct JournalReplay {
+  JournalHeader header;
+  bool has_header = false;
+  std::vector<RoundStats> completed_rounds;  // committed rounds, in round order
+  std::vector<RunOutcome> outcomes;          // every run record, in append order
+  // Cumulative unique-bug count stamped by the last committed round record (0 when
+  // the campaign died inside round 1): the baseline the resumed partial round's
+  // new_unique_bugs is computed against.
+  uint64_t unique_bugs_at_last_round = 0;
+  bool complete = false;  // campaign-complete record present
+  bool converged = false;
+  int malformed_records = 0;  // mid-file records dropped by salvage
+  bool torn_tail = false;     // trailing partial record dropped (crash mid-append)
+  // Byte length of the newline-terminated prefix. When torn_tail is set, a resume
+  // writer must truncate the file to this length before appending, or its first
+  // record would concatenate onto the dangling partial line.
+  uint64_t valid_bytes = 0;
+};
+
+class CampaignJournal {
+ public:
+  CampaignJournal() = default;
+  ~CampaignJournal() { Close(); }
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  static std::string PathIn(const std::string& out_dir);
+  static std::string SnapshotPathIn(const std::string& out_dir);
+
+  // Opens the journal for appending. `truncate` starts a fresh ledger and writes
+  // `header`; otherwise records append after the existing tail (resume). When
+  // `fsync` is set every append is flushed to stable storage before returning —
+  // the durability contract resume relies on. Returns false on I/O failure.
+  bool Open(const std::string& path, const JournalHeader& header, bool truncate,
+            bool fsync);
+
+  // Thread-safe append of one finished run — the commit point for "run executed".
+  bool AppendRun(const RunOutcome& outcome);
+  bool AppendRoundComplete(const RoundStats& stats, uint64_t cumulative_unique_bugs);
+  bool AppendCampaignComplete(bool converged);
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  // Total run records in the ledger: replayed predecessors + appended this session.
+  uint64_t run_records() const;
+  void set_replayed_run_records(uint64_t n);
+
+  // Torn-tail-tolerant replay of a journal file. Returns false only when the file
+  // cannot be read at all; parse damage is reported through the replay fields.
+  static bool Load(const std::string& path, JournalReplay* out);
+
+ private:
+  bool AppendLine(const std::string& line);
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool fsync_ = true;
+  uint64_t run_records_ = 0;
+};
+
+// BugReportMgr dedup-state snapshot sidecar, written atomically (temp + rename)
+// so resume always sees either the previous snapshot or the new one.
+struct BugMgrSnapshot {
+  uint64_t watermark = 0;  // run records whose observations the snapshot covers
+  std::vector<BugReportMgr::UniqueBug> bugs;
+};
+bool SaveBugMgrSnapshot(const std::string& path, const BugReportMgr& mgr,
+                        uint64_t watermark, bool durable);
+bool LoadBugMgrSnapshot(const std::string& path, BugMgrSnapshot* out);
+
+// Reaps the per-run trap checkpoints a dead orchestrator left in `checkpoint_dir`:
+// salvages every "ckpt-*.tsvd" into `into` (lenient parse — a child may have died
+// mid-write of a pre-atomic-rename temp), deletes the salvaged files and any
+// leftover temp litter, and returns the number of checkpoint files salvaged.
+// Returns 0 (and touches nothing) when the directory does not exist.
+int ReapStaleCheckpoints(const std::string& checkpoint_dir, TrapFile* into);
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_JOURNAL_H_

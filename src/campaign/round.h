@@ -30,6 +30,9 @@ enum class RunStatus {
   kOk,
   kCrashed,   // attempt threw or the sandbox child died on a signal; no run data
   kTimedOut,  // the sandbox watchdog SIGKILLed the attempt at its deadline
+  kSkipped,   // still queued when a drain was requested; never dispatched. Skipped
+              // runs are excluded from stats, reports, and the campaign journal —
+              // a resumed campaign re-executes them from scratch.
 };
 
 // One detected violation lifted out of the run, keyed entirely by stable call-site
@@ -108,6 +111,10 @@ struct RoundStats {
   uint64_t new_unique_bugs = 0;
   uint64_t retrapped_imported = 0;
   size_t trap_pairs_after = 0;  // merged trap-store size after this round
+  // A drain signal (SIGINT/SIGTERM) cut the round short: stats cover only the runs
+  // that completed before the drain, and the round was not committed to the journal
+  // (a resumed campaign finishes it).
+  bool interrupted = false;
   uint64_t delays_injected = 0;
   uint64_t delays_early_woken = 0;
   uint64_t delays_aborted_stall = 0;

@@ -45,7 +45,8 @@ Scheduler::~Scheduler() {
 
 std::vector<RunOutcome> Scheduler::ExecuteRound(const std::vector<RunJob>& jobs,
                                                 const JobFn& fn,
-                                                const RetryPolicy& policy) {
+                                                const RetryPolicy& policy,
+                                                const std::function<bool()>& interrupt) {
   std::vector<RunOutcome> outcomes(jobs.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -57,14 +58,80 @@ std::vector<RunOutcome> Scheduler::ExecuteRound(const std::vector<RunJob>& jobs,
       queue_.push_back(QueuedJob{jobs[i], i, 0, {}, {}});
     }
     outstanding_ = jobs.size();
+    if (drain_) {
+      // A drained scheduler (signal arrived between rounds) dispatches nothing.
+      DrainQueueLocked();
+    }
   }
   work_cv_.notify_all();
 
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  for (;;) {
+    if (outstanding_ == 0) {
+      break;
+    }
+    if (interrupt) {
+      if (!drain_ && interrupt()) {
+        // Signal observed: stop dispatching, let in-flight jobs finish. Workers
+        // blocked on work_cv_ see the empty queue and keep waiting harmlessly.
+        drain_ = true;
+        DrainQueueLocked();
+        work_cv_.notify_all();
+        continue;
+      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                        [this] { return outstanding_ == 0; });
+    } else {
+      done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    }
+  }
   fn_ = nullptr;
   outcomes_ = nullptr;
   return outcomes;
+}
+
+void Scheduler::SetCompletionCallback(CompletionFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completion_ = std::move(fn);
+}
+
+void Scheduler::RequestDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_ = true;
+    if (outcomes_ != nullptr) {
+      DrainQueueLocked();
+    } else {
+      queue_.clear();  // no round executing: nothing to report skipped
+    }
+  }
+  work_cv_.notify_all();
+}
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drain_;
+}
+
+void Scheduler::DrainQueueLocked() {
+  while (!queue_.empty()) {
+    QueuedJob item = std::move(queue_.front());
+    queue_.pop_front();
+    RunOutcome skipped;
+    skipped.module_index = item.job.module_index;
+    skipped.round = item.job.round;
+    skipped.status = RunStatus::kSkipped;
+    skipped.attempts = item.job.attempt - 1;  // attempts actually executed
+    skipped.degrade_level = item.job.degrade_level;
+    skipped.error = "skipped: drain requested";
+    skipped.attempt_errors = std::move(item.errors);
+    skipped.traps = std::move(item.salvaged);  // keep failed-attempt learning
+    (*outcomes_)[item.slot] = std::move(skipped);
+    --outstanding_;
+  }
+  if (outstanding_ == 0) {
+    done_cv_.notify_all();
+  }
 }
 
 bool Scheduler::NextJob(std::unique_lock<std::mutex>& lock, QueuedJob* out) {
@@ -134,7 +201,7 @@ void Scheduler::WorkerLoop(int worker_index) {
       error = "non-standard exception";
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!ok) {
       item.errors.push_back("attempt " + std::to_string(item.job.attempt) + ": " +
                             error);
@@ -144,11 +211,12 @@ void Scheduler::WorkerLoop(int worker_index) {
         item.salvaged.Merge(outcome.traps);
       }
     }
-    if (!ok && item.job.attempt < policy.max_attempts) {
+    if (!ok && item.job.attempt < policy.max_attempts && !drain_) {
       // Re-queue the crashed run for another attempt, like the fleet re-running a
       // flaky test process — after an exponential-backoff window, and one step down
       // the delay-degradation ladder if the watchdog killed it. outstanding_ is
-      // unchanged: the job is still pending.
+      // unchanged: the job is still pending. A drain stops this path: a retry is a
+      // new dispatch.
       QueuedJob retry = std::move(item);
       if (outcome.status == RunStatus::kTimedOut) {
         ++retry.job.degrade_level;
@@ -169,7 +237,10 @@ void Scheduler::WorkerLoop(int worker_index) {
       outcome.module_index = item.job.module_index;
       outcome.round = item.job.round;
       outcome.error = error;
-      outcome.quarantined = true;
+      // Quarantine only a genuinely exhausted job. A drain that cut retries short
+      // leaves the job un-quarantined AND un-journaled: the uninterrupted campaign
+      // might have retried it successfully, so a resumed one re-runs it fresh.
+      outcome.quarantined = item.job.attempt >= policy.max_attempts;
       outcome.observations.clear();
       outcome.traps = std::move(item.salvaged);
     } else if (!item.salvaged.empty()) {
@@ -180,6 +251,17 @@ void Scheduler::WorkerLoop(int worker_index) {
     outcome.attempt_errors = std::move(item.errors);
     outcome.attempts = item.job.attempt;
     outcome.degrade_level = item.job.degrade_level;
+
+    // Journal hook: runs off-lock (it fsyncs) but strictly before outstanding_
+    // drops, so ExecuteRound cannot return with a completion still in flight.
+    // Final outcomes only — never a drain-truncated failure (see above).
+    if (completion_ && (ok || outcome.quarantined)) {
+      const CompletionFn completion = completion_;
+      lock.unlock();
+      completion(outcome);
+      lock.lock();
+    }
+
     (*outcomes_)[item.slot] = std::move(outcome);
     if (--outstanding_ == 0) {
       done_cv_.notify_all();

@@ -48,6 +48,11 @@ class Scheduler {
   // returned outcome with status != kOk triggers retry; the returned outcome is
   // stored in job order.
   using JobFn = std::function<RunOutcome(const RunJob& job, tasks::ThreadPool& pool)>;
+  // Invoked on the worker thread the moment a job reaches its *final* outcome
+  // (success or quarantine), strictly before ExecuteRound can return — the
+  // campaign's journal-commit hook. Never invoked for jobs a drain skipped or cut
+  // short. Called outside the scheduler lock, so it may do slow I/O (fsync).
+  using CompletionFn = std::function<void(const RunOutcome& outcome)>;
 
   explicit Scheduler(int workers,
                      int pool_threads_per_worker = tasks::ThreadPool::kDefaultThreads);
@@ -58,15 +63,33 @@ class Scheduler {
 
   // Runs every job across the fleet and blocks until all have completed (or
   // exhausted max_attempts). Outcomes are returned in job order regardless of which
-  // worker ran them or in what order they finished. Not reentrant.
+  // worker ran them or in what order they finished. Not reentrant. When `interrupt`
+  // is provided it is polled while waiting; the first true triggers RequestDrain.
   std::vector<RunOutcome> ExecuteRound(const std::vector<RunJob>& jobs, const JobFn& fn,
-                                       const RetryPolicy& policy);
+                                       const RetryPolicy& policy,
+                                       const std::function<bool()>& interrupt);
+  std::vector<RunOutcome> ExecuteRound(const std::vector<RunJob>& jobs, const JobFn& fn,
+                                       const RetryPolicy& policy) {
+    return ExecuteRound(jobs, fn, policy, {});
+  }
   std::vector<RunOutcome> ExecuteRound(const std::vector<RunJob>& jobs, const JobFn& fn,
                                        int max_attempts = 2) {
     RetryPolicy policy;
     policy.max_attempts = max_attempts;
     return ExecuteRound(jobs, fn, policy);
   }
+
+  // Registers the final-outcome hook. Set while no round is executing.
+  void SetCompletionCallback(CompletionFn fn);
+
+  // Graceful drain (the SIGINT/SIGTERM contract): jobs not yet started complete
+  // immediately with RunStatus::kSkipped, in-flight jobs run to their natural end
+  // (or their sandbox watchdog deadline), and a failed in-flight job is not
+  // retried. Sticky until the scheduler is destroyed; safe from any thread — but
+  // NOT from a signal handler (it takes locks and notifies condition variables;
+  // handlers should set a flag that ExecuteRound's `interrupt` poll observes).
+  void RequestDrain();
+  bool draining() const;
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
@@ -83,18 +106,22 @@ class Scheduler {
   // Pops the first eligible job, waiting out backoff windows. Returns false on
   // shutdown with an empty queue.
   bool NextJob(std::unique_lock<std::mutex>& lock, QueuedJob* out);
+  // Completes every queued (not yet dispatched) job with a kSkipped outcome.
+  void DrainQueueLocked();
 
   const int pool_threads_per_worker_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for jobs
   std::condition_variable done_cv_;   // ExecuteRound waits for completion
   std::deque<QueuedJob> queue_;
   const JobFn* fn_ = nullptr;         // valid for the duration of one ExecuteRound
+  CompletionFn completion_;           // final-outcome hook (may be empty)
   RetryPolicy policy_;
   size_t outstanding_ = 0;            // queued + executing
   std::vector<RunOutcome>* outcomes_ = nullptr;
   bool shutdown_ = false;
+  bool drain_ = false;                // sticky: skip queued jobs, no retries
 
   std::vector<std::thread> threads_;
 };

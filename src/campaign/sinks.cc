@@ -1,10 +1,7 @@
 #include "src/campaign/sinks.h"
 
-#include <atomic>
-#include <cstdio>
-#include <fstream>
-
 #include "src/campaign/json.h"
+#include "src/report/trap_file.h"
 #include "src/sandbox/outcome_codec.h"
 
 namespace tsvd::campaign {
@@ -61,6 +58,9 @@ Json BugToJson(const BugReportMgr::UniqueBug& bug) {
 // part of its length uninstrumented because the fail-open firewall tripped; healthy
 // first-attempt runs stay out of the forensics trail.
 bool IsFailureRecord(const RunOutcome& outcome) {
+  if (outcome.status == RunStatus::kSkipped) {
+    return false;  // drain-skipped, not failed: resume will execute it
+  }
   return outcome.status != RunStatus::kOk || outcome.attempts > 1 ||
          outcome.runtime_disabled;
 }
@@ -101,6 +101,7 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
   campaign.Set("rounds_requested", meta.rounds_requested);
   campaign.Set("rounds_executed", meta.rounds_executed);
   campaign.Set("converged", meta.converged);
+  campaign.Set("interrupted", meta.interrupted);
   campaign.Set("sandbox", meta.sandbox);
   campaign.Set("scale", meta.scale);
   campaign.Set("seed", meta.seed);
@@ -120,6 +121,7 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
     jr.Set("new_unique_bugs", r.new_unique_bugs);
     jr.Set("retrapped_imported", r.retrapped_imported);
     jr.Set("trap_pairs_after", r.trap_pairs_after);
+    jr.Set("interrupted", r.interrupted);
     jr.Set("delays_injected", r.delays_injected);
     jr.Set("delays_early_woken", r.delays_early_woken);
     jr.Set("delays_aborted_stall", r.delays_aborted_stall);
@@ -311,26 +313,7 @@ std::string RenderSarif(const CampaignMeta& meta,
 }
 
 bool WriteFileAtomic(const std::string& path, const std::string& content) {
-  static std::atomic<uint64_t> counter{0};
-  const std::string tmp =
-      path + ".tmp." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out) {
-      return false;
-    }
-    out << content;
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return AtomicWriteFileDurable(path, content, DurableFileSyncEnabled());
 }
 
 }  // namespace tsvd::campaign

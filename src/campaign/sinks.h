@@ -27,6 +27,7 @@ struct CampaignMeta {
   int rounds_requested = 0;
   int rounds_executed = 0;
   bool converged = false;
+  bool interrupted = false;  // signal drain cut the campaign short; reports partial
   bool sandbox = false;  // runs executed in forked sandbox children
   double scale = 0;
   uint64_t seed = 0;

@@ -2,17 +2,149 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace tsvd {
 namespace {
 
 constexpr std::string_view kHeader = "tsvd-trap-v1";
 constexpr std::string_view kHeaderPrefix = "tsvd-trap-";
+
+std::atomic<bool> g_durable_file_sync{true};
+
+// fsync by path (std::ofstream exposes no fd). Directory fsync commits a rename to
+// the journal on filesystems that need it (ext4, xfs); a no-op on Windows.
+bool FsyncPath(const std::string& path, bool is_dir) {
+#ifndef _WIN32
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (is_dir) {
+    flags |= O_DIRECTORY;
+  }
+#endif
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)is_dir;
+  return true;
+#endif
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+// Writes `content` to `path` (truncating) and optionally fsyncs it. Removes the
+// partial file on failure.
+bool WriteWholeFile(const std::string& path, const std::string& content,
+                    bool durable) {
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(path.c_str());
+      return false;
+    }
+  }
+  if (durable && !FsyncPath(path, /*is_dir=*/false)) {
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+uint64_t NextTempSuffix() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void SetDurableFileSync(bool enabled) {
+  g_durable_file_sync.store(enabled, std::memory_order_relaxed);
+}
+
+bool DurableFileSyncEnabled() {
+  return g_durable_file_sync.load(std::memory_order_relaxed);
+}
+
+bool AtomicReplaceFile(const std::string& tmp_path, const std::string& dest_path,
+                       bool durable) {
+  if (std::rename(tmp_path.c_str(), dest_path.c_str()) == 0) {
+    if (durable) {
+      FsyncPath(DirOf(dest_path), /*is_dir=*/true);
+    }
+    return true;
+  }
+#ifdef EXDEV
+  if (errno == EXDEV) {
+    // tmp lives on a different filesystem than dest (e.g. system temp dir vs. an
+    // out_dir mount): re-stage the bytes inside dest's directory so the final
+    // rename cannot cross a filesystem boundary, then replace within that fs.
+    std::string content;
+    {
+      std::ifstream in(tmp_path, std::ios::binary);
+      if (!in) {
+        std::remove(tmp_path.c_str());
+        return false;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      content = buffer.str();
+    }
+    std::remove(tmp_path.c_str());
+    const std::string staged =
+        dest_path + ".xdev." + std::to_string(NextTempSuffix());
+    if (!WriteWholeFile(staged, content, durable)) {
+      return false;
+    }
+    if (std::rename(staged.c_str(), dest_path.c_str()) != 0) {
+      std::remove(staged.c_str());
+      return false;
+    }
+    if (durable) {
+      FsyncPath(DirOf(dest_path), /*is_dir=*/true);
+    }
+    return true;
+  }
+#endif
+  std::remove(tmp_path.c_str());
+  return false;
+}
+
+bool AtomicWriteFileDurable(const std::string& path, const std::string& content,
+                            bool durable) {
+  // The temp file is a sibling of `path` so the common-path rename stays within one
+  // filesystem; the counter keeps concurrent savers off each other's temp.
+  const std::string tmp = path + ".tmp." + std::to_string(NextTempSuffix());
+  if (!WriteWholeFile(tmp, content, durable)) {
+    return false;
+  }
+  return AtomicReplaceFile(tmp, path, durable);
+}
+
+namespace {
 
 std::pair<std::string, std::string> CanonicalPair(std::string a, std::string b) {
   if (b < a) {
@@ -116,29 +248,7 @@ TrapFile TrapFile::Salvage(const std::string& text, int* skipped_lines) {
 }
 
 bool TrapFile::SaveTo(const std::string& path) const {
-  // Write-temp-then-rename: a reader (or a crashed writer) can never observe a
-  // partially written store. The temp file lives next to `path` so the rename stays
-  // within one filesystem; the counter keeps concurrent savers off each other's temp.
-  static std::atomic<uint64_t> save_counter{0};
-  const std::string tmp =
-      path + ".tmp." + std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      return false;
-    }
-    out << Serialize();
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return AtomicWriteFileDurable(path, Serialize(), DurableFileSyncEnabled());
 }
 
 bool TrapFile::LoadFrom(const std::string& path, TrapFile* out) {

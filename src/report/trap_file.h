@@ -18,6 +18,29 @@
 
 namespace tsvd {
 
+// Process-wide durability policy for the atomic-write helpers below. When enabled
+// (the default), every atomic write fsyncs the temp file before the rename and the
+// containing directory after it, so the new content survives a power loss or OS
+// crash — not just a process crash. Tests that hammer saves flip it off; rename
+// atomicity (no torn reads) holds either way.
+void SetDurableFileSync(bool enabled);
+bool DurableFileSyncEnabled();
+
+// Atomically replaces `path` with `content`: writes a sibling temp file, optionally
+// fsyncs it, renames it over `path`, and optionally fsyncs the directory so the
+// rename itself is durable. Readers and crashed writers can never observe a torn
+// file. Returns false on any I/O failure (the temp file is cleaned up).
+bool AtomicWriteFileDurable(const std::string& path, const std::string& content,
+                            bool durable);
+
+// Renames `tmp_path` over `dest_path`. When the rename fails with EXDEV (the two
+// live on different filesystems — e.g. a temp-dir staging file and an out_dir on
+// another mount), falls back to copying the content into a temp file *inside*
+// dest's directory and renaming within that filesystem, so the replacement stays
+// atomic. `tmp_path` is consumed (removed) on both success and failure.
+bool AtomicReplaceFile(const std::string& tmp_path, const std::string& dest_path,
+                       bool durable);
+
 struct TrapFile {
   // Each entry is a dangerous pair of call-site signatures (canonically ordered).
   std::vector<std::pair<std::string, std::string>> pairs;
@@ -55,7 +78,8 @@ struct TrapFile {
 
   // File I/O; returns false on I/O failure. SaveTo is atomic: the content is written
   // to a sibling temp file and renamed over `path`, so concurrent readers see either
-  // the old or the new store, never a torn one.
+  // the old or the new store, never a torn one. Durability follows the process-wide
+  // SetDurableFileSync policy (fsync file, then directory, before declaring success).
   bool SaveTo(const std::string& path) const;
   static bool LoadFrom(const std::string& path, TrapFile* out);
   // Salvage-mode load; false only when the file cannot be read at all.

@@ -1,0 +1,323 @@
+// Campaign journal: append/replay round-trips, torn-tail salvage, identity
+// refusal, dedup-state snapshots, and stale-checkpoint reaping — the durability
+// pieces behind --resume (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/bug_report_mgr.h"
+#include "src/campaign/journal.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Per-test scratch directory, removed on destruction.
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_journal_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+JournalHeader MakeHeader() {
+  JournalHeader header;
+  header.detector = "TSVD";
+  header.seed = 7;
+  header.num_modules = 5;
+  header.scale = 0.5;
+  header.rounds = 3;
+  return header;
+}
+
+BugObservation MakeObservation(const std::string& a, const std::string& b,
+                               const std::string& module, int round) {
+  BugObservation obs;
+  obs.sig_first = a;
+  obs.sig_second = b;
+  obs.api_first = "Write";
+  obs.api_second = "Read";
+  obs.stack_digest = 0x1234;
+  obs.module = module;
+  obs.round = round;
+  obs.read_write = true;
+  return obs;
+}
+
+RunOutcome MakeRun(int round, int module_index, RunStatus status = RunStatus::kOk) {
+  RunOutcome outcome;
+  outcome.round = round;
+  outcome.module_index = module_index;
+  outcome.module = "mod_" + std::to_string(module_index);
+  outcome.status = status;
+  outcome.attempts = status == RunStatus::kOk ? 1 : 2;
+  outcome.quarantined = status != RunStatus::kOk;
+  outcome.delays_injected = 10 + module_index;
+  if (status == RunStatus::kOk) {
+    outcome.observations.push_back(
+        MakeObservation("a.cc:1 Write", "b.cc:2 Read", outcome.module, round));
+    outcome.traps.pairs.emplace_back("a.cc:1 Write", "b.cc:2 Read");
+    outcome.traps.Canonicalize();
+  }
+  return outcome;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(JournalTest, AppendAndReplayRoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::PathIn(dir.path);
+
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(path, MakeHeader(), /*truncate=*/true, /*fsync=*/false));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 0)));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 2, RunStatus::kCrashed)));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 1)));
+  RoundStats stats;
+  stats.round = 1;
+  stats.runs = 3;
+  stats.crashed = 1;
+  stats.quarantined = 1;
+  stats.new_unique_bugs = 1;
+  stats.trap_pairs_after = 1;
+  ASSERT_TRUE(journal.AppendRoundComplete(stats, /*cumulative_unique_bugs=*/1));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(2, 0)));  // campaign died mid-round 2
+  EXPECT_EQ(journal.run_records(), 4u);
+  journal.Close();
+
+  JournalReplay replay;
+  ASSERT_TRUE(CampaignJournal::Load(path, &replay));
+  EXPECT_TRUE(replay.has_header);
+  std::string why;
+  EXPECT_TRUE(replay.header.CompatibleWith(MakeHeader(), &why)) << why;
+  ASSERT_EQ(replay.completed_rounds.size(), 1u);
+  EXPECT_EQ(replay.completed_rounds[0].runs, 3);
+  EXPECT_EQ(replay.completed_rounds[0].crashed, 1);
+  EXPECT_EQ(replay.completed_rounds[0].new_unique_bugs, 1u);
+  EXPECT_EQ(replay.unique_bugs_at_last_round, 1u);
+  ASSERT_EQ(replay.outcomes.size(), 4u);
+  EXPECT_FALSE(replay.complete);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.malformed_records, 0);
+  EXPECT_EQ(replay.valid_bytes, static_cast<uint64_t>(fs::file_size(path)));
+
+  // Run records carry everything replay ingests: outcome fields, observations,
+  // and the trap export.
+  const RunOutcome& run = replay.outcomes[0];
+  EXPECT_EQ(run.round, 1);
+  EXPECT_EQ(run.module_index, 0);
+  EXPECT_EQ(run.module, "mod_0");
+  EXPECT_EQ(run.status, RunStatus::kOk);
+  EXPECT_EQ(run.delays_injected, 10u);
+  ASSERT_EQ(run.observations.size(), 1u);
+  EXPECT_EQ(run.observations[0].sig_first, "a.cc:1 Write");
+  EXPECT_TRUE(run.observations[0].read_write);
+  EXPECT_TRUE(run.traps.Contains("a.cc:1 Write", "b.cc:2 Read"));
+  EXPECT_TRUE(replay.outcomes[1].quarantined);
+  EXPECT_EQ(replay.outcomes[1].status, RunStatus::kCrashed);
+
+  // Reopen in append mode and finish the campaign.
+  CampaignJournal resumed;
+  ASSERT_TRUE(resumed.Open(path, MakeHeader(), /*truncate=*/false, /*fsync=*/false));
+  resumed.set_replayed_run_records(replay.outcomes.size());
+  EXPECT_EQ(resumed.run_records(), 4u);
+  ASSERT_TRUE(resumed.AppendCampaignComplete(/*converged=*/true));
+  resumed.Close();
+
+  JournalReplay finished;
+  ASSERT_TRUE(CampaignJournal::Load(path, &finished));
+  EXPECT_TRUE(finished.complete);
+  EXPECT_TRUE(finished.converged);
+  EXPECT_EQ(finished.outcomes.size(), 4u);
+}
+
+TEST(JournalTest, TornTailIsDroppedAndTruncateReopensCleanly) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::PathIn(dir.path);
+
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(path, MakeHeader(), /*truncate=*/true, /*fsync=*/false));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 0)));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 1)));
+  journal.Close();
+  const uint64_t clean_size = fs::file_size(path);
+
+  // Crash mid-append: a partial record with no trailing newline. Even a tail that
+  // *parses* must be dropped — without its newline it was never committed.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << R"({"type":"run","round":1,"module_index":2,)";
+  }
+
+  JournalReplay replay;
+  ASSERT_TRUE(CampaignJournal::Load(path, &replay));
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.outcomes.size(), 2u);
+  EXPECT_EQ(replay.malformed_records, 0);  // torn tail is not "malformed"
+  EXPECT_EQ(replay.valid_bytes, clean_size);
+
+  // The resume protocol: truncate to the committed prefix, then append.
+  fs::resize_file(path, replay.valid_bytes);
+  CampaignJournal resumed;
+  ASSERT_TRUE(resumed.Open(path, MakeHeader(), /*truncate=*/false, /*fsync=*/false));
+  ASSERT_TRUE(resumed.AppendRun(MakeRun(1, 2)));
+  resumed.Close();
+
+  JournalReplay after;
+  ASSERT_TRUE(CampaignJournal::Load(path, &after));
+  EXPECT_FALSE(after.torn_tail);
+  ASSERT_EQ(after.outcomes.size(), 3u);
+  EXPECT_EQ(after.outcomes[2].module_index, 2);
+}
+
+TEST(JournalTest, MidFileGarbageIsSkippedAsMalformed) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::PathIn(dir.path);
+
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(path, MakeHeader(), /*truncate=*/true, /*fsync=*/false));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 0)));
+  journal.Close();
+
+  // Corrupt the middle, keep the tail intact: salvage drops only the bad line.
+  std::string contents = ReadAll(path);
+  contents += "this is not json\n";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  CampaignJournal tail;
+  ASSERT_TRUE(tail.Open(path, MakeHeader(), /*truncate=*/false, /*fsync=*/false));
+  ASSERT_TRUE(tail.AppendRun(MakeRun(1, 1)));
+  tail.Close();
+
+  JournalReplay replay;
+  ASSERT_TRUE(CampaignJournal::Load(path, &replay));
+  EXPECT_EQ(replay.malformed_records, 1);
+  ASSERT_EQ(replay.outcomes.size(), 2u);
+  EXPECT_FALSE(replay.torn_tail);
+}
+
+TEST(JournalTest, HeaderIdentityMismatchIsReported) {
+  const JournalHeader base = MakeHeader();
+  std::string why;
+
+  JournalHeader other = base;
+  EXPECT_TRUE(base.CompatibleWith(other, &why)) << why;
+
+  other = base;
+  other.seed = 8;
+  EXPECT_FALSE(base.CompatibleWith(other, &why));
+  EXPECT_NE(why.find("seed"), std::string::npos) << why;
+
+  other = base;
+  other.detector = "TSVDHB";
+  EXPECT_FALSE(base.CompatibleWith(other, &why));
+
+  other = base;
+  other.num_modules = 6;
+  EXPECT_FALSE(base.CompatibleWith(other, &why));
+
+  other = base;
+  other.scale = 0.25;
+  EXPECT_FALSE(base.CompatibleWith(other, &why));
+
+  // The round bound is informational — raising it on resume is legal.
+  other = base;
+  other.rounds = 10;
+  EXPECT_TRUE(base.CompatibleWith(other, &why)) << why;
+}
+
+TEST(JournalTest, BugMgrSnapshotRoundTripResumesDedup) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::SnapshotPathIn(dir.path);
+
+  BugReportMgr mgr;
+  EXPECT_TRUE(mgr.Ingest(MakeObservation("a.cc:1 W", "b.cc:2 R", "mod_0", 1)));
+  EXPECT_TRUE(mgr.Ingest(MakeObservation("c.cc:3 W", "d.cc:4 R", "mod_1", 1)));
+  EXPECT_FALSE(mgr.Ingest(MakeObservation("a.cc:1 W", "b.cc:2 R", "mod_2", 2)));
+  ASSERT_TRUE(SaveBugMgrSnapshot(path, mgr, /*watermark=*/17, /*durable=*/false));
+
+  BugMgrSnapshot snapshot;
+  ASSERT_TRUE(LoadBugMgrSnapshot(path, &snapshot));
+  EXPECT_EQ(snapshot.watermark, 17u);
+  ASSERT_EQ(snapshot.bugs.size(), 2u);
+
+  BugReportMgr restored;
+  restored.Restore(std::move(snapshot.bugs));
+  EXPECT_EQ(restored.UniqueBugCount(), 2u);
+  // Dedup picks up where the snapshot left off: a known pair is not new, an
+  // unseen pair is.
+  EXPECT_FALSE(restored.Ingest(MakeObservation("a.cc:1 W", "b.cc:2 R", "mod_3", 2)));
+  EXPECT_TRUE(restored.Ingest(MakeObservation("e.cc:5 W", "f.cc:6 R", "mod_3", 2)));
+  EXPECT_EQ(restored.UniqueBugCount(), 3u);
+  // Occurrence bookkeeping survives the round trip.
+  EXPECT_EQ(restored.OccurrenceCount(), mgr.OccurrenceCount() + 2);
+}
+
+TEST(JournalTest, ReapStaleCheckpointsSalvagesAndRemovesLitter) {
+  ScopedTempDir dir;
+
+  TrapFile checkpoint;
+  checkpoint.pairs.emplace_back("x.cc:1 W", "y.cc:2 R");
+  checkpoint.Canonicalize();
+  ASSERT_TRUE(checkpoint.SaveTo(dir.path + "/ckpt-3-1.tsvd"));
+  {
+    // Staging litter from an atomic save that died pre-rename, plus an unrelated
+    // file the reaper must leave alone.
+    std::ofstream(dir.path + "/traps.tsvd.tmp.1234") << "partial";
+    std::ofstream(dir.path + "/README.txt") << "keep me";
+  }
+
+  TrapFile salvaged;
+  EXPECT_EQ(ReapStaleCheckpoints(dir.path, &salvaged), 1);
+  EXPECT_TRUE(salvaged.Contains("x.cc:1 W", "y.cc:2 R"));
+  EXPECT_FALSE(fs::exists(dir.path + "/ckpt-3-1.tsvd"));
+  EXPECT_FALSE(fs::exists(dir.path + "/traps.tsvd.tmp.1234"));
+  EXPECT_TRUE(fs::exists(dir.path + "/README.txt"));
+
+  // Missing directory: no-op, not an error.
+  EXPECT_EQ(ReapStaleCheckpoints(dir.path + "/nope", &salvaged), 0);
+}
+
+TEST(JournalTest, DurabilityKnobTogglesWithoutBreakingAtomicWrites) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/knob.txt";
+
+  ASSERT_TRUE(DurableFileSyncEnabled());  // process default
+  SetDurableFileSync(false);
+  EXPECT_FALSE(DurableFileSyncEnabled());
+  EXPECT_TRUE(AtomicWriteFileDurable(path, "fast", DurableFileSyncEnabled()));
+  EXPECT_EQ(ReadAll(path), "fast");
+  SetDurableFileSync(true);
+  EXPECT_TRUE(DurableFileSyncEnabled());
+  EXPECT_TRUE(AtomicWriteFileDurable(path, "durable", DurableFileSyncEnabled()));
+  EXPECT_EQ(ReadAll(path), "durable");
+}
+
+}  // namespace
+}  // namespace tsvd::campaign

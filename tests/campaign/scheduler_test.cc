@@ -392,5 +392,142 @@ TEST(SchedulerTest, FinalFailurePreservesSandboxForensics) {
   EXPECT_TRUE(outcomes[0].quarantined);
 }
 
+TEST(SchedulerTest, RequestDrainSkipsQueuedJobsAndFinishesInFlight) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::atomic<int> completions{0};
+  scheduler.SetCompletionCallback([&](const RunOutcome&) { ++completions; });
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(4), [&](const RunJob& job, tasks::ThreadPool&) {
+        if (job.module_index == 0) {
+          // Drain lands while this job is in flight and 1-3 are still queued.
+          scheduler.RequestDrain();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      });
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kOk);  // in-flight ran to its end
+  for (int i : {1, 2, 3}) {
+    EXPECT_EQ(outcomes[i].status, RunStatus::kSkipped) << i;
+    EXPECT_EQ(outcomes[i].module_index, i);
+    EXPECT_NE(outcomes[i].error.find("drain"), std::string::npos);
+    EXPECT_FALSE(outcomes[i].quarantined);
+  }
+  // The journal hook fires only for the run that actually finished — a skipped
+  // job must never be committed (resume re-executes it).
+  EXPECT_EQ(completions.load(), 1);
+  EXPECT_TRUE(scheduler.draining());
+}
+
+TEST(SchedulerTest, DrainCutsRetriesWithoutQuarantining) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::atomic<int> attempts_run{0};
+  std::atomic<int> completions{0};
+  scheduler.SetCompletionCallback([&](const RunOutcome&) { ++completions; });
+
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(1),
+      [&](const RunJob&, tasks::ThreadPool&) -> RunOutcome {
+        ++attempts_run;
+        scheduler.RequestDrain();
+        throw std::runtime_error("failed while draining");
+      },
+      /*max_attempts=*/3);
+
+  // The drain turned the failure final without retries — but since the job never
+  // exhausted its attempts it is NOT quarantined and NOT committed: a resumed
+  // campaign re-runs it fresh instead of benching the module.
+  EXPECT_EQ(attempts_run.load(), 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kCrashed);
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_FALSE(outcomes[0].quarantined);
+  EXPECT_EQ(completions.load(), 0);
+}
+
+TEST(SchedulerTest, InterruptPollTriggersDrainMidRound) {
+  Scheduler scheduler(/*workers=*/1, /*pool_threads_per_worker=*/1);
+  std::atomic<bool> stop{false};
+
+  RetryPolicy policy;
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(4),
+      [&](const RunJob& job, tasks::ThreadPool&) {
+        if (job.module_index == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          stop = true;  // the signal arrives while job 0 is still running
+          std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        }
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      },
+      policy, /*interrupt=*/[&] { return stop.load(); });
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].status, RunStatus::kOk);
+  for (int i : {1, 2, 3}) {
+    EXPECT_EQ(outcomes[i].status, RunStatus::kSkipped) << i;
+  }
+  EXPECT_TRUE(scheduler.draining());
+}
+
+TEST(SchedulerTest, DrainedSchedulerDispatchesNothingInLaterRounds) {
+  Scheduler scheduler(/*workers=*/2, /*pool_threads_per_worker=*/1);
+  scheduler.RequestDrain();  // signal arrived between rounds
+
+  std::atomic<int> dispatched{0};
+  std::vector<RunOutcome> outcomes = scheduler.ExecuteRound(
+      MakeJobs(3), [&](const RunJob&, tasks::ThreadPool&) {
+        ++dispatched;
+        return RunOutcome{};
+      });
+
+  EXPECT_EQ(dispatched.load(), 0);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const RunOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, RunStatus::kSkipped);
+  }
+}
+
+TEST(SchedulerTest, CompletionCallbackFiresPerFinalOutcome) {
+  Scheduler scheduler(/*workers=*/2, /*pool_threads_per_worker=*/1);
+  std::mutex mu;
+  std::vector<std::pair<int, bool>> committed;  // (module, quarantined)
+  scheduler.SetCompletionCallback([&](const RunOutcome& outcome) {
+    std::lock_guard<std::mutex> lock(mu);
+    committed.emplace_back(outcome.module_index, outcome.quarantined);
+  });
+
+  scheduler.ExecuteRound(
+      MakeJobs(3),
+      [&](const RunJob& job, tasks::ThreadPool&) -> RunOutcome {
+        if (job.module_index == 1 && job.attempt == 1) {
+          throw std::runtime_error("flaky once");  // retried, then succeeds
+        }
+        if (job.module_index == 2) {
+          throw std::runtime_error("always fails");  // exhausts attempts
+        }
+        RunOutcome outcome;
+        outcome.module_index = job.module_index;
+        return outcome;
+      },
+      /*max_attempts=*/2);
+
+  // Exactly one commit per job, at its final outcome only (no commit per retry).
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(committed.size(), 3u);
+  std::set<int> modules;
+  for (const auto& [module, quarantined] : committed) {
+    modules.insert(module);
+    EXPECT_EQ(quarantined, module == 2) << module;
+  }
+  EXPECT_EQ(modules, (std::set<int>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace tsvd::campaign

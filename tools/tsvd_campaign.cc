@@ -4,6 +4,8 @@
 // rounds, and emits the unified JSON/SARIF artifact trail. With --sandbox, every run
 // executes in a forked child under a watchdog, so crashing or hanging modules cost a
 // run, never the campaign.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 #include <string>
@@ -14,6 +16,23 @@
 #include "tools/flag_parser.h"
 
 namespace {
+
+// Graceful-stop contract: the handler only records the signal; the campaign's
+// interrupt poll observes it between runs, drains in-flight work, flushes the
+// journal and partial artifacts, and returns normally. A second signal while
+// draining falls through to the default disposition (immediate death) — the
+// journal is fsync'd per run, so even that loses nothing committed.
+std::atomic<int> g_stop_signal{0};
+
+void HandleStopSignal(int signal) {
+  g_stop_signal.store(signal, std::memory_order_relaxed);
+  std::signal(signal, SIG_DFL);
+}
+
+void InstallStopHandlers() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
 
 constexpr const char kUsage[] =
     R"(tsvd_campaign: run a multi-round TSVD campaign over the synthetic corpus.
@@ -27,8 +46,21 @@ Usage: tsvd_campaign [--flag=value ...]
   --scale=F        time scale vs. paper defaults, (0, 1] (default 0.02 = 2ms delays)
   --seed=N         corpus + detector seed (default 42)
   --no-converge    run all rounds even if a round finds no new unique bugs
-  --out=DIR        artifact directory: traps.tsvd, campaign.json, campaign.sarif
-                   (default "campaign-out"; --out= disables persistence)
+  --out=DIR        artifact directory: traps.tsvd, campaign.json, campaign.sarif,
+                   journal.tsvdj (default "campaign-out"; --out= disables persistence)
+
+ crash consistency (see DESIGN.md §11):
+  --resume         replay DIR/journal.tsvdj and continue from the first unfinished
+                   run; completed runs are never re-executed, and the resumed
+                   campaign converges to the same unique-bug set as an
+                   uninterrupted one. A missing journal starts fresh; one written
+                   under a different seed/corpus/detector/scale is refused.
+  --journal_snapshot_every=N  snapshot dedup state to DIR/bugmgr.snap.json at the
+                   first round boundary after every N journaled runs, so resume
+                   replays only the journal tail (default 64; 0 disables)
+  SIGINT/SIGTERM   graceful drain: queued runs are skipped, in-flight runs finish,
+                   the journal and partial reports ("interrupted": true) are
+                   flushed, and the tool exits 0; rerun with --resume
 
  process sandbox (POSIX only; elsewhere runs stay in-process):
   --sandbox            fork one child per run; a crash or hang kills the child only
@@ -79,6 +111,9 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("max_attempts", retries_alias, 1, 10));
   options.stop_when_converged = !flags.GetBool("no-converge", false);
   options.out_dir = flags.GetString("out", "campaign-out");
+  options.resume = flags.GetBool("resume", false);
+  options.journal_snapshot_every =
+      static_cast<int>(flags.GetInt("journal_snapshot_every", 64, 0, 1000000));
   options.sandbox.enabled = flags.GetBool("sandbox", false);
   options.sandbox.run_timeout_ms =
       static_cast<int>(flags.GetInt("run_timeout_ms", 30000, 0, 86400000));
@@ -103,15 +138,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "tsvd_campaign: --sandbox needs fork(); running in-process.\n");
   }
+  if (options.resume && options.out_dir.empty()) {
+    std::fprintf(stderr, "tsvd_campaign: --resume requires --out=DIR\nTry --help.\n");
+    return 2;
+  }
+
+  InstallStopHandlers();
+  options.interrupt = [] {
+    return g_stop_signal.load(std::memory_order_relaxed) != 0;
+  };
 
   std::printf(
       "tsvd_campaign: %s, %d modules, %d worker(s), up to %d round(s), "
-      "scale %.3f, seed %llu%s\n",
+      "scale %.3f, seed %llu%s%s\n",
       options.detector.c_str(), options.num_modules, options.workers, options.rounds,
       options.scale, static_cast<unsigned long long>(options.seed),
-      options.sandbox.enabled && sandbox::ForkSupported() ? ", sandboxed" : "");
+      options.sandbox.enabled && sandbox::ForkSupported() ? ", sandboxed" : "",
+      options.resume ? ", resuming" : "");
 
   const campaign::CampaignResult result = campaign::RunCampaign(options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "tsvd_campaign: %s\n", result.error.c_str());
+    return 2;
+  }
+  if (result.resumed_runs > 0) {
+    std::printf(
+        " resumed: %llu run record(s) across %d completed round(s) replayed from "
+        "the journal%s\n",
+        static_cast<unsigned long long>(result.resumed_runs), result.resumed_rounds,
+        result.salvaged_checkpoints > 0 ? ", stale checkpoints salvaged" : "");
+  }
 
   std::printf(
       "\n round  runs  crash  t/out  signal  retry  quar  new-bugs  retrapped  "
@@ -181,6 +237,19 @@ int main(int argc, char** argv) {
   if (!result.trap_path.empty()) {
     std::printf("\nartifacts:\n  %s\n  %s\n  %s\n", result.trap_path.c_str(),
                 result.json_path.c_str(), result.sarif_path.c_str());
+    if (!result.journal_path.empty()) {
+      std::printf("  %s\n", result.journal_path.c_str());
+    }
+  }
+  if (result.interrupted) {
+    // A drained campaign is a clean exit (the journal and partial reports are
+    // flushed and consistent), not a failure — so automation that wraps the tool
+    // does not treat a routine preemption as an error.
+    std::fprintf(stderr,
+                 "tsvd_campaign: interrupted by signal %d after a graceful drain; "
+                 "journal and partial reports flushed — rerun with --resume to "
+                 "continue.\n",
+                 g_stop_signal.load(std::memory_order_relaxed));
   }
   return 0;
 }

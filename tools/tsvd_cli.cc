@@ -6,6 +6,8 @@
 // it instead hands the corpus to the campaign orchestrator (parallel workers, round
 // scheduling, merged trap store, JSON/SARIF artifacts — see tsvd_campaign for the
 // full-width campaign CLI).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 #include <string>
@@ -32,12 +34,26 @@ Usage: tsvd_cli [--flag=value ...]
                    runs; --runs becomes the round bound (see also tsvd_campaign)
   --workers=N      campaign mode only: parallel workers (default 4)
   --out=DIR        campaign mode only: artifact directory (default none)
+  --resume         campaign mode only: replay DIR/journal.tsvdj and continue an
+                   interrupted campaign (requires --out; see tsvd_campaign --help)
   --help           this text
+
+In campaign mode SIGINT/SIGTERM drain gracefully: in-flight runs finish, the
+journal and partial reports are flushed, and --resume continues later.
 )";
+
+// The handler only records the signal; the campaign polls the flag between runs
+// and drains. A second signal gets the default disposition (immediate death).
+std::atomic<int> g_stop_signal{0};
+
+void HandleStopSignal(int signal) {
+  g_stop_signal.store(signal, std::memory_order_relaxed);
+  std::signal(signal, SIG_DFL);
+}
 
 int RunCampaignMode(const std::string& detector, int num_modules, int rounds,
                     double scale, uint64_t seed, int workers,
-                    const std::string& out_dir) {
+                    const std::string& out_dir, bool resume) {
   using namespace tsvd;
 
   campaign::CampaignOptions options;
@@ -48,11 +64,27 @@ int RunCampaignMode(const std::string& detector, int num_modules, int rounds,
   options.seed = seed;
   options.workers = workers;
   options.out_dir = out_dir;
+  options.resume = resume;
+  options.interrupt = [] {
+    return g_stop_signal.load(std::memory_order_relaxed) != 0;
+  };
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
-  std::printf("tsvd_cli --campaign: %s over %d modules, %d worker(s), up to %d round(s)\n",
-              detector.c_str(), num_modules, workers, rounds);
+  std::printf("tsvd_cli --campaign: %s over %d modules, %d worker(s), up to %d round(s)%s\n",
+              detector.c_str(), num_modules, workers, rounds,
+              resume ? ", resuming" : "");
 
   const campaign::CampaignResult result = campaign::RunCampaign(options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "tsvd_cli: %s\n", result.error.c_str());
+    return 2;
+  }
+  if (result.resumed_runs > 0) {
+    std::printf("  resumed: %llu run record(s), %d completed round(s) replayed\n",
+                static_cast<unsigned long long>(result.resumed_runs),
+                result.resumed_rounds);
+  }
   for (const campaign::RoundStats& stats : result.rounds) {
     std::printf("  round %d: %llu new bug(s), %llu retrapped, %zu trap pair(s)\n",
                 stats.round, static_cast<unsigned long long>(stats.new_unique_bugs),
@@ -66,6 +98,13 @@ int RunCampaignMode(const std::string& detector, int num_modules, int rounds,
   if (!result.json_path.empty()) {
     std::printf("artifacts: %s, %s, %s\n", result.trap_path.c_str(),
                 result.json_path.c_str(), result.sarif_path.c_str());
+  }
+  if (result.interrupted) {
+    // Graceful drain is a clean exit: everything completed is journaled.
+    std::fprintf(stderr,
+                 "tsvd_cli: campaign interrupted by signal %d; journal flushed — "
+                 "rerun with --resume to continue.\n",
+                 g_stop_signal.load(std::memory_order_relaxed));
   }
   return 0;
 }
@@ -91,18 +130,25 @@ int main(int argc, char** argv) {
   const bool campaign_mode = flags.GetBool("campaign", false);
   const int workers = static_cast<int>(flags.GetInt("workers", 4, 1, 256));
   const std::string out_dir = flags.GetString("out", "");
+  const bool resume = flags.GetBool("resume", false);
   flags.RejectUnknown();
   if (!flags.ok()) {
     std::fprintf(stderr, "tsvd_cli: %s\nTry --help.\n", flags.error().c_str());
     return 2;
   }
-  if (!campaign_mode && (flags.Has("workers") || flags.Has("out"))) {
-    std::fprintf(stderr, "tsvd_cli: --workers/--out require --campaign\nTry --help.\n");
+  if (!campaign_mode && (flags.Has("workers") || flags.Has("out") || resume)) {
+    std::fprintf(stderr,
+                 "tsvd_cli: --workers/--out/--resume require --campaign\nTry --help.\n");
+    return 2;
+  }
+  if (resume && out_dir.empty()) {
+    std::fprintf(stderr, "tsvd_cli: --resume requires --out=DIR\nTry --help.\n");
     return 2;
   }
 
   if (campaign_mode) {
-    return RunCampaignMode(detector, num_modules, runs, scale, seed, workers, out_dir);
+    return RunCampaignMode(detector, num_modules, runs, scale, seed, workers, out_dir,
+                           resume);
   }
 
   CorpusOptions options;
