@@ -1,0 +1,169 @@
+// OnCall hot-path microbenchmark: ns per instrumented call at 1/2/4/8 threads.
+//
+// TSVD's premise (Section 5.5: ~33% slowdown) only holds if the per-call cost of
+// the runtime is small. This bench drives Runtime::OnCall directly — the same
+// entry point instrumented containers use — under three workload shapes:
+//
+//   no_trap        each thread touches its own objects: no near misses, no armed
+//                  traps, no delays. This is the steady-state fast path that
+//                  dominates any real test run; the acceptance bar for hot-path
+//                  changes is the multi-thread number of this mode.
+//   nearmiss_heavy threads hammer a shared object pool with conflicting writes
+//                  but delay_us = 0, so the near-miss tracker and the trap-set
+//                  AddPair path run on every call while no thread ever parks.
+//   trapping       shared objects with real (short) delays: traps arm, spring,
+//                  and decay — the full slow path, including parked time.
+//
+// Writes BENCH_oncall_hotpath.json next to the working directory. The baseline_
+// pre_pr block holds the numbers measured at commit 6196949 (pre hot-path
+// rework) on the same harness so every run reports the trajectory.
+//
+// Env overrides: TSVD_BENCH_ITERS (per-thread calls, default 1'000'000),
+// TSVD_BENCH_MAX_THREADS (default 8).
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/common/config.h"
+#include "src/core/runtime.h"
+#include "src/core/tsvd_detector.h"
+
+namespace tsvd {
+namespace {
+
+struct ModeSpec {
+  const char* name;
+  bool shared_objects;  // cross-thread conflicts possible
+  Micros delay_us;      // 0: decide-but-never-park
+};
+
+constexpr ModeSpec kModes[] = {
+    {"no_trap", false, 0},
+    {"nearmiss_heavy", true, 0},
+    {"trapping", true, 200},
+};
+
+// Numbers measured on this harness before the hot-path rework (commit 6196949):
+// Release build, 1M iters/thread, 1-vCPU container. Re-baseline only when the
+// harness itself changes shape.
+struct Baseline {
+  const char* mode;
+  double ns_per_call[4];  // threads 1, 2, 4, 8
+};
+constexpr Baseline kPrePrBaseline[] = {
+    {"no_trap", {445.5, 715.6, 1545.0, 3339.7}},
+    {"nearmiss_heavy", {339.2, 762.5, 1216.2, 2496.2}},
+    {"trapping", {204.4, 469.3, 859.5, 1725.4}},
+};
+
+double RunMode(const ModeSpec& mode, int threads, long iters) {
+  Config cfg;
+  cfg.delay_us = mode.delay_us;
+  cfg.stall_grace_us = 50'000;
+  Runtime rt(cfg, std::make_unique<TsvdDetector>(cfg));
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  Micros t0 = 0;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Runtime::ThreadBinding bind(&rt);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // 16 objects per thread; shared modes overlap them across threads so
+      // conflicting accesses on the same object are frequent.
+      const ObjectId base = mode.shared_objects ? 0x1000 : 0x1000 + 0x100 * t;
+      for (long i = 0; i < iters; ++i) {
+        const ObjectId obj = base + (i & 15);
+        const OpId op = static_cast<OpId>(1 + (i & 63));
+        const OpKind kind = (i & 3) == 0 ? OpKind::kWrite : OpKind::kRead;
+        rt.OnCall(obj, op, kind);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+  }
+  t0 = NowMicros();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const Micros wall_us = NowMicros() - t0;
+  return static_cast<double>(wall_us) * 1000.0 / static_cast<double>(iters);
+}
+
+}  // namespace
+}  // namespace tsvd
+
+int main() {
+  using namespace tsvd;
+  const long iters = bench::EnvInt("TSVD_BENCH_ITERS", 1'000'000);
+  const int max_threads = bench::EnvInt("TSVD_BENCH_MAX_THREADS", 8);
+
+  bench::PrintHeader("OnCall hot path (ns per call)");
+  std::string json = "{\n  \"bench\": \"oncall_hotpath\",\n";
+  json += "  \"iters_per_thread\": " + std::to_string(iters) + ",\n";
+  json += "  \"modes\": {\n";
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  bool first_mode = true;
+  for (const ModeSpec& mode : kModes) {
+    std::printf("%-16s", mode.name);
+    if (!first_mode) {
+      json += ",\n";
+    }
+    first_mode = false;
+    json += std::string("    \"") + mode.name + "\": {";
+    bool first_tc = true;
+    for (int tc : thread_counts) {
+      if (tc > max_threads) {
+        continue;
+      }
+      const double ns = RunMode(mode, tc, iters);
+      std::printf("  %dT: %8.1f", tc, ns);
+      if (!first_tc) {
+        json += ", ";
+      }
+      first_tc = false;
+      json += "\"" + std::to_string(tc) + "\": " + std::to_string(ns);
+    }
+    std::printf("\n");
+    json += "}";
+  }
+  json += "\n  },\n  \"baseline_pre_pr\": {\n";
+  bool first_base = true;
+  for (const Baseline& base : kPrePrBaseline) {
+    if (!first_base) {
+      json += ",\n";
+    }
+    first_base = false;
+    json += std::string("    \"") + base.mode + "\": {";
+    const int tcs[] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) {
+        json += ", ";
+      }
+      json += "\"" + std::to_string(tcs[i]) +
+              "\": " + std::to_string(base.ns_per_call[i]);
+    }
+    json += "}";
+  }
+  json += "\n  }\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_oncall_hotpath.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_oncall_hotpath.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// A fixed-capacity inline vector for hot-path result reporting.
+//
+// The OnCall hot path must not heap-allocate in the common case. Components that
+// report a small, bounded number of results per call (near-miss conflicts are
+// capped by the per-object history N_nm) fill a caller-supplied FixedVector that
+// lives on the caller's stack instead of returning a std::vector.
+//
+// The element storage is deliberately uninitialized: constructing the buffer is a
+// single size_ = 0 store regardless of capacity, so declaring one on the stack of
+// every OnCall costs nothing when no result is produced. That restricts T to
+// trivially copyable, trivially destructible types (enforced below) — exactly the
+// plain-record shape hot-path results have.
+#ifndef SRC_COMMON_FIXED_VECTOR_H_
+#define SRC_COMMON_FIXED_VECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace tsvd {
+
+template <typename T, size_t N>
+class FixedVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "FixedVector leaves its storage uninitialized");
+
+ public:
+  FixedVector() = default;
+
+  // Silently drops once full: every user has a capacity matching the producer's
+  // bound, so a drop indicates a programming error in debug builds.
+  void push_back(const T& value) {
+    assert(size_ < N && "FixedVector overflow");
+    if (size_ < N) {
+      ::new (static_cast<void*>(items() + size_)) T(value);
+      ++size_;
+    }
+  }
+
+  void clear() { size_ = 0; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr size_t capacity() { return N; }
+
+  T& operator[](size_t i) { return items()[i]; }
+  const T& operator[](size_t i) const { return items()[i]; }
+
+  T* begin() { return items(); }
+  T* end() { return items() + size_; }
+  const T* begin() const { return items(); }
+  const T* end() const { return items() + size_; }
+
+ private:
+  T* items() { return std::launder(reinterpret_cast<T*>(storage_)); }
+  const T* items() const {
+    return std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  size_t size_ = 0;
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_FIXED_VECTOR_H_

@@ -39,6 +39,19 @@ inline ObjectId ObjectIdOf(const void* obj) {
   return reinterpret_cast<ObjectId>(obj);
 }
 
+// 64-bit finalizer (murmur3 / splitmix style) for sharding by ObjectId or RequestId.
+// ObjectIds come from pointers, so the low 3-4 bits are alignment zeros and nearby
+// allocations share high bits; a plain `id % shards` collapses onto few shards. The
+// finalizer spreads avalanche over all bits, so any power-of-two shard count works.
+inline uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
 }  // namespace tsvd
 
 #endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,54 @@
+// A cache-line-sharded event counter for write-heavy, read-rarely statistics.
+//
+// Runtime::OnCall increments a couple of counters on every instrumented call; a
+// single std::atomic makes every core bounce the same cache line. ShardedCounter
+// spreads increments over per-cell padded atomics indexed by the caller's dense
+// ThreadId and only pays the gather cost in Total(), which runs once per summary.
+// Total() is monotone but not a linearizable snapshot — identical to the guarantee
+// the single relaxed atomic gave.
+#ifndef SRC_COMMON_SHARDED_COUNTER_H_
+#define SRC_COMMON_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/ids.h"
+
+namespace tsvd {
+
+class ShardedCounter {
+ public:
+  void Add(ThreadId tid, uint64_t n = 1) {
+    if (tid < kCells) {
+      // Dense ThreadIds are issued once per OS thread and never reused, so
+      // cells_[tid] has exactly one writer: a relaxed load+store pair is exact and
+      // cheaper than the lock-prefixed RMW. Ids at or past kCells fall back to a
+      // shared RMW cell — index 0 is free for that because tid 0 is never issued
+      // (see thread_id.h).
+      std::atomic<uint64_t>& value = cells_[tid].value;
+      value.store(value.load(std::memory_order_relaxed) + n,
+                  std::memory_order_relaxed);
+    } else {
+      cells_[0].value.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t Total() const {
+    uint64_t sum = 0;
+    for (const Cell& cell : cells_) {
+      sum += cell.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr size_t kCells = 64;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[kCells];
+};
+
+}  // namespace tsvd
+
+#endif  // SRC_COMMON_SHARDED_COUNTER_H_

@@ -9,6 +9,10 @@
 namespace tsvd {
 
 // Returns a small, dense id unique to the calling OS thread, assigned on first use.
+//
+// Invariant: the returned id is never 0. Ids start at 1 and only grow; 0 is reserved
+// process-wide as an "empty / never filled" sentinel (PhaseDetector's ring slots rely
+// on this to distinguish unwritten slots from real threads — see phase_detector.h).
 inline ThreadId CurrentThreadId() {
   static std::atomic<ThreadId> next{1};
   thread_local ThreadId id = next.fetch_add(1, std::memory_order_relaxed);

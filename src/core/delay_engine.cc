@@ -181,8 +181,7 @@ size_t DelayEngine::CancelAllParked(WakeReason reason) {
   return CancelAllLocked(reason);
 }
 
-void DelayEngine::NoteProgress(ThreadId tid) {
-  const Micros now = NowMicros();
+void DelayEngine::NoteProgress(ThreadId tid, Micros now) {
   last_progress_us_.store(now, std::memory_order_relaxed);
   if (tid < last_seen_.capacity()) {
     last_seen_.Get(tid).store(now, std::memory_order_relaxed);

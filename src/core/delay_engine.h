@@ -85,8 +85,10 @@ class DelayEngine {
   size_t CancelAllParked(WakeReason reason);
 
   // Progress heartbeat: called on every OnCall entry. Lock-free (one relaxed store
-  // to a global watermark plus one to the caller's own slot).
-  void NoteProgress(ThreadId tid);
+  // to a global watermark plus one to the caller's own slot). `now` is the caller's
+  // already-taken timestamp — OnCall needs the clock anyway, and reading it once
+  // keeps the second vDSO call off the hot path.
+  void NoteProgress(ThreadId tid, Micros now);
 
   // Lets the runtime fold its own admission rejections (e.g. the per-request
   // budget, which needs request TLS the engine has no business reading) into the

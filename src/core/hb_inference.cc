@@ -23,7 +23,10 @@ void HbInference::OnAccess(const Access& access) {
       static_cast<Micros>(config_.hb_blocking_threshold * config_.delay_us);
   if (state.last_access > 0) {
     const Micros gap = access.time - state.last_access;
-    if (gap >= gap_threshold) {
+    // A matching delay must have ended inside [last_access, now]; if even the newest
+    // recorded end predates the gap, no scan can succeed — skip the lock entirely.
+    if (gap >= gap_threshold &&
+        latest_delay_end_.load(std::memory_order_acquire) >= state.last_access) {
       // Find the most recently finished delay from another thread that overlaps the
       // gap: it started before the gap ended and ended after the gap began.
       FinishedDelay best;
@@ -40,7 +43,7 @@ void HbInference::OnAccess(const Access& access) {
       }
       if (best.op != kInvalidOp) {
         trap_set_.MarkHbOrdered(best.op, access.op);
-        ++inferred_edges_;
+        inferred_edges_.fetch_add(1, std::memory_order_relaxed);
         state.credit_src = best.op;
         state.credit_left = config_.hb_inference_window;
       }
@@ -55,6 +58,11 @@ void HbInference::OnDelayFinished(const Access& access, const DelayOutcome& outc
     delays_[delays_next_ % kDelayRing] =
         FinishedDelay{access.op, access.tid, outcome.start_us, outcome.end_us};
     ++delays_next_;
+    // Monotone max under the lock (ends can arrive slightly out of order); release
+    // pairs with the acquire skip-check in OnAccess.
+    if (outcome.end_us > latest_delay_end_.load(std::memory_order_relaxed)) {
+      latest_delay_end_.store(outcome.end_us, std::memory_order_release);
+    }
   }
   // The delaying thread was "busy sleeping": advance its own timeline so its next
   // access does not read the sleep as a causal stall caused by someone else.

@@ -10,6 +10,7 @@
 #ifndef SRC_CORE_HB_INFERENCE_H_
 #define SRC_CORE_HB_INFERENCE_H_
 
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -34,7 +35,9 @@ class HbInference {
   // own sleep is never misread as a causal stall.
   void OnDelayFinished(const Access& access, const DelayOutcome& outcome);
 
-  uint64_t InferredEdges() const { return inferred_edges_; }
+  uint64_t InferredEdges() const {
+    return inferred_edges_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct FinishedDelay {
@@ -58,9 +61,15 @@ class HbInference {
   mutable std::mutex delays_mu_;
   std::vector<FinishedDelay> delays_;
   size_t delays_next_ = 0;
+  // Latest end timestamp across all recorded delays. OnAccess reads it before taking
+  // delays_mu_: a qualifying delay must end inside the observed gap, so when the
+  // latest end predates the gap the scan cannot match and the lock is skipped. With
+  // no delays finishing (the common case of a healthy fast path, and always when
+  // delta_hb * delay is small relative to inter-access gaps) OnAccess stays lock-free.
+  std::atomic<Micros> latest_delay_end_{0};
 
   PerThread<ThreadState> threads_;
-  uint64_t inferred_edges_ = 0;
+  std::atomic<uint64_t> inferred_edges_{0};
 };
 
 }  // namespace tsvd

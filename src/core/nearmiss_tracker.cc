@@ -1,35 +1,65 @@
 #include "src/core/nearmiss_tracker.h"
 
-#include <algorithm>
+#include <cassert>
 
 namespace tsvd {
 
-std::vector<NearMissTracker::NearMiss> NearMissTracker::RecordAndFindConflicts(
-    const Access& access) {
-  std::vector<NearMiss> result;
+NearMissTracker::NearMissTracker(const Config& config)
+    : window_us_(config.disable_nearmiss_window ? -1 : config.nearmiss_window_us),
+      history_(config.disable_nearmiss_window ? config.nearmiss_history_unwindowed
+                                              : config.nearmiss_history) {
+  assert(history_ >= 1 && history_ <= kMaxHistory &&
+         "per-object history must fit the inline conflict buffer");
+  if (history_ > kMaxHistory) {
+    history_ = kMaxHistory;  // fail soft in release builds
+  }
+}
+
+void NearMissTracker::RecordAndFindConflicts(const Access& access, ConflictBuffer& out) {
   Shard& shard = ShardFor(access.obj);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ObjHistory& history = shard.objects[access.obj];
+  ObjHistory* hist = shard.last_hist;
+  if (shard.last_obj != access.obj || hist == nullptr) {
+    hist = &shard.objects[access.obj];
+    if (hist->ring == nullptr) {
+      // One allocation per object lifetime; later accesses are allocation-free.
+      hist->ring = std::make_unique<Record[]>(history_);
+    }
+    shard.last_obj = access.obj;
+    shard.last_hist = hist;
+  }
+  ObjHistory& history = *hist;
 
-  for (const Record& rec : history.records) {
+  // Oldest-to-newest scan preserves the eviction order of the erase-from-front
+  // implementation this replaces (conflicts are reported oldest first).
+  const int start = history.head - history.count + history_;
+  for (int k = 0; k < history.count; ++k) {
+    const Record& rec = history.ring[(start + k) % history_];
     if (rec.tid == access.tid || !KindsConflict(rec.kind, access.kind)) {
       continue;
     }
     if (window_us_ >= 0 && access.time - rec.time > window_us_) {
       continue;
     }
-    result.push_back(NearMiss{rec.op, rec.concurrent});
+    out.push_back(NearMiss{rec.op, rec.concurrent});
   }
 
-  history.records.push_back(
-      Record{access.tid, access.op, access.kind, access.time, access.concurrent_phase});
-  if (static_cast<int>(history.records.size()) > history_) {
-    history.records.erase(history.records.begin());
+  history.ring[history.head] =
+      Record{access.tid, access.op, access.kind, access.time, access.concurrent_phase};
+  history.head = (history.head + 1) % history_;
+  if (history.count < history_) {
+    ++history.count;
   }
 
   ++shard.inserts_since_sweep;
   MaybeSweep(shard, access.time);
-  return result;
+}
+
+std::vector<NearMissTracker::NearMiss> NearMissTracker::RecordAndFindConflicts(
+    const Access& access) {
+  ConflictBuffer buffer;
+  RecordAndFindConflicts(access, buffer);
+  return std::vector<NearMiss>(buffer.begin(), buffer.end());
 }
 
 void NearMissTracker::MaybeSweep(Shard& shard, Micros now) {
@@ -39,10 +69,15 @@ void NearMissTracker::MaybeSweep(Shard& shard, Micros now) {
     return;
   }
   shard.inserts_since_sweep = 0;
+  // Erasure invalidates the MRU pointer (unordered_map elements are otherwise
+  // pointer-stable, including across rehash).
+  shard.last_obj = 0;
+  shard.last_hist = nullptr;
   for (auto it = shard.objects.begin(); it != shard.objects.end();) {
-    const auto& records = it->second.records;
-    const bool stale =
-        records.empty() || now - records.back().time > 8 * window_us_;
+    const ObjHistory& history = it->second;
+    const int newest = (history.head - 1 + history_) % history_;
+    const bool stale = history.count == 0 ||
+                       now - history.ring[newest].time > 8 * window_us_;
     it = stale ? shard.objects.erase(it) : std::next(it);
   }
 }

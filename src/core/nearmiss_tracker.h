@@ -3,26 +3,32 @@
 // A global hash table, sharded by object id, holds each object's most recent N_nm
 // accesses. A new access forms a near miss with a recorded one if the threads differ,
 // at least one operation is a write, and the two are within T_nm of each other. The
-// paper indexes by the object's hash-code rather than object metadata; we shard by the
-// same hash for scalability.
+// paper indexes by the object's hash-code rather than object metadata; we shard by a
+// mixed hash of the same id for scalability (ObjectIds are pointer-derived, so the
+// unmixed id concentrates on few shards — see Mix64 in ids.h).
+//
+// Hot-path design: each object's history is a fixed-capacity ring buffer allocated
+// once when the object is first seen, and conflicts are reported through a caller-
+// supplied FixedVector. After an object's first access, recording plus the conflict
+// scan performs no heap allocation; the only synchronization is the object's shard
+// mutex (64 shards, well mixed, so effectively uncontended).
 #ifndef SRC_CORE_NEARMISS_TRACKER_H_
 #define SRC_CORE_NEARMISS_TRACKER_H_
 
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/config.h"
+#include "src/common/fixed_vector.h"
 #include "src/core/access.h"
 
 namespace tsvd {
 
 class NearMissTracker {
  public:
-  explicit NearMissTracker(const Config& config)
-      : window_us_(config.disable_nearmiss_window ? -1 : config.nearmiss_window_us),
-        history_(config.disable_nearmiss_window ? config.nearmiss_history_unwindowed
-                                                : config.nearmiss_history) {}
+  explicit NearMissTracker(const Config& config);
 
   struct NearMiss {
     OpId other_op = kInvalidOp;
@@ -31,8 +37,16 @@ class NearMissTracker {
     bool other_concurrent = false;
   };
 
-  // Records `access` and returns the conflicting near misses it forms with the
-  // object's recent history.
+  // Upper bound on the per-object history, and therefore on the conflicts one access
+  // can report (config.nearmiss_history_unwindowed is the largest deployment).
+  static constexpr int kMaxHistory = 64;
+  using ConflictBuffer = FixedVector<NearMiss, kMaxHistory>;
+
+  // Records `access` and appends the conflicting near misses it forms with the
+  // object's recent history to `out` (which the caller keeps on its stack).
+  void RecordAndFindConflicts(const Access& access, ConflictBuffer& out);
+
+  // Convenience wrapper for tests and non-hot-path callers.
   std::vector<NearMiss> RecordAndFindConflicts(const Access& access);
 
   // Number of objects currently tracked (diagnostics / memory accounting).
@@ -47,18 +61,28 @@ class NearMissTracker {
     bool concurrent;
   };
 
+  // Fixed-capacity ring: `ring[0 .. capacity)` allocated once per object; `head` is
+  // the next write position, `count` saturates at the capacity. Oldest-first
+  // iteration starts at (head - count) mod capacity.
   struct ObjHistory {
-    std::vector<Record> records;  // ring-ish: oldest evicted from the front
+    std::unique_ptr<Record[]> ring;
+    int head = 0;
+    int count = 0;
   };
 
   static constexpr size_t kShards = 64;
-  struct Shard {
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::unordered_map<ObjectId, ObjHistory> objects;
     uint64_t inserts_since_sweep = 0;
+    // MRU cache of the last history touched (guarded by mu; invalidated on sweep).
+    // Accesses have strong per-object temporal locality, so this usually replaces
+    // the hash lookup with one compare.
+    ObjectId last_obj = 0;
+    ObjHistory* last_hist = nullptr;
   };
 
-  Shard& ShardFor(ObjectId obj) { return shards_[(obj >> 4) % kShards]; }
+  Shard& ShardFor(ObjectId obj) { return shards_[Mix64(obj) % kShards]; }
   void MaybeSweep(Shard& shard, Micros now);
 
   Micros window_us_;  // -1 = unwindowed (Table 3 ablation)

@@ -4,6 +4,19 @@
 // The execution is in a concurrent phase iff the buffer contains points from more than
 // one thread. A TSVD point inside a sequential phase (initialization, clean-up,
 // join-after-fork) can never race, so near misses seen there are not dangerous.
+//
+// Hot-path design: the naive implementation rescans all B slots on every call, which
+// put an O(B) loop (B = 64 worst case) on the OnCall fast path. Instead the detector
+// maintains the answer incrementally: a per-thread occupancy count plus a distinct-
+// thread counter, both updated only when a slot's thread actually changes. The steady
+// state of a phase — the same threads keep executing points — advances the shared
+// cursor, reads one ring slot (already holding the caller's id, so no write), and
+// answers from a single relaxed load: O(1), no locks, no scans.
+//
+// Invariant: ThreadId 0 is the "slot never filled" sentinel. CurrentThreadId() hands
+// out ids starting at 1 and never reuses 0 (see thread_id.h); RecordAndCheck asserts
+// this so a future id scheme cannot silently alias the sentinel and make a real
+// thread invisible to phase detection.
 #ifndef SRC_CORE_PHASE_DETECTOR_H_
 #define SRC_CORE_PHASE_DETECTOR_H_
 
@@ -21,35 +34,69 @@ class PhaseDetector {
   explicit PhaseDetector(int buffer_size) : size_(buffer_size) {
     assert(buffer_size >= 1 && buffer_size <= kMaxBuffer);
     for (auto& slot : slots_) {
-      slot.store(0, std::memory_order_relaxed);
+      slot.tid.store(0, std::memory_order_relaxed);
+    }
+    for (auto& count : counts_) {
+      count.store(0, std::memory_order_relaxed);
     }
   }
 
   // Records that `tid` executed a TSVD point and returns whether the buffer currently
-  // spans more than one thread. Relaxed atomics: the buffer is a heuristic; torn
-  // interleavings only perturb which accesses count as concurrent, never correctness.
+  // spans more than one thread. Relaxed atomics throughout: the buffer is a heuristic;
+  // torn interleavings only perturb which accesses count as concurrent, never
+  // correctness. The slot exchange linearizes evictions, so every stored id is
+  // decremented exactly once and the occupancy counts never drift.
   bool RecordAndCheck(ThreadId tid) {
-    const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    slots_[i % size_].store(tid, std::memory_order_relaxed);
-    ThreadId first = 0;
-    for (int s = 0; s < size_; ++s) {
-      const ThreadId t = slots_[s].load(std::memory_order_relaxed);
-      if (t == 0) {
-        continue;  // not yet filled
+    assert(tid != 0 && "ThreadId 0 is reserved as the empty-slot sentinel");
+    const ThreadId id = Fold(tid);
+    // The cursor must stay globally shared: it is what interleaves different
+    // threads' records across the ring. (A per-thread cursor was tried and reverted
+    // — threads with similar call counts sit at correlated positions and overwrite
+    // each other's entries in place, so the ring degenerates to the latest thread's
+    // id and real concurrency goes undetected.)
+    const uint64_t i = next_.v.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<ThreadId>& slot = slots_[i % size_].tid;
+    // Steady state — the slot already holds this thread — needs no write at all:
+    // exchanging id for id cannot change any occupancy count, so skipping the RMW
+    // is observationally equivalent and keeps the one-thread phase loop read-only.
+    if (slot.load(std::memory_order_relaxed) == id) {
+      return distinct_.load(std::memory_order_relaxed) > 1;
+    }
+    const ThreadId old = slot.exchange(id, std::memory_order_relaxed);
+    if (old != id) {
+      if (counts_[id].fetch_add(1, std::memory_order_relaxed) == 0) {
+        distinct_.fetch_add(1, std::memory_order_relaxed);
       }
-      if (first == 0) {
-        first = t;
-      } else if (t != first) {
-        return true;
+      if (old != 0 && counts_[old].fetch_sub(1, std::memory_order_relaxed) == 1) {
+        distinct_.fetch_sub(1, std::memory_order_relaxed);
       }
     }
-    return false;
+    return distinct_.load(std::memory_order_relaxed) > 1;
   }
 
  private:
+  // Occupancy is tracked per folded id so the count table stays a fixed 16KB even if
+  // the process churns through unbounded thread ids. Two threads folding together can
+  // only under-report concurrency (they look like one thread), mirroring the
+  // conservative direction of the paper's heuristic; with < 4096 live threads the
+  // fold is the identity.
+  static constexpr uint32_t kFoldSlots = 4096;
+  static ThreadId Fold(ThreadId tid) { return 1 + ((tid - 1) & (kFoldSlots - 1)); }
+
   int size_;
-  std::atomic<uint64_t> next_{0};
-  std::atomic<ThreadId> slots_[kMaxBuffer];
+  // next_ is the single globally shared RMW of the fast path; keep it on its own
+  // cache line so its traffic does not invalidate the distinct-count line every
+  // caller reads.
+  struct alignas(64) PaddedU64 {
+    std::atomic<uint64_t> v{0};
+  };
+  PaddedU64 next_{};
+  struct alignas(64) Slot {
+    std::atomic<ThreadId> tid{0};
+  };
+  Slot slots_[kMaxBuffer];
+  std::atomic<uint32_t> counts_[kFoldSlots + 1];
+  alignas(64) std::atomic<int32_t> distinct_{0};
 };
 
 }  // namespace tsvd

@@ -48,18 +48,19 @@ void Runtime::OnCall(ObjectId obj, OpId op, OpKind kind) noexcept {
 
 void Runtime::OnCallImpl(ObjectId obj, OpId op, OpKind kind) {
   const ThreadId tid = CurrentThreadId();
-  engine_.NoteProgress(tid);
+  const Micros now = NowMicros();
+  engine_.NoteProgress(tid, now);
 
   Access access;
   access.tid = tid;
   access.obj = obj;
   access.op = op;
   access.kind = kind;
-  access.time = NowMicros();
+  access.time = now;
   access.ctx = CurrentCtx();
   access.concurrent_phase = phase_.RecordAndCheck(tid);
 
-  oncall_count_.fetch_add(1, std::memory_order_relaxed);
+  oncall_count_.Add(tid);
   coverage_.Record(op, access.concurrent_phase);
 
   // check_for_trap: catch a conflicting sleeper red-handed — and wake it, the
@@ -92,7 +93,7 @@ void Runtime::OnCallImpl(ObjectId obj, OpId op, OpKind kind) {
   }
 
   TrapRegistry::Trap* trap = traps_.Set(access, ScopeStack::Current().Snapshot());
-  delays_injected_.fetch_add(1, std::memory_order_relaxed);
+  delays_injected_.Add(tid);
   if (trap_arm_observer_) {
     trap_arm_observer_(op);
   }
@@ -159,8 +160,9 @@ bool Runtime::RequestBudgetAllows(Micros duration) {
   if (config_.max_delay_per_request_us > 0) {
     const RequestId request = CurrentRequest();
     if (request != kNoRequest) {
-      std::lock_guard<std::mutex> lock(request_budget_mu_);
-      if (request_budgets_[request] + duration > config_.max_delay_per_request_us) {
+      RequestBudgetShard& shard = BudgetShardFor(request);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.budgets[request] + duration > config_.max_delay_per_request_us) {
         return false;
       }
     }
@@ -172,8 +174,9 @@ void Runtime::ChargeRequestBudget(Micros spent) {
   if (config_.max_delay_per_request_us > 0) {
     const RequestId request = CurrentRequest();
     if (request != kNoRequest) {
-      std::lock_guard<std::mutex> lock(request_budget_mu_);
-      request_budgets_[request] += spent;
+      RequestBudgetShard& shard = BudgetShardFor(request);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.budgets[request] += spent;
     }
   }
 }
@@ -187,8 +190,8 @@ RunSummary Runtime::Summary() const {
   for (const BugReport& r : s.reports) {
     s.unique_pairs.insert(r.Pair());
   }
-  s.oncall_count = oncall_count_.load(std::memory_order_relaxed);
-  s.delays_injected = delays_injected_.load(std::memory_order_relaxed);
+  s.oncall_count = oncall_count_.Total();
+  s.delays_injected = delays_injected_.Total();
   s.total_delay_us = engine_.TotalSleptUs();
   s.sync_events = sync_events_.load(std::memory_order_relaxed);
   s.trap_set_size = detector_->TrapSetSize();

@@ -24,6 +24,7 @@
 #include "src/common/config.h"
 #include "src/common/execution_context.h"
 #include "src/common/request_context.h"
+#include "src/common/sharded_counter.h"
 #include "src/core/delay_engine.h"
 #include "src/core/detector.h"
 #include "src/core/phase_detector.h"
@@ -135,6 +136,17 @@ class Runtime {
   void ChargeRequestBudget(Micros spent);
   void RecordInternalError() noexcept;
 
+  // Per-request delay budgets, sharded by request id so concurrent delaying threads
+  // of different requests do not serialize on one mutex.
+  static constexpr size_t kRequestBudgetShards = 16;
+  struct alignas(64) RequestBudgetShard {
+    std::mutex mu;
+    std::unordered_map<RequestId, Micros> budgets;
+  };
+  RequestBudgetShard& BudgetShardFor(RequestId request) {
+    return request_budget_shards_[Mix64(request) % kRequestBudgetShards];
+  }
+
   Config config_;
   std::unique_ptr<Detector> detector_;
   bool wants_sync_;
@@ -149,16 +161,17 @@ class Runtime {
   std::function<void(const BugReport&)> observer_;
   std::function<void(OpId)> trap_arm_observer_;
 
-  std::atomic<uint64_t> oncall_count_{0};
-  std::atomic<uint64_t> delays_injected_{0};
+  // Hot counters are sharded by thread id: OnCall bumps them on every instrumented
+  // call, and a single atomic would bounce one cache line across every core.
+  ShardedCounter oncall_count_;
+  ShardedCounter delays_injected_;
   std::atomic<uint64_t> sync_events_{0};
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<bool> disabled_{false};
 
   // Per-thread and aggregate delay budgets live in the engine's governor; the
   // per-request budget stays here because it needs the request TLS.
-  std::mutex request_budget_mu_;
-  std::unordered_map<RequestId, Micros> request_budgets_;
+  RequestBudgetShard request_budget_shards_[kRequestBudgetShards];
 
   static std::atomic<Runtime*> current_;
 

@@ -1,7 +1,5 @@
 #include "src/core/trap_registry.h"
 
-#include <algorithm>
-
 namespace tsvd {
 
 TrapRegistry::Trap* TrapRegistry::Set(const Access& access, StackTrace stack) {
@@ -11,7 +9,13 @@ TrapRegistry::Trap* TrapRegistry::Set(const Access& access, StackTrace stack) {
   Trap* raw = trap.get();
   Shard& shard = ShardFor(access.obj);
   std::lock_guard<std::mutex> lock(shard.mu);
+  raw->slot = shard.traps.size();
   shard.traps.push_back(std::move(trap));
+  // Release: a checker that (acquire-)reads a nonzero count sees the trap already in
+  // the vector once it takes the lock; ordered before Set() returns, so a trap armed
+  // happens-before a racing access is always visible to its fast-path check.
+  shard.armed.fetch_add(1, std::memory_order_release);
+  total_armed_.fetch_add(1, std::memory_order_release);
   return raw;
 }
 
@@ -19,16 +23,22 @@ bool TrapRegistry::Clear(Trap* trap) {
   Shard& shard = ShardFor(trap->access.obj);
   std::lock_guard<std::mutex> lock(shard.mu);
   const bool hit = trap->hit;
-  auto it = std::find_if(shard.traps.begin(), shard.traps.end(),
-                         [trap](const std::unique_ptr<Trap>& t) { return t.get() == trap; });
-  if (it != shard.traps.end()) {
-    shard.traps.erase(it);
+  // Swap-and-pop using the maintained slot index: O(1) regardless of how many traps
+  // the shard holds.
+  const size_t slot = trap->slot;
+  auto& traps = shard.traps;
+  if (slot + 1 < traps.size()) {
+    std::swap(traps[slot], traps.back());
+    traps[slot]->slot = slot;
   }
+  traps.pop_back();
+  shard.armed.fetch_sub(1, std::memory_order_release);
+  total_armed_.fetch_sub(1, std::memory_order_release);
   return hit;
 }
 
-TrapRegistry::Conflict TrapRegistry::CheckAndMark(const Access& access) {
-  Shard& shard = ShardFor(access.obj);
+TrapRegistry::Conflict TrapRegistry::CheckAndMarkSlow(Shard& shard,
+                                                      const Access& access) {
   std::lock_guard<std::mutex> lock(shard.mu);
   for (const auto& trap : shard.traps) {
     const Access& t = trap->access;
@@ -38,15 +48,6 @@ TrapRegistry::Conflict TrapRegistry::CheckAndMark(const Access& access) {
     }
   }
   return Conflict{};
-}
-
-size_t TrapRegistry::ArmedCount() const {
-  size_t n = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    n += shard.traps.size();
-  }
-  return n;
 }
 
 }  // namespace tsvd

@@ -2,11 +2,24 @@
 //
 // A trap is the triple (thread, object, operation) of a thread currently sleeping
 // inside OnCall. Every other thread entering OnCall checks for a conflicting trap:
-// same object, different thread, at least one write. Sharded by object so the check —
-// which is on the hot path of every instrumented call — stays cheap.
+// same object, different thread, at least one write. Sharded by a mixed hash of the
+// object so the check — which is on the hot path of every instrumented call — stays
+// cheap.
+//
+// Hot-path design: traps are rare (at most a handful of threads sleep at once), so
+// each shard carries a relaxed-atomic count of its armed traps and CheckAndMark
+// returns without touching the shard mutex when the count is zero — the overwhelmingly
+// common case. The counter is incremented with release ordering inside Set() before
+// the arming thread proceeds to sleep, and read with acquire ordering by checkers, so
+// any trap armed before a checker's access (in the happens-before sense) is never
+// missed: the fast path can only skip shards whose traps are still concurrently being
+// armed, which is indistinguishable from the checker arriving first. A global armed
+// count gives ArmedCount() — consulted on every delay admission under
+// serialize_delays — the same O(1) treatment.
 #ifndef SRC_CORE_TRAP_REGISTRY_H_
 #define SRC_CORE_TRAP_REGISTRY_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -22,6 +35,9 @@ class TrapRegistry {
     Access access;
     StackTrace stack;
     bool hit = false;  // set when a racing thread conflicts with this trap
+    // Index of this trap within its shard's vector, maintained by swap-and-pop so
+    // Clear() is O(1) instead of a linear find.
+    size_t slot = 0;
   };
 
   // A thread arms a trap before sleeping. The returned handle stays valid until
@@ -41,21 +57,38 @@ class TrapRegistry {
     Access trapped_access;
     StackTrace trapped_stack;
   };
-  Conflict CheckAndMark(const Access& access);
+  Conflict CheckAndMark(const Access& access) {
+    // Inline fast path: with no trap armed in the object's shard there is nothing to
+    // check — one acquire load and out, no call, no lock (see the file comment for
+    // why acquire here pairs with the release increment in Set()).
+    Shard& shard = ShardFor(access.obj);
+    if (shard.armed.load(std::memory_order_acquire) == 0) {
+      return Conflict{};
+    }
+    return CheckAndMarkSlow(shard, access);
+  }
 
-  // Number of currently armed traps (diagnostics).
-  size_t ArmedCount() const;
+  // Number of currently armed traps. O(1): a dedicated atomic maintained by
+  // Set()/Clear(); monotone-consistent rather than a locked snapshot, which is all
+  // the admission check and diagnostics need.
+  size_t ArmedCount() const {
+    return static_cast<size_t>(total_armed_.load(std::memory_order_acquire));
+  }
 
  private:
   static constexpr size_t kShards = 64;
-  struct Shard {
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::vector<std::unique_ptr<Trap>> traps;
+    // Armed traps in this shard; nonzero forces checkers through the mutex.
+    std::atomic<uint32_t> armed{0};
   };
 
-  Shard& ShardFor(ObjectId obj) { return shards_[obj % kShards]; }
+  Shard& ShardFor(ObjectId obj) { return shards_[Mix64(obj) % kShards]; }
+  Conflict CheckAndMarkSlow(Shard& shard, const Access& access);
 
   Shard shards_[kShards];
+  std::atomic<int64_t> total_armed_{0};
 };
 
 }  // namespace tsvd

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/callsite.h"
+#include "src/common/thread_id.h"
 
 namespace tsvd {
 
@@ -21,17 +22,36 @@ bool TrapSet::AddPair(OpId a, OpId b) {
     return false;
   }
   const LocationPair pair(a, b);
+  const uint64_t enc = EncodePair(pair);
+  PairCache& cache = pair_caches_.Get(CurrentThreadId());
+  const uint64_t epoch = removal_epoch_.load(std::memory_order_acquire);
+  if (cache.epoch != epoch) {
+    cache.epoch = epoch;
+    std::fill(std::begin(cache.entries), std::end(cache.entries), uint64_t{0});
+  }
+  const size_t slot = Mix64(enc) & (kPairCacheSlots - 1);
+  if (cache.entries[slot] == enc) {
+    return false;  // known no-op for this epoch: present, HB-pruned, or caught
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  const bool added = AddPairLocked(pair);
+  // Whether freshly added or already known, the pair is now a member (or permanently
+  // blocked): further AddPair calls are no-ops until a removal bumps the epoch.
+  cache.entries[slot] = enc;
+  return added;
+}
+
+bool TrapSet::AddPairLocked(const LocationPair& pair) {
   if (pairs_.contains(pair) || hb_pruned_.contains(pair) || found_.contains(pair)) {
     return false;
   }
   pairs_.insert(pair);
-  partners_[a].push_back(b);
-  if (a != b) {
-    partners_[b].push_back(a);
+  partners_[pair.first].push_back(pair.second);
+  if (pair.first != pair.second) {
+    partners_[pair.second].push_back(pair.first);
   }
-  SetProbLocked(a, 1.0);
-  SetProbLocked(b, 1.0);
+  SetProbLocked(pair.first, 1.0);
+  SetProbLocked(pair.second, 1.0);
   return true;
 }
 
@@ -91,6 +111,10 @@ void TrapSet::RemovePairLocked(const LocationPair& pair) {
   if (pairs_.erase(pair) == 0) {
     return;
   }
+  // A removed pair may later be re-added (decay removal is not permanent); every
+  // thread's no-op cache must forget it. Release pairs with the acquire load in
+  // AddPair so a thread observing the new epoch also observes the removal.
+  removal_epoch_.fetch_add(1, std::memory_order_release);
   auto drop = [this](OpId from, OpId what) {
     auto it = partners_.find(from);
     if (it == partners_.end()) {
@@ -146,16 +170,33 @@ TrapFile TrapSet::Export() const {
 
 void TrapSet::Import(const TrapFile& file) {
   const CallSiteRegistry& registry = CallSiteRegistry::Instance();
+  // Memoize signature resolution: real trap files repeat the same hot signatures in
+  // many pairs, and FindBySignature takes the registry lock per call.
+  std::unordered_map<std::string, OpId> resolved;
+  auto resolve = [&](const std::string& sig) {
+    auto it = resolved.find(sig);
+    if (it != resolved.end()) {
+      return it->second;
+    }
+    const OpId id = registry.FindBySignature(sig);
+    resolved.emplace(sig, id);
+    return id;
+  };
+
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [sig_a, sig_b] : file.pairs) {
-    const OpId a = registry.FindBySignature(sig_a);
-    const OpId b = registry.FindBySignature(sig_b);
+    const OpId a = resolve(sig_a);
+    const OpId b = resolve(sig_b);
     if (a == kInvalidOp || b == kInvalidOp) {
       // The call site has not been interned in this process yet. In-process runs of
       // the same module always resolve because the registry is process-global; a
       // cross-process deployment would re-intern from the instrumenter's site list.
       continue;
     }
-    AddPair(a, b);
+    if (a >= kCapacity || b >= kCapacity) {
+      continue;
+    }
+    AddPairLocked(LocationPair(a, b));
   }
 }
 

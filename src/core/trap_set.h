@@ -4,6 +4,15 @@
 // Grows when near misses are discovered; shrinks when a likely happens-before
 // relationship is inferred between a pair, when a violation has already been caught at
 // a pair, or when decay drives a location's probability to zero.
+//
+// Hot-path design: AddPair is attempted for every near miss, and in a hot loop the
+// same few pairs recur thousands of times — each attempt a no-op that still contended
+// the global mutex. Each thread now keeps a small direct-mapped cache of pairs whose
+// AddPair is known to be a no-op (already present, HB-pruned, or already caught);
+// cache hits return without the lock. Any pair removal bumps a global epoch which
+// invalidates every thread's cache wholesale — removals are rare (decay, HB pruning,
+// caught bugs), so the conservative flush costs nothing while guaranteeing a removed
+// pair can always be re-added.
 #ifndef SRC_CORE_TRAP_SET_H_
 #define SRC_CORE_TRAP_SET_H_
 
@@ -16,6 +25,7 @@
 
 #include "src/common/config.h"
 #include "src/common/ids.h"
+#include "src/common/per_thread.h"
 #include "src/report/bug_report.h"
 #include "src/report/trap_file.h"
 
@@ -57,15 +67,30 @@ class TrapSet {
   bool WasHbPruned(OpId a, OpId b) const;
 
   // Persistence: export surviving pairs as signatures; import pre-arms pairs with
-  // probability 1 even before their first dynamic occurrence.
+  // probability 1 even before their first dynamic occurrence. Import resolves and
+  // inserts the whole file under one lock acquisition and memoizes signature lookups,
+  // so trap files with thousands of (often duplicated) signatures load cheaply.
   TrapFile Export() const;
   void Import(const TrapFile& file);
 
   static constexpr OpId kCapacity = 1 << 16;
 
  private:
+  bool AddPairLocked(const LocationPair& pair);
   void RemovePairLocked(const LocationPair& pair);
   void SetProbLocked(OpId op, double p);
+
+  // Per-thread direct-mapped cache of pair encodings whose AddPair is a no-op.
+  // Entries store EncodePair(pair) + 1 so 0 doubles as "empty"; `epoch` snapshots
+  // removal_epoch_ at fill time and a mismatch discards the whole cache.
+  static constexpr size_t kPairCacheSlots = 32;
+  struct PairCache {
+    uint64_t epoch = 0;
+    uint64_t entries[kPairCacheSlots] = {};
+  };
+  static uint64_t EncodePair(const LocationPair& pair) {
+    return ((static_cast<uint64_t>(pair.first) << 32) | pair.second) + 1;
+  }
 
   mutable std::mutex mu_;
   double decay_factor_;
@@ -75,6 +100,11 @@ class TrapSet {
   std::unordered_set<LocationPair, LocationPairHash> hb_pruned_;
   std::unordered_set<LocationPair, LocationPairHash> found_;
   std::unordered_map<OpId, std::vector<OpId>> partners_;
+
+  // Bumped (under mu_) whenever a pair leaves pairs_; readers treat a changed value
+  // as "all cached no-op conclusions are suspect".
+  std::atomic<uint64_t> removal_epoch_{0};
+  PerThread<PairCache> pair_caches_;
 
   // Dense probability table indexed by OpId; reads are lock-free, writes happen under
   // mu_. 64K call sites is far beyond anything a single test process produces.

@@ -28,8 +28,11 @@ DelayDecision TsvdDetector::OnCall(const Access& access) {
       config_.disable_phase_detection ? true : access.concurrent_phase;
 
   // Near-miss tracking: record and discover dangerous pairs. A pair requires at least
-  // one endpoint to have executed in a concurrent phase.
-  for (const NearMissTracker::NearMiss& miss : nearmiss_.RecordAndFindConflicts(access)) {
+  // one endpoint to have executed in a concurrent phase. The conflict buffer lives on
+  // this stack frame so the common zero-conflict call performs no allocation.
+  NearMissTracker::ConflictBuffer misses;
+  nearmiss_.RecordAndFindConflicts(access, misses);
+  for (const NearMissTracker::NearMiss& miss : misses) {
     if (concurrent || miss.other_concurrent) {
       trap_set_.AddPair(access.op, miss.other_op);
     }

@@ -6,52 +6,75 @@
 
 namespace tsvd {
 
+CoverageTracker::~CoverageTracker() {
+  for (auto& slot : chunks_) {
+    delete[] slot.load(std::memory_order_acquire);
+  }
+}
+
+CoverageTracker::Cell* CoverageTracker::AllocateChunk(size_t index) {
+  Cell* fresh = new Cell[kChunkOps];
+  Cell* expected = nullptr;
+  if (chunks_[index].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete[] fresh;  // lost the race; use the winner's chunk
+  return expected;
+}
+
 size_t CoverageTracker::PointsHit() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  size_t n = 0;
+  ForEachHit([&n](OpId, uint64_t, uint64_t) { ++n; });
+  return n;
 }
 
 size_t CoverageTracker::PointsHitConcurrently() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& [op, e] : entries_) {
-    if (e.concurrent_hits > 0) {
+  ForEachHit([&n](OpId, uint64_t, uint64_t concurrent) {
+    if (concurrent > 0) {
       ++n;
     }
-  }
+  });
   return n;
 }
 
 std::vector<OpId> CoverageTracker::SequentialOnlyPoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<OpId> out;
-  for (const auto& [op, e] : entries_) {
-    if (e.concurrent_hits == 0) {
+  ForEachHit([&out](OpId op, uint64_t, uint64_t concurrent) {
+    if (concurrent == 0) {
       out.push_back(op);
     }
-  }
+  });
   return out;
 }
 
 CoverageTracker::Entry CoverageTracker::Lookup(OpId op) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(op);
-  return it == entries_.end() ? Entry{} : it->second;
+  if (op >= kMaxTracked) {
+    return Entry{};
+  }
+  const Cell* chunk = chunks_[op >> kChunkShift].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    return Entry{};
+  }
+  const uint64_t packed =
+      chunk[op & (kChunkOps - 1)].packed.load(std::memory_order_relaxed);
+  return Entry{HitsOf(packed), ConcurrentOf(packed)};
 }
 
 std::string CoverageTracker::Render() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
-  out << "instrumented points hit: " << entries_.size() << "\n";
-  for (const auto& [op, e] : entries_) {
+  out << "instrumented points hit: " << PointsHit() << "\n";
+  ForEachHit([&out](OpId op, uint64_t hits, uint64_t concurrent) {
     const CallSite& site = CallSiteRegistry::Instance().Get(op);
-    out << "  " << site.Signature() << "  hits=" << e.hits
-        << " concurrent=" << e.concurrent_hits;
-    if (e.concurrent_hits == 0) {
+    out << "  " << site.Signature() << "  hits=" << hits
+        << " concurrent=" << concurrent;
+    if (concurrent == 0) {
       out << "  [sequential-only]";
     }
     out << "\n";
-  }
+  });
   return out.str();
 }
 

@@ -1,13 +1,19 @@
 // Coverage statistics for instrumented points (Section 5.2, "Actionable Reports"):
 // which TSVD points were hit at all, and which were hit in a concurrent context. One
 // Microsoft team used exactly these statistics to find blind spots in their testing.
+//
+// Record() runs on every OnCall, so it is lock-free: counts live in dense chunks of
+// relaxed atomics indexed by OpId (ids are interned densely; the table caps at
+// kMaxTracked, matching the trap set's call-site capacity). Chunks are allocated on
+// first touch with a CAS so an idle runtime costs a few pointers, not the full table.
+// Queries take no lock either — they read the same atomics and are monotone rather
+// than snapshot-consistent, which is all the end-of-run reporting needs.
 #ifndef SRC_REPORT_COVERAGE_H_
 #define SRC_REPORT_COVERAGE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -16,13 +22,28 @@ namespace tsvd {
 
 class CoverageTracker {
  public:
+  // Matches TrapSet::kCapacity: far beyond what one test process interns.
+  static constexpr OpId kMaxTracked = 1 << 16;
+
+  CoverageTracker() = default;
+  ~CoverageTracker();
+  CoverageTracker(const CoverageTracker&) = delete;
+  CoverageTracker& operator=(const CoverageTracker&) = delete;
+
   void Record(OpId op, bool concurrent_phase) {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry& e = entries_[op];
-    ++e.hits;
-    if (concurrent_phase) {
-      ++e.concurrent_hits;
+    if (op >= kMaxTracked) {
+      return;  // uninterned / synthetic id beyond the dense range
     }
+    Cell* chunk = chunks_[op >> kChunkShift].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = AllocateChunk(op >> kChunkShift);
+    }
+    // Both counters ride one RMW: total hits in the low half, concurrent hits in
+    // the high half. A point would need 2^32 hits to carry between the halves —
+    // far past any run this diagnostic serves — so one fetch_add replaces two.
+    chunk[op & (kChunkOps - 1)].packed.fetch_add(
+        1 + (static_cast<uint64_t>(concurrent_phase) << 32),
+        std::memory_order_relaxed);
   }
 
   struct Entry {
@@ -40,8 +61,37 @@ class CoverageTracker {
   std::string Render() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<OpId, Entry> entries_;
+  // hits = low 32 bits, concurrent_hits = high 32 bits (see Record).
+  struct Cell {
+    std::atomic<uint64_t> packed{0};
+  };
+  static uint64_t HitsOf(uint64_t packed) { return packed & 0xffffffffu; }
+  static uint64_t ConcurrentOf(uint64_t packed) { return packed >> 32; }
+
+  static constexpr OpId kChunkShift = 12;  // 4096 ops per chunk (32KB)
+  static constexpr OpId kChunkOps = 1 << kChunkShift;
+  static constexpr size_t kNumChunks = kMaxTracked / kChunkOps;
+
+  Cell* AllocateChunk(size_t index);
+  // Visits every allocated cell with a nonzero hit count.
+  template <typename Fn>
+  void ForEachHit(Fn&& fn) const {
+    for (size_t c = 0; c < kNumChunks; ++c) {
+      const Cell* chunk = chunks_[c].load(std::memory_order_acquire);
+      if (chunk == nullptr) {
+        continue;
+      }
+      for (OpId i = 0; i < kChunkOps; ++i) {
+        const uint64_t packed = chunk[i].packed.load(std::memory_order_relaxed);
+        if (packed != 0) {
+          fn(static_cast<OpId>(c * kChunkOps + i), HitsOf(packed),
+             ConcurrentOf(packed));
+        }
+      }
+    }
+  }
+
+  std::atomic<Cell*> chunks_[kNumChunks] = {};
 };
 
 }  // namespace tsvd

@@ -95,7 +95,7 @@ TEST(DelayEngineTest, SentinelCancelsWhenNoProgress) {
   DelayEngine engine(cfg);
 
   const ThreadId tid = CurrentThreadId();
-  engine.NoteProgress(tid);
+  engine.NoteProgress(tid, NowMicros());
   ASSERT_TRUE(engine.Admit(tid, 10'000'000));
   const ParkResult result = engine.Park(tid, 7, 10'000'000);
 
@@ -115,13 +115,13 @@ TEST(DelayEngineTest, SentinelLeavesMakingProgressRunsAlone) {
   std::thread peer([&] {
     const ThreadId tid = CurrentThreadId();
     while (!stop.load()) {
-      engine.NoteProgress(tid);
+      engine.NoteProgress(tid, NowMicros());
       SleepMicros(5'000);
     }
   });
 
   const ThreadId tid = CurrentThreadId();
-  engine.NoteProgress(tid);
+  engine.NoteProgress(tid, NowMicros());
   ASSERT_TRUE(engine.Admit(tid, 120'000));
   const ParkResult result = engine.Park(tid, 7, 120'000);
   stop.store(true);
@@ -146,7 +146,7 @@ TEST(DelayEngineTest, SentinelCancelsWhenEveryActiveThreadIsParked) {
   for (int i = 0; i < 2; ++i) {
     sleepers.emplace_back([&, i] {
       const ThreadId tid = CurrentThreadId();
-      engine.NoteProgress(tid);
+      engine.NoteProgress(tid, NowMicros());
       ASSERT_TRUE(engine.Admit(tid, 10'000'000));
       results[i] = engine.Park(tid, static_cast<OpId>(i), 10'000'000);
     });

@@ -1,0 +1,207 @@
+// Multi-thread stress tests for the lock-light OnCall hot paths.
+//
+// The fast paths (TrapRegistry's armed-count skip, PhaseDetector's incremental
+// distinct-thread counter, TrapSet's per-thread pair cache, ShardedCounter) trade
+// locks for relaxed/acq-rel atomics; these tests pin down the guarantees that must
+// survive that trade and are run under ThreadSanitizer by the tsan-delay-engine CI
+// job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/sharded_counter.h"
+#include "src/core/phase_detector.h"
+#include "src/core/trap_registry.h"
+#include "src/core/trap_set.h"
+
+namespace tsvd {
+namespace {
+
+Access MakeAccess(ThreadId tid, ObjectId obj, OpId op, OpKind kind) {
+  Access a;
+  a.tid = tid;
+  a.obj = obj;
+  a.op = op;
+  a.kind = kind;
+  return a;
+}
+
+// The core promise of the armed-counter fast path: a trap armed happens-before a
+// checker's access is never missed. The armer publishes each round through a
+// release store the checkers acquire, mirroring how a real trapped thread is
+// already asleep (Set() returned) by the time a racing access happens-after it.
+TEST(HotPathStressTest, CheckAndMarkNeverMissesArmedTrap) {
+  constexpr int kRounds = 300;
+  constexpr int kCheckers = 4;
+  TrapRegistry traps;
+
+  std::atomic<int> round_armed{-1};   // round whose trap is currently armed
+  std::atomic<int> checks_done{0};
+  std::atomic<int> missed{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> checkers;
+  for (int c = 0; c < kCheckers; ++c) {
+    checkers.emplace_back([&, c] {
+      int last_seen = -1;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int round = round_armed.load(std::memory_order_acquire);
+        if (round == last_seen || round < 0) {
+          continue;
+        }
+        last_seen = round;
+        const ObjectId obj = 0x1000 + round;
+        const auto conflict = traps.CheckAndMark(
+            MakeAccess(static_cast<ThreadId>(100 + c), obj, 2, OpKind::kWrite));
+        if (!conflict.found) {
+          missed.fetch_add(1, std::memory_order_relaxed);
+        }
+        checks_done.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    const ObjectId obj = 0x1000 + round;
+    auto* trap = traps.Set(MakeAccess(1, obj, 1, OpKind::kWrite), {});
+    const int target = (round + 1) * kCheckers;
+    round_armed.store(round, std::memory_order_release);
+    while (checks_done.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+    EXPECT_TRUE(traps.Clear(trap)) << "round " << round;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : checkers) {
+    t.join();
+  }
+  EXPECT_EQ(missed.load(), 0);
+  EXPECT_EQ(traps.ArmedCount(), 0u);
+}
+
+// Concurrent arm/check/clear churn across overlapping objects: the global armed
+// count must return to zero and every cleared trap must report its hit state
+// without crashes or TSan findings.
+TEST(HotPathStressTest, ConcurrentArmCheckClearChurn) {
+  TrapRegistry traps;
+  std::vector<std::thread> threads;
+  std::atomic<int> conflicts{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&traps, &conflicts, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const ObjectId obj = 0x100 + (i % 13);
+        auto* trap = traps.Set(
+            MakeAccess(static_cast<ThreadId>(t + 1), obj, 1, OpKind::kWrite), {});
+        if (traps
+                .CheckAndMark(
+                    MakeAccess(static_cast<ThreadId>(t + 100), obj, 2, OpKind::kWrite))
+                .found) {
+          conflicts.fetch_add(1, std::memory_order_relaxed);
+        }
+        traps.Clear(trap);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(traps.ArmedCount(), 0u);
+  EXPECT_GT(conflicts.load(), 0);
+}
+
+// The incremental distinct-thread counter must never drift: after an arbitrary
+// multi-thread interleaving, one thread filling the whole buffer must read
+// "sequential" again, exactly as a scan-based implementation would.
+TEST(HotPathStressTest, PhaseDetectorCounterDoesNotDriftUnderContention) {
+  constexpr int kBuffer = 16;
+  PhaseDetector phase(kBuffer);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&phase, t] {
+      for (int i = 0; i < 50'000; ++i) {
+        phase.RecordAndCheck(static_cast<ThreadId>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Joins synchronize: the buffer now holds some mix of ids 1..4. Overwrite every
+  // slot from a single thread; from then on the answer must be stably sequential.
+  for (int i = 0; i < kBuffer; ++i) {
+    phase.RecordAndCheck(9);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(phase.RecordAndCheck(9)) << "distinct-thread count drifted";
+  }
+}
+
+// Pair-cache coherence: a pair removed by decay must be re-addable, and the
+// per-thread no-op caches must notice the removal (epoch bump) from any thread.
+TEST(HotPathStressTest, PairCacheInvalidatedAcrossThreadsAfterRemoval) {
+  Config cfg;
+  cfg.decay_factor = 0.99;    // one failed delay prunes the pair
+  cfg.min_probability = 0.5;
+  TrapSet set(cfg);
+
+  ASSERT_TRUE(set.AddPair(1, 2));
+  ASSERT_FALSE(set.AddPair(1, 2));  // cached no-op on this thread
+  std::thread other([&set] {
+    ASSERT_FALSE(set.AddPair(1, 2));  // cached no-op on a second thread
+    set.DecayAfterFailedDelay(1);     // prunes the pair, bumps the epoch
+  });
+  other.join();
+  EXPECT_EQ(set.PairCount(), 0u);
+  // This thread's cache still holds (1,2) as a no-op from the old epoch; the bump
+  // must force revalidation so the pair can return to the set.
+  EXPECT_TRUE(set.AddPair(1, 2));
+  EXPECT_EQ(set.PairCount(), 1u);
+}
+
+// Hammering AddPair with a small hot pair population from many threads: exactly one
+// thread wins each genuine insert, duplicates are no-ops, and the final pair count
+// matches the distinct population.
+TEST(HotPathStressTest, AddPairStressCountsEachPairOnce) {
+  Config cfg;
+  cfg.decay_factor = 0.0;  // no decay: nothing is ever removed
+  TrapSet set(cfg);
+  constexpr int kDistinct = 32;
+  std::atomic<int> genuine{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set, &genuine] {
+      for (int i = 0; i < 20'000; ++i) {
+        const OpId a = 10 + (i % kDistinct);
+        if (set.AddPair(a, 500)) {
+          genuine.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(set.PairCount(), static_cast<uint64_t>(kDistinct));
+  EXPECT_EQ(genuine.load(), kDistinct);
+}
+
+TEST(HotPathStressTest, ShardedCounterAggregatesAcrossThreads) {
+  ShardedCounter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (int i = 0; i < 10'000; ++i) {
+        counter.Add(static_cast<ThreadId>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Total(), 80'000u);
+}
+
+}  // namespace
+}  // namespace tsvd

@@ -141,15 +141,58 @@ TEST(NearMissTest, UnwindowedAblationIgnoresTime) {
 }
 
 TEST(NearMissTest, StaleObjectsAreSweptEventually) {
-  NearMissTracker tracker(NearMissConfig(100));
-  // All objects land in one shard (the tracker shards by (obj >> 4) % 64) so the
-  // periodic per-shard sweep actually triggers.
-  for (int i = 0; i < 5000; ++i) {
+  NearMissTracker tracker(NearMissConfig(100, /*history=*/1));
+  // The tracker shards by a mixed hash of the object id and sweeps a shard every
+  // 4096 inserts into it; push enough distinct objects with advancing time that
+  // every shard sweeps at least once and everything older than 8x the window is
+  // reclaimed.
+  const int kObjects = 64 * 4096 + 4096;
+  for (int i = 0; i < kObjects; ++i) {
     const ObjectId obj = 0x100000 + static_cast<ObjectId>(i) * 1024;
     tracker.RecordAndFindConflicts(
         At(1, obj, 1, OpKind::kWrite, static_cast<Micros>(i) * 1000));
   }
-  EXPECT_LT(tracker.TrackedObjects(), 5000u);
+  EXPECT_LT(tracker.TrackedObjects(), static_cast<size_t>(kObjects) / 2);
+}
+
+TEST(NearMissTest, SweepKeepsObjectsStillInsideWindow) {
+  NearMissTracker tracker(NearMissConfig(1'000'000'000, /*history=*/1));  // never stale
+  const int kObjects = 64 * 4096 + 4096;
+  for (int i = 0; i < kObjects; ++i) {
+    const ObjectId obj = 0x100000 + static_cast<ObjectId>(i) * 1024;
+    tracker.RecordAndFindConflicts(
+        At(1, obj, 1, OpKind::kWrite, static_cast<Micros>(i)));
+  }
+  EXPECT_EQ(tracker.TrackedObjects(), static_cast<size_t>(kObjects));
+}
+
+TEST(NearMissTest, RingBufferReportsConflictsOldestFirst) {
+  NearMissTracker tracker(NearMissConfig(1'000'000, /*history=*/5));
+  // Thread 1 writes ops 1..8; the 5-deep ring retains ops 4..8 (oldest evicted).
+  for (OpId op = 1; op <= 8; ++op) {
+    tracker.RecordAndFindConflicts(At(1, 0x10, op, OpKind::kWrite, op * 10));
+  }
+  const auto misses = tracker.RecordAndFindConflicts(At(2, 0x10, 99, OpKind::kWrite, 100));
+  ASSERT_EQ(misses.size(), 5u);
+  for (size_t i = 0; i < misses.size(); ++i) {
+    EXPECT_EQ(misses[i].other_op, static_cast<OpId>(4 + i)) << "index " << i;
+  }
+}
+
+TEST(NearMissTest, RingBufferEvictionWrapsRepeatedly) {
+  NearMissTracker tracker(NearMissConfig(1'000'000, /*history=*/3));
+  // Wrap the 3-slot ring many times; the survivors must always be the newest 3.
+  for (int round = 0; round < 7; ++round) {
+    for (OpId op = 1; op <= 3; ++op) {
+      const OpId tagged = static_cast<OpId>(round * 10 + op);
+      tracker.RecordAndFindConflicts(At(1, 0x10, tagged, OpKind::kWrite, tagged));
+    }
+  }
+  const auto misses = tracker.RecordAndFindConflicts(At(2, 0x10, 999, OpKind::kWrite, 70));
+  ASSERT_EQ(misses.size(), 3u);
+  EXPECT_EQ(misses[0].other_op, 61u);
+  EXPECT_EQ(misses[1].other_op, 62u);
+  EXPECT_EQ(misses[2].other_op, 63u);
 }
 
 }  // namespace
