@@ -1,0 +1,140 @@
+// Fleet throughput: how run throughput scales with the agent count.
+//
+// The deployment fanned 84,795 runs across machines (Section 5.1); the fleet
+// (src/fleet/) reproduces that as a coordinator plus N agent workers over an
+// abstracted transport. This bench runs the coordinator on the main thread and
+// the agents as in-process threads speaking the real wire protocol over a
+// unix-domain socket, sweeps the agent count over the same corpus/seed, and
+// reports runs/second, wall time, and speedup over one agent. Writes
+// BENCH_campaign_fleet.json for CI artifact diffing.
+//
+// Env overrides: TSVD_BENCH_MODULES (default 48), TSVD_BENCH_RUNS (rounds,
+// default 2), TSVD_BENCH_SCALE, TSVD_BENCH_SEED, TSVD_BENCH_MAX_AGENTS
+// (default 8).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/campaign/campaign.h"
+#include "src/common/clock.h"
+#include "src/fleet/agent.h"
+#include "src/fleet/coordinator.h"
+
+int main() {
+  using namespace tsvd;
+  using namespace tsvd::bench;
+
+  const int num_modules = EnvInt("TSVD_BENCH_MODULES", 48);
+  const int rounds = EnvInt("TSVD_BENCH_RUNS", 2);
+  const double scale = EnvDouble("TSVD_BENCH_SCALE", 0.02);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("TSVD_BENCH_SEED", 42));
+  const int max_agents = EnvInt("TSVD_BENCH_MAX_AGENTS", 8);
+
+  PrintHeader("Fleet throughput vs. agent count");
+  std::printf("corpus: %d modules, %d round(s), scale %.3f, seed %llu\n\n",
+              num_modules, rounds, scale, static_cast<unsigned long long>(seed));
+  std::printf("%8s %8s %10s %10s %9s %8s %8s\n", "agents", "runs", "wall",
+              "runs/sec", "speedup", "bugs", "stolen");
+
+  char scratch_template[] = "/tmp/tsvd-bench-fleet-XXXXXX";
+  const char* scratch = mkdtemp(scratch_template);
+  if (scratch == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  std::string json = "{\n  \"bench\": \"campaign_fleet\",\n";
+  json += "  \"modules\": " + std::to_string(num_modules) + ",\n";
+  json += "  \"rounds\": " + std::to_string(rounds) + ",\n";
+  json += "  \"agents\": {\n";
+
+  double base_wall_s = 0;
+  bool first = true;
+  for (const int agents : {1, 2, 4, 8}) {
+    if (agents > max_agents) {
+      continue;
+    }
+    const std::string dir = std::string(scratch) + "/a" + std::to_string(agents);
+    std::filesystem::create_directories(dir);
+
+    fleet::FleetOptions options;
+    options.campaign.num_modules = num_modules;
+    options.campaign.rounds = rounds;
+    options.campaign.stop_when_converged = false;  // equal work at every size
+    options.campaign.scale = scale;
+    options.campaign.seed = seed;
+    // Agents are threads of this process; forking sandbox children from a
+    // multithreaded bench binary is not worth the hazard, and the fleet's
+    // scaling story is about distribution, not isolation.
+    options.campaign.sandbox.enabled = false;
+    options.campaign.out_dir = dir + "/out";
+    options.address = "uds:" + dir + "/fleet.sock";
+
+    fleet::FleetCoordinator coordinator(options);
+    std::vector<std::thread> fleet_threads;
+    fleet_threads.reserve(static_cast<size_t>(agents));
+    for (int i = 0; i < agents; ++i) {
+      fleet_threads.emplace_back([&options, &dir, i] {
+        fleet::AgentOptions agent;
+        agent.address = options.address;
+        agent.name = "bench-agent-" + std::to_string(i);
+        agent.work_dir = dir + "/" + agent.name;
+        const fleet::AgentResult r = fleet::RunAgent(agent);
+        if (!r.ok) {
+          std::fprintf(stderr, "%s failed: %s\n", agent.name.c_str(),
+                       r.error.c_str());
+        }
+      });
+    }
+
+    const Micros t0 = NowMicros();
+    const campaign::CampaignResult result = coordinator.Run();
+    const double wall_s = static_cast<double>(NowMicros() - t0) / 1e6;
+    for (std::thread& t : fleet_threads) {
+      t.join();
+    }
+    coordinator.Shutdown();
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "fleet run failed: %s\n", result.error.c_str());
+      return 1;
+    }
+
+    if (agents == 1) {
+      base_wall_s = wall_s;
+    }
+    const double runs_per_sec =
+        static_cast<double>(result.RunsExecuted()) / wall_s;
+    std::printf("%8d %8llu %9.2fs %10.1f %8.2fx %8llu %8llu\n", agents,
+                static_cast<unsigned long long>(result.RunsExecuted()), wall_s,
+                runs_per_sec, base_wall_s / wall_s,
+                static_cast<unsigned long long>(result.UniqueBugCount()),
+                static_cast<unsigned long long>(coordinator.stats().leases_stolen));
+
+    if (!first) {
+      json += ",\n";
+    }
+    first = false;
+    json += "    \"" + std::to_string(agents) + "\": {\"runs\": " +
+            std::to_string(result.RunsExecuted()) +
+            ", \"wall_s\": " + std::to_string(wall_s) +
+            ", \"runs_per_sec\": " + std::to_string(runs_per_sec) +
+            ", \"unique_bugs\": " + std::to_string(result.UniqueBugCount()) +
+            "}";
+  }
+  json += "\n  }\n}\n";
+
+  std::error_code ec;
+  std::filesystem::remove_all(scratch, ec);
+
+  std::FILE* f = std::fopen("BENCH_campaign_fleet.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_campaign_fleet.json\n");
+  }
+  return 0;
+}

@@ -2,173 +2,23 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <unordered_set>
 #include <utility>
 
 #include "src/campaign/journal.h"
+#include "src/campaign/run_executor.h"
 #include "src/campaign/scheduler.h"
 #include "src/campaign/sinks.h"
-#include "src/common/callsite.h"
-#include "src/workload/corpus.h"
-#include "src/workload/faults.h"
-#include "src/workload/runner.h"
-#include "src/workload/scaling.h"
 
 namespace tsvd::campaign {
-namespace {
-
-// Canonical signature pair for one caught location pair.
-std::pair<std::string, std::string> SignaturesOf(const LocationPair& pair) {
-  const CallSiteRegistry& registry = CallSiteRegistry::Instance();
-  std::string a = registry.Get(pair.first).Signature();
-  std::string b = registry.Get(pair.second).Signature();
-  if (b < a) {
-    std::swap(a, b);
-  }
-  return {std::move(a), std::move(b)};
-}
-
-// The delay-degradation ladder (graceful degradation after watchdog timeouts): each
-// level multiplies delay_us down and tightens the per-thread delay budget, so a
-// retried run injects less total delay and finishes inside the deadline instead of
-// thrashing against the watchdog. An unlimited budget is first pinned to
-// initial_budget_delays full-length delays so there is something to tighten.
-Config DegradeConfig(Config cfg, int level, const sandbox::SandboxPolicy& policy) {
-  if (level <= 0) {
-    return cfg;
-  }
-  if (cfg.max_delay_per_thread_us <= 0) {
-    cfg.max_delay_per_thread_us =
-        static_cast<Micros>(policy.initial_budget_delays) * cfg.delay_us;
-  }
-  for (int i = 0; i < level; ++i) {
-    cfg.delay_us = std::max<Micros>(
-        policy.min_delay_us,
-        static_cast<Micros>(static_cast<double>(cfg.delay_us) * policy.degrade_delay_factor));
-    cfg.max_delay_per_thread_us = std::max<Micros>(
-        policy.min_delay_us,
-        static_cast<Micros>(static_cast<double>(cfg.max_delay_per_thread_us) *
-                            policy.degrade_budget_factor));
-  }
-  return cfg;
-}
-
-// One instrumented run on an already-configured runner; lifts run records into the
-// campaign data model.
-RunOutcome ExecuteJob(const RunJob& job, workload::ModuleRunner& runner,
-                      const workload::ModuleSpec& spec,
-                      const workload::DetectorFactory& factory,
-                      const TrapFile& imported, uint64_t campaign_seed) {
-  // The per-run salt depends only on (campaign seed, round): same-seed campaigns
-  // replay the same workload randomness per round no matter which worker runs the
-  // job or in what order.
-  const uint64_t salt =
-      campaign_seed * 1000003ULL + static_cast<uint64_t>(job.round - 1);
-  workload::SingleRun single = runner.RunOnce(spec, factory, imported, salt);
-
-  RunOutcome outcome;
-  outcome.module_index = job.module_index;
-  outcome.module = spec.name;
-  outcome.round = job.round;
-  outcome.degrade_level = job.degrade_level;
-  outcome.wall_us = single.run.wall_us;
-  outcome.oncall_count = single.run.summary.oncall_count;
-  outcome.delays_injected = single.run.summary.delays_injected;
-  outcome.delays_early_woken = single.run.summary.delays_early_woken;
-  outcome.delays_aborted_stall = single.run.summary.delays_aborted_stall;
-  outcome.delays_skipped_budget = single.run.summary.delays_skipped_budget;
-  outcome.internal_errors = single.run.summary.internal_errors;
-  outcome.runtime_disabled = single.run.summary.runtime_disabled;
-  outcome.imported_pairs = single.imported_pairs;
-  outcome.false_positives = single.run.false_positives;
-  outcome.traps = std::move(single.traps);
-
-  std::unordered_set<uint64_t> retrapped_seen;
-  outcome.observations.reserve(single.run.records.size());
-  for (const workload::ReportRecord& record : single.run.records) {
-    auto [sig_a, sig_b] = SignaturesOf(record.pair);
-    if (imported.Contains(sig_a, sig_b)) {
-      // This pair was armed from the merged store before the run began — it could be
-      // (and with probability 1 arming, typically was) trapped on its first dynamic
-      // occurrence in this run. Count each pair once per run.
-      const uint64_t key = LocationPairHash{}(record.pair);
-      if (retrapped_seen.insert(key).second) {
-        ++outcome.retrapped_imported;
-      }
-    }
-    BugObservation obs;
-    obs.sig_first = std::move(sig_a);
-    obs.sig_second = std::move(sig_b);
-    // api_first/api_second follow the canonical signature order.
-    const auto first_parts = ParseSignature(obs.sig_first);
-    const auto second_parts = ParseSignature(obs.sig_second);
-    obs.api_first = first_parts.api;
-    obs.api_second = second_parts.api;
-    obs.stack_digest = record.stack_pair_hash;
-    obs.module = spec.name;
-    obs.round = job.round;
-    obs.read_write = record.read_write;
-    obs.same_location = record.same_location;
-    obs.async_flavor = record.async_flavor;
-    obs.false_positive = record.false_positive;
-    outcome.observations.push_back(std::move(obs));
-  }
-  return outcome;
-}
-
-}  // namespace
 
 CampaignResult RunCampaign(const CampaignOptions& options) {
   CampaignResult result;
   result.options = options;
 
-  workload::CorpusOptions corpus_options;
-  corpus_options.num_modules = options.num_modules;
-  corpus_options.seed = options.seed;
-  corpus_options.buggy_module_fraction = options.buggy_module_fraction;
-  corpus_options.params = workload::ScaledParams(options.scale);
-  std::vector<workload::ModuleSpec> corpus = workload::GenerateCorpus(corpus_options);
-
-  // Fault-injection modules ride at the end of the corpus so their indices do not
-  // shift the generated modules' seeds.
-  for (int i = 0; i < options.fault_crash_modules; ++i) {
-    corpus.push_back(workload::MakeCrashModule("fault_crash_" + std::to_string(i),
-                                               options.seed ^ (0xc0ffee00ULL + i),
-                                               corpus_options.params));
-  }
-  for (int i = 0; i < options.fault_hang_modules; ++i) {
-    corpus.push_back(workload::MakeHangModule("fault_hang_" + std::to_string(i),
-                                              options.seed ^ (0xbadcafe00ULL + i),
-                                              corpus_options.params));
-  }
-  for (int i = 0; i < options.fault_throw_modules; ++i) {
-    corpus.push_back(workload::MakeNonStdThrowModule(
-        "fault_throw_" + std::to_string(i), options.seed ^ (0xdeadbea700ULL + i),
-        corpus_options.params));
-  }
-  for (int i = 0; i < options.fault_deadlock_modules; ++i) {
-    corpus.push_back(workload::MakeDeadlockModule(
-        "fault_deadlock_" + std::to_string(i), options.seed ^ (0xdead10c000ULL + i),
-        corpus_options.params));
-  }
-
-  Config config = workload::ScaledConfig(options.scale);
-  if (options.delay_us_override > 0) {
-    config.delay_us = options.delay_us_override;
-    // Keep the budget:delay ratio ScaledConfig established, otherwise a long
-    // override would be skipped by its own per-thread budget.
-    config.max_delay_per_thread_us = 20 * config.delay_us;
-  }
-  if (options.stall_grace_us >= 0) {
-    config.stall_grace_us = options.stall_grace_us;
-  }
-  if (options.max_overhead_pct >= 0) {
-    config.max_overhead_pct = options.max_overhead_pct;
-  }
-  if (options.max_internal_errors >= 0) {
-    config.max_internal_errors = options.max_internal_errors;
-  }
-  const workload::DetectorFactory factory = workload::FactoryFor(options.detector);
+  // Corpus, config, and per-run execution all come from the shared core
+  // (run_executor.h) so the distributed fleet executes runs bit-identically.
+  const std::vector<workload::ModuleSpec> corpus =
+      BuildCampaignCorpus(options).modules;
 
   const bool persist = !options.out_dir.empty();
   if (options.resume && !persist) {
@@ -196,6 +46,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     checkpoint_dir = dir.string();
   }
 
+  const RunExecutor executor(options, &corpus, checkpoint_dir);
+
   BugReportMgr mgr;
   TrapFile merged;  // the fleet-wide trap store, canonical at all times
   std::vector<char> quarantined(corpus.size(), 0);
@@ -205,12 +57,7 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   // The journal's identity stamp: resume refuses a ledger written under a
   // different (detector, seed, corpus, scale) — the replayed outcomes would not
   // match what this campaign would have produced.
-  JournalHeader header;
-  header.detector = options.detector;
-  header.seed = options.seed;
-  header.num_modules = static_cast<int>(corpus.size());
-  header.scale = options.scale;
-  header.rounds = rounds;
+  const JournalHeader header = MakeJournalHeader(options, corpus.size());
 
   CampaignJournal journal;
   std::vector<RunOutcome> pending;  // replayed runs of the interrupted round
@@ -223,106 +70,24 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     result.journal_path = journal_path;
     bool fresh = true;
     if (options.resume) {
-      JournalReplay replay;
-      std::error_code ec;
-      if (std::filesystem::exists(journal_path, ec) &&
-          CampaignJournal::Load(journal_path, &replay) && replay.has_header) {
-        // A missing/unreadable/headerless journal falls through to a fresh start
-        // (automation can always pass resume, even after a kill that predated the
-        // first append); an identity mismatch is a hard error.
-        std::string why;
-        if (!header.CompatibleWith(replay.header, &why)) {
-          result.error = "resume refused: journal identity mismatch (" + why + ")";
-          return result;
-        }
+      ResumePlan plan;
+      if (!LoadResumePlan(options.out_dir, header, corpus.size(),
+                          options.stop_when_converged, &plan)) {
+        result.error = plan.error;
+        return result;
+      }
+      if (!plan.fresh) {
         fresh = false;
-        if (replay.torn_tail) {
-          // Cut the dangling partial record of the crashed append so this
-          // session's records start on a clean line.
-          std::filesystem::resize_file(journal_path, replay.valid_bytes, ec);
-        }
-        result.rounds = replay.completed_rounds;
-        result.resumed_rounds = static_cast<int>(replay.completed_rounds.size());
-        result.resumed_runs = replay.outcomes.size();
-        start_round = result.resumed_rounds + 1;
-
-        // Dedup-state fast path: restore the last snapshot, then re-ingest only
-        // the ledger tail it does not cover.
-        BugMgrSnapshot snap;
-        uint64_t covered = 0;
-        if (LoadBugMgrSnapshot(CampaignJournal::SnapshotPathIn(options.out_dir),
-                               &snap) &&
-            snap.watermark <= replay.outcomes.size()) {
-          mgr.Restore(std::move(snap.bugs));
-          covered = snap.watermark;
-        }
-        last_snapshot_mark = covered;
-
-        // Partition the run records: completed rounds are reconstructed here and
-        // never re-executed; records of the interrupted round are carried into
-        // the round loop and processed uniformly with the runs that finish it.
-        std::vector<std::pair<uint64_t, RunOutcome>> completed;
-        completed.reserve(replay.outcomes.size());
-        for (uint64_t i = 0; i < replay.outcomes.size(); ++i) {
-          RunOutcome& o = replay.outcomes[i];
-          if (o.quarantined && o.module_index >= 0 &&
-              o.module_index < static_cast<int>(quarantined.size())) {
-            quarantined[o.module_index] = 1;  // stays benched across the resume
-          }
-          if (o.module.empty() && o.module_index >= 0 &&
-              o.module_index < static_cast<int>(corpus.size())) {
-            o.module = corpus[o.module_index].name;
-          }
-          if (o.round >= start_round) {
-            pending.push_back(std::move(o));
-          } else {
-            completed.emplace_back(i, std::move(o));
-          }
-        }
-        // The ledger appends in completion order (non-deterministic across
-        // workers); the live campaign ingests and reports in (round, module)
-        // order. Restore that canonical order so resumed artifacts match an
-        // uninterrupted campaign's.
-        std::sort(completed.begin(), completed.end(),
-                  [](const auto& a, const auto& b) {
-                    if (a.second.round != b.second.round) {
-                      return a.second.round < b.second.round;
-                    }
-                    if (a.second.module_index != b.second.module_index) {
-                      return a.second.module_index < b.second.module_index;
-                    }
-                    return a.first < b.first;
-                  });
-        std::sort(pending.begin(), pending.end(),
-                  [](const RunOutcome& a, const RunOutcome& b) {
-                    return a.module_index < b.module_index;
-                  });
-        for (auto& [index, o] : completed) {
-          if (index >= covered) {
-            for (const BugObservation& obs : o.observations) {
-              mgr.Ingest(obs);
-            }
-          }
-          // The fleet store is exactly the union of every processed outcome's
-          // trap export, so rebuilding it from the ledger reproduces the store
-          // the interrupted round imported — traps.tsvd is not even needed.
-          merged.Merge(o.traps);
-          result.false_positives += o.false_positives;
-          result.outcomes.push_back(std::move(o));
-        }
-
-        if (replay.complete) {
-          already_done = true;
-          result.converged = replay.converged;
-        } else if (pending.empty() && options.stop_when_converged &&
-                   !result.rounds.empty() &&
-                   result.rounds.back().new_unique_bugs == 0) {
-          // Crash in the window between the round record and the complete
-          // record: reconstruct the convergence decision the dead campaign was
-          // about to commit.
-          already_done = true;
-          result.converged = true;
-        }
+        result.rounds = plan.completed_rounds;
+        result.resumed_rounds = static_cast<int>(plan.completed_rounds.size());
+        result.resumed_runs = plan.resumed_runs;
+        start_round = plan.start_round;
+        already_done = plan.already_done;
+        result.converged = plan.converged;
+        last_snapshot_mark =
+            ApplyResumePlan(&plan, corpus, &mgr, &merged, &quarantined,
+                            &result.outcomes, &result.false_positives);
+        pending = std::move(plan.pending);
       }
     }
     if (!journal.Open(journal_path, header, /*truncate=*/fresh,
@@ -443,80 +208,15 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       stale_salvage = TrapFile{};
     }
 
-    const Scheduler::JobFn in_process = [&](const RunJob& job,
-                                            tasks::ThreadPool& pool) {
-      const Config run_cfg =
-          DegradeConfig(config, job.degrade_level, options.sandbox);
-      workload::ModuleRunner runner(run_cfg, &pool);
-      return ExecuteJob(job, runner, corpus[job.module_index], factory, imported,
-                        options.seed);
-    };
-
-    const Scheduler::JobFn forked = [&](const RunJob& job, tasks::ThreadPool& pool) {
-      (void)pool;  // the child builds its own pool; the parent's threads don't fork
-      const workload::ModuleSpec& spec = corpus[job.module_index];
-      const std::string ckpt =
-          (std::filesystem::path(checkpoint_dir) /
-           ("ckpt-m" + std::to_string(job.module_index) + "-r" +
-            std::to_string(job.round) + ".tsvd"))
-              .string();
-
-      sandbox::ForkRun fork_run = sandbox::RunForked(
-          [&]() -> RunOutcome {
-            // Child side. fork() carried over only this thread: build a fresh task
-            // pool, and stream forensics markers so the parent can attribute a
-            // crash or SIGKILL even when no outcome ever arrives.
-            tasks::ThreadPool child_pool(options.pool_threads_per_worker);
-            const Config run_cfg =
-                DegradeConfig(config, job.degrade_level, options.sandbox);
-            workload::ModuleRunner runner(run_cfg, &child_pool);
-            runner.set_test_begin_hook([](int index, const std::string& name) {
-              sandbox::MarkPhase("test:" + std::to_string(index) + ":" + name);
-            });
-            runner.set_checkpoint_hook([&ckpt](int, const TrapFile& traps) {
-              traps.SaveTo(ckpt);  // atomic: a crash never leaves a torn checkpoint
-            });
-            runner.set_trap_arm_hook([](const std::string& site) {
-              sandbox::MarkTrapSite(site);
-            });
-            return ExecuteJob(job, runner, spec, factory, imported, options.seed);
-          },
-          options.sandbox.run_timeout_ms);
-
-      std::error_code ec;
-      if (fork_run.status == sandbox::ChildStatus::kOk) {
-        std::filesystem::remove(ckpt, ec);
-        return std::move(fork_run.outcome);
-      }
-
-      // The child died (signal, watchdog, escaped exception): build a forensics
-      // outcome and salvage whatever trap pairs its last checkpoint preserved.
-      RunOutcome outcome;
-      outcome.module_index = job.module_index;
-      outcome.module = spec.name;
-      outcome.round = job.round;
-      outcome.degrade_level = job.degrade_level;
-      outcome.status = fork_run.status == sandbox::ChildStatus::kTimedOut
-                           ? RunStatus::kTimedOut
-                           : RunStatus::kCrashed;
-      outcome.error = fork_run.error;
-      outcome.killed_by_signal = fork_run.signature.signal;
-      outcome.crash_signature = fork_run.signature.Render();
-      outcome.wall_us = fork_run.child_wall_us;
-      TrapFile salvaged;
-      if (TrapFile::SalvageFrom(ckpt, &salvaged)) {
-        outcome.salvaged_trap_pairs = salvaged.size();
-        outcome.traps = std::move(salvaged);
-      }
-      std::filesystem::remove(ckpt, ec);
-      return outcome;
+    const Scheduler::JobFn run_job = [&](const RunJob& job,
+                                         tasks::ThreadPool& pool) {
+      return executor.Execute(job, imported, &pool);
     };
 
     const Micros round_start = NowMicros();
     std::vector<RunOutcome> outcomes;
     if (!jobs.empty()) {
-      outcomes = scheduler.ExecuteRound(jobs, sandboxed ? forked : in_process,
-                                        retry, interrupt);
+      outcomes = scheduler.ExecuteRound(jobs, run_job, retry, interrupt);
     }
     const bool drained = scheduler.draining();
 

@@ -1,0 +1,159 @@
+// Shared campaign execution core: everything both the single-process orchestrator
+// (RunCampaign) and the distributed fleet (src/fleet/) must do IDENTICALLY.
+//
+// The fleet's convergence contract — a 4-agent campaign with identical per-round
+// salts reports the exact same unique-bug set as tsvd_campaign single-process, even
+// when an agent is SIGKILLed mid-round — only holds if every process derives the
+// corpus, the delay-engine config, the per-round salt, and the per-run execution
+// (including the sandbox fork, checkpointing, and delay degradation) from one code
+// path. This header is that path, factored out of campaign.cc so coordinator and
+// agents cannot drift from the orchestrator.
+#ifndef SRC_CAMPAIGN_RUN_EXECUTOR_H_
+#define SRC_CAMPAIGN_RUN_EXECUTOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/journal.h"
+#include "src/campaign/scheduler.h"
+#include "src/common/config.h"
+#include "src/workload/module.h"
+#include "src/workload/runner.h"
+
+namespace tsvd::tasks {
+class ThreadPool;
+}  // namespace tsvd::tasks
+
+namespace tsvd::campaign {
+
+// The campaign corpus plus per-module fault tags ("" for generated modules,
+// "crash" | "hang" | "throw" | "deadlock" for appended fault-injection modules).
+// Fault modules ride at the end so their indices never shift the generated
+// modules' seeds — the invariant both builders and the --list-modules inventory
+// rely on.
+struct CampaignCorpus {
+  std::vector<workload::ModuleSpec> modules;
+  std::vector<std::string> fault_kinds;  // parallel to `modules`
+};
+
+// Deterministic corpus for a campaign identity (seed, num_modules, fractions,
+// fault counts). Every process of a fleet builds the same corpus from the same
+// options.
+CampaignCorpus BuildCampaignCorpus(const CampaignOptions& options);
+
+// The scaled delay-engine config with the options' overrides applied.
+Config BuildRunConfig(const CampaignOptions& options);
+
+// The per-run workload salt. Depends only on (campaign seed, round): same-seed
+// campaigns replay the same randomness per round no matter which worker, agent,
+// or process executes the job, or in what order.
+uint64_t RoundSalt(uint64_t campaign_seed, int round);
+
+// The journal identity stamp for a campaign over `corpus_size` modules (fault
+// modules included). Fleet coordinators write the same header as RunCampaign, so
+// either tool can resume the other's journal.
+JournalHeader MakeJournalHeader(const CampaignOptions& options, size_t corpus_size);
+
+// Executes one (module, round) attempt exactly as a campaign worker would:
+// in-process on the caller's private pool, or — when the options enable the
+// sandbox and the platform can fork — in a forked child under the watchdog, with
+// atomic trap checkpoints salvaged on crash. Stateless across calls; safe to use
+// from any number of threads concurrently.
+class RunExecutor {
+ public:
+  // `corpus` must outlive the executor. `checkpoint_dir` is the scratch directory
+  // for sandbox children's atomic trap checkpoints (unused in-process).
+  RunExecutor(const CampaignOptions& options,
+              const std::vector<workload::ModuleSpec>* corpus,
+              std::string checkpoint_dir);
+
+  // True when runs fork: options.sandbox.enabled on a platform with fork().
+  bool sandboxed() const { return sandboxed_; }
+  const Config& config() const { return config_; }
+
+  // One attempt. `imported` is the round's fleet trap-store snapshot; `pool`
+  // routes the in-process run's tasks (null = process-global pool; sandbox mode
+  // ignores it — the child builds its own).
+  RunOutcome Execute(const RunJob& job, const TrapFile& imported,
+                     tasks::ThreadPool* pool) const;
+
+ private:
+  RunOutcome ExecuteInProcess(const RunJob& job, const TrapFile& imported,
+                              tasks::ThreadPool* pool) const;
+  RunOutcome ExecuteForked(const RunJob& job, const TrapFile& imported) const;
+
+  CampaignOptions options_;
+  const std::vector<workload::ModuleSpec>* corpus_;
+  workload::DetectorFactory factory_;
+  Config config_;
+  std::string checkpoint_dir_;
+  bool sandboxed_;
+};
+
+// The scheduler's retry ladder as a standalone loop, for callers (fleet agents)
+// that execute one job at a time instead of a queue: failed attempts retry up to
+// policy.max_attempts with exponential backoff, a timed-out attempt degrades the
+// delay ladder one step, salvaged trap pairs survive across attempts, and an
+// exhausted job comes back quarantined — the same semantics Scheduler::WorkerLoop
+// gives campaign workers.
+RunOutcome ExecuteWithRetries(const RunExecutor& executor, RunJob job,
+                              const TrapFile& imported, tasks::ThreadPool* pool,
+                              const RetryPolicy& policy);
+
+// Everything a dead campaign's journal yields for a resume, partitioned the way
+// the round loop consumes it. Shared by RunCampaign and the fleet coordinator so
+// both resume with identical semantics.
+struct ResumePlan {
+  // No resumable journal (missing/unreadable/headerless): start fresh. The other
+  // fields are meaningless.
+  bool fresh = true;
+  // Identity mismatch or I/O failure; fatal when non-empty.
+  std::string error;
+
+  std::vector<RoundStats> completed_rounds;  // committed rounds, in round order
+  // Outcomes of committed rounds as (ledger index, outcome), restored to the
+  // canonical (round, module, ledger) order the live campaign ingests in. The
+  // ledger index lets the caller skip observations a BugReportMgr snapshot
+  // already covers.
+  std::vector<std::pair<uint64_t, RunOutcome>> completed;
+  // Run records of the interrupted round, sorted by module index: carried into
+  // the round loop and processed uniformly with the runs that finish the round.
+  std::vector<RunOutcome> pending;
+  int start_round = 1;
+  // The journal says the campaign finished (or died in the window between its
+  // last round record and the complete record, with convergence already decided).
+  bool already_done = false;
+  bool converged = false;
+  uint64_t resumed_runs = 0;
+  // Modules whose journaled outcome was quarantined: they stay benched.
+  std::vector<int> quarantined_modules;
+  // BugReportMgr snapshot restore: when has_snapshot, Restore(snapshot.bugs) and
+  // re-ingest only completed entries with ledger index >= snapshot.watermark.
+  bool has_snapshot = false;
+  BugMgrSnapshot snapshot;
+};
+
+// Loads out_dir's journal (and bugmgr snapshot) and builds the plan. Performs the
+// torn-tail truncation so the resume writer appends on a clean line. Returns
+// false when plan->error was set (identity mismatch); a missing journal returns
+// true with plan->fresh.
+bool LoadResumePlan(const std::string& out_dir, const JournalHeader& header,
+                    size_t corpus_size, bool stop_when_converged, ResumePlan* plan);
+
+// Applies the completed-rounds part of a plan: marks quarantined modules,
+// restores the snapshot into `mgr`, re-ingests the uncovered observation tail,
+// rebuilds the merged trap store, backfills module names, and appends the
+// outcomes (in canonical order) to `outcomes`. plan.pending is left for the
+// caller's round loop; names are backfilled here too. Returns the snapshot
+// watermark restored (0 when none) — the caller's snapshot-cadence baseline.
+uint64_t ApplyResumePlan(ResumePlan* plan,
+                         const std::vector<workload::ModuleSpec>& corpus,
+                         BugReportMgr* mgr, TrapFile* merged,
+                         std::vector<char>* quarantined,
+                         std::vector<RunOutcome>* outcomes, int* false_positives);
+
+}  // namespace tsvd::campaign
+
+#endif  // SRC_CAMPAIGN_RUN_EXECUTOR_H_

@@ -1,0 +1,214 @@
+#include "src/fleet/agent.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/journal.h"
+#include "src/campaign/run_executor.h"
+#include "src/campaign/scheduler.h"
+#include "src/fleet/protocol.h"
+#include "src/fleet/transport.h"
+#include "src/report/trap_file.h"
+#include "src/sandbox/outcome_codec.h"
+#include "src/tasks/thread_pool.h"
+
+namespace tsvd::fleet {
+
+using campaign::CampaignOptions;
+using campaign::Json;
+using campaign::RunJob;
+using campaign::RunOutcome;
+
+namespace {
+
+AgentResult Fail(std::string why) {
+  AgentResult r;
+  r.error = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+AgentResult RunAgent(const AgentOptions& agent_options) {
+  std::string error;
+  const std::unique_ptr<TransportClient> client =
+      MakeTransportClient(agent_options.address, &error);
+  if (client == nullptr) {
+    return Fail(error);
+  }
+  client->set_connect_timeout_ms(agent_options.hello_timeout_ms);
+
+  // Join the fleet. The transport retries connection establishment internally, so
+  // one Call covers "coordinator not up yet".
+  Json hello = Json::MakeObject();
+  hello.Set("type", "hello");
+  hello.Set("agent", agent_options.name);
+  hello.Set("protocol_version", kFleetProtocolVersion);
+  hello.Set("codec_version", sandbox::kRunOutcomeCodecVersion);
+  Json setup;
+  if (!client->Call(hello, &setup, &error)) {
+    return Fail("hello: " + error);
+  }
+  const Json* type = setup.Find("type");
+  if (type == nullptr || !type->is_string() || type->as_string() != "setup") {
+    const Json* why = setup.Find("error");
+    return Fail("coordinator refused join: " +
+                (why != nullptr && why->is_string() ? why->as_string()
+                                                    : std::string("bad setup")));
+  }
+  const Json* options_doc = setup.Find("options");
+  CampaignOptions options;
+  if (options_doc == nullptr ||
+      !DecodeCampaignOptions(*options_doc, &options, &error)) {
+    return Fail("bad setup options: " + error);
+  }
+
+  // Rebuild the coordinator's exact corpus; the setup's corpus_size cross-checks
+  // that both sides really derived the same one.
+  const std::vector<workload::ModuleSpec> corpus =
+      campaign::BuildCampaignCorpus(options).modules;
+  if (const Json* n = setup.Find("corpus_size");
+      n != nullptr && n->is_number() &&
+      n->as_int() != static_cast<int64_t>(corpus.size())) {
+    return Fail("corpus size mismatch: coordinator has " +
+                std::to_string(n->as_int()) + " modules, this build derives " +
+                std::to_string(corpus.size()));
+  }
+
+  std::string work_dir = agent_options.work_dir;
+  bool scratch_work_dir = false;
+  if (work_dir.empty()) {
+    work_dir = (std::filesystem::temp_directory_path() /
+                ("tsvd-agent-" + std::to_string(static_cast<uint64_t>(::getpid()))))
+                   .string();
+    scratch_work_dir = true;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(work_dir, ec);
+  const std::string checkpoint_dir = work_dir + "/sandbox";
+  std::filesystem::create_directories(checkpoint_dir, ec);
+
+  const campaign::RunExecutor executor(options, &corpus, checkpoint_dir);
+
+  // The local crash-forensics ledger: every outcome is committed here, fsync'd,
+  // before it is published — a SIGKILLed agent leaves a complete record of what it
+  // finished even if the publish never happened.
+  campaign::CampaignJournal journal;
+  journal.Open(campaign::CampaignJournal::PathIn(work_dir),
+               campaign::MakeJournalHeader(options, corpus.size()),
+               /*truncate=*/true, /*fsync=*/DurableFileSyncEnabled());
+
+  tasks::ThreadPool pool(options.pool_threads_per_worker);
+
+  campaign::RetryPolicy retry;
+  retry.max_attempts = options.max_attempts;
+  retry.backoff_base_ms = options.sandbox.backoff_base_ms;
+  retry.backoff_cap_ms = options.sandbox.backoff_cap_ms;
+
+  TrapFile cached_traps;
+  uint64_t cached_version = 0;
+
+  AgentResult result;
+  while (true) {
+    if (agent_options.interrupt && agent_options.interrupt()) {
+      break;
+    }
+    Json lease_req = Json::MakeObject();
+    lease_req.Set("type", "lease");
+    lease_req.Set("agent", agent_options.name);
+    lease_req.Set("trap_version", cached_version);
+    Json resp;
+    if (!client->Call(lease_req, &resp, &error)) {
+      journal.Close();
+      return Fail("lease: " + error);
+    }
+    const Json* rtype = resp.Find("type");
+    const std::string kind =
+        rtype != nullptr && rtype->is_string() ? rtype->as_string() : "";
+
+    if (kind == "done") {
+      break;
+    }
+    if (kind == "wait") {
+      const Json* ms = resp.Find("wait_ms");
+      SleepMicros((ms != nullptr && ms->is_number() ? ms->as_int() : 50) * 1000);
+      continue;
+    }
+    if (kind == "error") {
+      const Json* why = resp.Find("error");
+      journal.Close();
+      return Fail(why != nullptr && why->is_string() ? why->as_string()
+                                                     : "coordinator error");
+    }
+    if (kind != "job") {
+      journal.Close();
+      return Fail("unexpected coordinator response \"" + kind + "\"");
+    }
+
+    const Json* lease_id = resp.Find("lease");
+    const Json* round = resp.Find("round");
+    const Json* module_index = resp.Find("module_index");
+    if (lease_id == nullptr || !lease_id->is_number() || round == nullptr ||
+        !round->is_number() || module_index == nullptr ||
+        !module_index->is_number()) {
+      journal.Close();
+      return Fail("malformed job grant");
+    }
+    // Refresh the trap-store cache when the grant says ours is stale. The store
+    // version only moves at round boundaries, so this snapshot is exactly the
+    // round's import in the single-process campaign.
+    if (const Json* v = resp.Find("trap_version");
+        v != nullptr && v->is_number() &&
+        static_cast<uint64_t>(v->as_int()) != cached_version) {
+      const Json* traps = resp.Find("traps");
+      if (traps == nullptr || !traps->is_string()) {
+        journal.Close();
+        return Fail("job grant marked traps stale but carried none");
+      }
+      cached_traps = TrapFile::Deserialize(traps->as_string());
+      cached_version = static_cast<uint64_t>(v->as_int());
+    }
+
+    RunJob job;
+    job.module_index = static_cast<int>(module_index->as_int());
+    job.round = static_cast<int>(round->as_int());
+    job.attempt = 1;
+    job.degrade_level = 0;
+    RunOutcome outcome =
+        campaign::ExecuteWithRetries(executor, job, cached_traps, &pool, retry);
+    if (outcome.module.empty() && outcome.module_index >= 0 &&
+        outcome.module_index < static_cast<int>(corpus.size())) {
+      outcome.module = corpus[outcome.module_index].name;
+    }
+    journal.AppendRun(outcome);
+
+    Json publish = Json::MakeObject();
+    publish.Set("type", "result");
+    publish.Set("agent", agent_options.name);
+    publish.Set("lease", lease_id->as_int());
+    publish.Set("outcome", sandbox::EncodeRunOutcome(outcome));
+    Json ack;
+    if (!client->Call(publish, &ack, &error)) {
+      journal.Close();
+      return Fail("result publish: " + error);
+    }
+    ++result.runs;
+    if (const Json* accepted = ack.Find("accepted");
+        accepted != nullptr && accepted->is_bool() && !accepted->as_bool()) {
+      ++result.duplicates;
+    }
+  }
+
+  journal.Close();
+  if (scratch_work_dir) {
+    std::filesystem::remove_all(work_dir, ec);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace tsvd::fleet

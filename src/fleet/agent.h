@@ -1,0 +1,45 @@
+// Fleet agent: one worker process of a distributed campaign (DESIGN.md §13).
+//
+// An agent owns no campaign state. It joins the coordinator with a hello
+// handshake, rebuilds the identical corpus and delay-engine config from the
+// shipped options (src/campaign/run_executor.h — the shared execution core), then
+// loops: lease a (module, round) job, execute it with the campaign's full retry /
+// degradation / quarantine ladder (forking sandbox children when the policy asks),
+// journal the outcome locally, publish it, repeat. The coordinator's ledger is the
+// authoritative one; the agent's local journal is crash forensics — what this
+// agent completed, fsync'd before each publish, surviving any SIGKILL.
+#ifndef SRC_FLEET_AGENT_H_
+#define SRC_FLEET_AGENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tsvd::fleet {
+
+struct AgentOptions {
+  std::string address;       // transport address of the coordinator
+  std::string name = "agent";
+  // Scratch directory for the local journal and sandbox checkpoints; empty picks
+  // a unique directory under the system temp dir. Removed on clean exit only when
+  // it was auto-picked.
+  std::string work_dir;
+  // How long hello waits for the coordinator to start listening.
+  int hello_timeout_ms = 15'000;
+  // Graceful stop: polled between runs; the first true finishes the current job,
+  // publishes it, and exits cleanly.
+  std::function<bool()> interrupt;
+};
+
+struct AgentResult {
+  bool ok = false;
+  std::string error;        // set when !ok
+  uint64_t runs = 0;        // jobs executed and published
+  uint64_t duplicates = 0;  // publishes the coordinator discarded (stolen lease won)
+};
+
+AgentResult RunAgent(const AgentOptions& options);
+
+}  // namespace tsvd::fleet
+
+#endif  // SRC_FLEET_AGENT_H_

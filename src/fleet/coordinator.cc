@@ -1,0 +1,552 @@
+#include "src/fleet/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "src/campaign/run_executor.h"
+#include "src/campaign/sinks.h"
+#include "src/fleet/protocol.h"
+#include "src/sandbox/outcome_codec.h"
+
+namespace tsvd::fleet {
+
+using campaign::CampaignResult;
+using campaign::Json;
+using campaign::RunOutcome;
+using campaign::RunStatus;
+
+FleetCoordinator::FleetCoordinator(FleetOptions options)
+    : options_(std::move(options)) {}
+
+FleetCoordinator::~FleetCoordinator() { Shutdown(); }
+
+void FleetCoordinator::Shutdown() {
+  if (server_ != nullptr) {
+    server_->Stop();
+    server_.reset();
+  }
+}
+
+FleetStats FleetCoordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Json FleetCoordinator::Handle(const Json& request) {
+  const Json* type = request.Find("type");
+  const std::string kind =
+      type != nullptr && type->is_string() ? type->as_string() : "";
+  if (kind == "hello") {
+    return HandleHello(request);
+  }
+  if (kind == "lease") {
+    return HandleLease(request);
+  }
+  if (kind == "result") {
+    return HandleResult(request);
+  }
+  Json resp = Json::MakeObject();
+  resp.Set("type", "error");
+  resp.Set("error", "unknown request type \"" + kind + "\"");
+  return resp;
+}
+
+Json FleetCoordinator::HandleHello(const Json& request) {
+  Json resp = Json::MakeObject();
+  const Json* protocol = request.Find("protocol_version");
+  if (protocol == nullptr || !protocol->is_number() ||
+      protocol->as_int() != kFleetProtocolVersion) {
+    resp.Set("type", "error");
+    resp.Set("error",
+             "fleet protocol version mismatch: agent speaks " +
+                 (protocol != nullptr && protocol->is_number()
+                      ? std::to_string(protocol->as_int())
+                      : std::string("(none)")) +
+                 ", coordinator speaks " + std::to_string(kFleetProtocolVersion));
+    return resp;
+  }
+  const Json* codec = request.Find("codec_version");
+  if (codec == nullptr || !codec->is_number() ||
+      codec->as_int() != sandbox::kRunOutcomeCodecVersion) {
+    resp.Set("type", "error");
+    resp.Set("error",
+             "run outcome codec version mismatch: agent speaks " +
+                 (codec != nullptr && codec->is_number()
+                      ? std::to_string(codec->as_int())
+                      : std::string("(none)")) +
+                 ", coordinator speaks " +
+                 std::to_string(sandbox::kRunOutcomeCodecVersion) +
+                 " — coordinator and agent builds must match");
+    return resp;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.agents_joined;
+    last_contact_us_ = NowMicros();
+  }
+  resp.Set("type", "setup");
+  resp.Set("options", EncodeCampaignOptions(options_.campaign));
+  resp.Set("corpus_size", static_cast<int64_t>(corpus_names_.size()));
+  return resp;
+}
+
+Json FleetCoordinator::HandleLease(const Json& request) {
+  const Json* have = request.Find("trap_version");
+  const uint64_t agent_trap_version =
+      have != nullptr && have->is_number() ? static_cast<uint64_t>(have->as_int())
+                                           : 0;
+  Json resp = Json::MakeObject();
+  uint64_t lease_id = 0;
+  int module_index = -1;
+  int round = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_contact_us_ = NowMicros();
+    if (finished_ || interrupted_) {
+      // Campaign over (or draining after a signal): agents exit. A drain lets an
+      // agent's in-flight job still publish — HandleResult keeps accepting while
+      // its lease is open.
+      resp.Set("type", "done");
+      resp.Set("interrupted", interrupted_);
+      return resp;
+    }
+    if (round_active_) {
+      const Micros now = NowMicros();
+      size_t grant_slot = slots_.size();
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].phase == JobPhase::kPending) {
+          grant_slot = i;
+          break;
+        }
+      }
+      if (grant_slot == slots_.size()) {
+        // No virgin job: steal the first lease past its deadline (its agent was
+        // SIGKILLed, wedged, or partitioned). The original lease stays open — if
+        // its holder does publish first, that result still wins.
+        for (size_t i = 0; i < slots_.size(); ++i) {
+          if (slots_[i].phase == JobPhase::kLeased &&
+              slots_[i].lease_deadline_us < now) {
+            grant_slot = i;
+            ++stats_.leases_stolen;
+            break;
+          }
+        }
+      }
+      if (grant_slot < slots_.size()) {
+        JobSlot& slot = slots_[grant_slot];
+        lease_id = next_lease_++;
+        slot.phase = JobPhase::kLeased;
+        slot.lease_deadline_us =
+            now + static_cast<Micros>(options_.lease_timeout_ms) * 1000;
+        open_leases_[lease_id] = grant_slot;
+        ++stats_.leases_granted;
+        module_index = slot.module_index;
+        round = round_;
+      }
+    }
+  }
+  if (lease_id == 0) {
+    resp.Set("type", "wait");
+    resp.Set("wait_ms", options_.wait_hint_ms);
+    return resp;
+  }
+  resp.Set("type", "job");
+  resp.Set("lease", lease_id);
+  resp.Set("round", round);
+  resp.Set("module_index", module_index);
+  uint64_t version = 0;
+  std::string traps;
+  if (store_.SerializeIfStale(agent_trap_version, &version, &traps)) {
+    resp.Set("trap_version", version);
+    resp.Set("traps", traps);
+  } else {
+    resp.Set("trap_version", agent_trap_version);
+  }
+  return resp;
+}
+
+Json FleetCoordinator::HandleResult(const Json& request) {
+  Json resp = Json::MakeObject();
+  const Json* lease = request.Find("lease");
+  const Json* outcome_doc = request.Find("outcome");
+  if (lease == nullptr || !lease->is_number() || outcome_doc == nullptr) {
+    resp.Set("type", "error");
+    resp.Set("error", "malformed result publish");
+    return resp;
+  }
+  RunOutcome outcome;
+  std::string codec_error;
+  if (!sandbox::DecodeRunOutcome(*outcome_doc, &outcome, &codec_error)) {
+    resp.Set("type", "error");
+    resp.Set("error", "undecodable outcome: " + codec_error);
+    return resp;
+  }
+  const uint64_t lease_id = static_cast<uint64_t>(lease->as_int());
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_contact_us_ = NowMicros();
+    const auto it = open_leases_.find(lease_id);
+    if (it != open_leases_.end()) {
+      JobSlot& slot = slots_[it->second];
+      // Idempotent acceptance: the first publish for a slot wins; anything later
+      // — a re-executed stolen job, a retransmit — is acknowledged and
+      // discarded, so no run can ever double-count into stats, the journal, or
+      // the bug manager.
+      if (slot.phase == JobPhase::kLeased &&
+          outcome.module_index == slot.module_index && outcome.round == round_) {
+        if (outcome.module.empty() && slot.module_index >= 0 &&
+            slot.module_index < static_cast<int>(corpus_names_.size())) {
+          outcome.module = corpus_names_[slot.module_index];
+        }
+        slot.outcome = outcome;
+        slot.phase = JobPhase::kDone;
+        accepted = true;
+        // Every lease for this slot (original + stolen) is now dead.
+        for (auto lease_it = open_leases_.begin();
+             lease_it != open_leases_.end();) {
+          if (lease_it->second == it->second) {
+            lease_it = open_leases_.erase(lease_it);
+          } else {
+            ++lease_it;
+          }
+        }
+      }
+    }
+    if (!accepted) {
+      ++stats_.duplicate_results;
+    }
+  }
+  if (accepted) {
+    // The ledger commit point, mirroring the single-process completion callback:
+    // fsync'd before the ack, outside the coordinator lock. done_count_ advances
+    // only after the record is durable, so the round barrier can never commit a
+    // round record ahead of one of its run records.
+    if (journal_.is_open()) {
+      journal_.AppendRun(outcome);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_count_;
+    }
+    round_cv_.notify_all();
+  }
+  resp.Set("type", "ack");
+  resp.Set("accepted", accepted);
+  return resp;
+}
+
+CampaignResult FleetCoordinator::Run() {
+  const campaign::CampaignOptions& opt = options_.campaign;
+  CampaignResult result;
+  result.options = opt;
+
+  const std::vector<workload::ModuleSpec> corpus =
+      campaign::BuildCampaignCorpus(opt).modules;
+  corpus_names_.clear();
+  corpus_names_.reserve(corpus.size());
+  for (const workload::ModuleSpec& m : corpus) {
+    corpus_names_.push_back(m.name);
+  }
+
+  const bool persist = !opt.out_dir.empty();
+  if (opt.resume && !persist) {
+    result.error = "resume requires an output directory (out_dir)";
+    return result;
+  }
+  if (persist) {
+    std::filesystem::create_directories(opt.out_dir);
+    result.trap_path =
+        (std::filesystem::path(opt.out_dir) / "traps.tsvd").string();
+  }
+
+  campaign::BugReportMgr mgr;
+  TrapFile merged;
+  std::vector<char> quarantined(corpus.size(), 0);
+  const int rounds = opt.rounds > 0 ? opt.rounds : 1;
+  const campaign::JournalHeader header =
+      campaign::MakeJournalHeader(opt, corpus.size());
+
+  std::vector<RunOutcome> pending;
+  int start_round = 1;
+  bool already_done = false;
+  uint64_t last_snapshot_mark = 0;
+
+  if (persist) {
+    const std::string journal_path = campaign::CampaignJournal::PathIn(opt.out_dir);
+    result.journal_path = journal_path;
+    bool fresh = true;
+    if (opt.resume) {
+      campaign::ResumePlan plan;
+      if (!campaign::LoadResumePlan(opt.out_dir, header, corpus.size(),
+                                    opt.stop_when_converged, &plan)) {
+        result.error = plan.error;
+        return result;
+      }
+      if (!plan.fresh) {
+        fresh = false;
+        result.rounds = plan.completed_rounds;
+        result.resumed_rounds = static_cast<int>(plan.completed_rounds.size());
+        result.resumed_runs = plan.resumed_runs;
+        start_round = plan.start_round;
+        already_done = plan.already_done;
+        result.converged = plan.converged;
+        last_snapshot_mark = campaign::ApplyResumePlan(
+            &plan, corpus, &mgr, &merged, &quarantined, &result.outcomes,
+            &result.false_positives);
+        pending = std::move(plan.pending);
+      }
+    }
+    if (!journal_.Open(journal_path, header, /*truncate=*/fresh,
+                       /*fsync=*/DurableFileSyncEnabled())) {
+      result.error = "failed to open campaign journal at " + journal_path;
+      return result;
+    }
+    journal_.set_replayed_run_records(result.resumed_runs);
+  }
+  store_.Restore(std::move(merged));
+
+  std::string transport_error;
+  server_ = MakeTransportServer(options_.address, &transport_error);
+  if (server_ == nullptr ||
+      !server_->Start([this](const Json& req) { return Handle(req); },
+                      &transport_error)) {
+    server_.reset();
+    journal_.Close();
+    result.error = "transport: " + transport_error;
+    return result;
+  }
+
+  const auto flush_reports = [&]() {
+    if (!persist) {
+      return;
+    }
+    campaign::CampaignMeta meta;
+    meta.detector = opt.detector;
+    meta.num_modules = static_cast<int>(corpus.size());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      meta.workers = static_cast<int>(stats_.agents_joined);
+    }
+    meta.rounds_requested = rounds;
+    meta.rounds_executed = static_cast<int>(result.rounds.size());
+    meta.converged = result.converged;
+    meta.interrupted = result.interrupted;
+    meta.sandbox = opt.sandbox.enabled;
+    meta.scale = opt.scale;
+    meta.seed = opt.seed;
+    const std::filesystem::path dir(opt.out_dir);
+    const std::string json_path = (dir / "campaign.json").string();
+    const std::string sarif_path = (dir / "campaign.sarif").string();
+    const std::vector<campaign::BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+    if (campaign::WriteFileAtomic(
+            json_path, campaign::RenderJson(meta, result.rounds, bugs,
+                                            result.outcomes))) {
+      result.json_path = json_path;
+    }
+    if (campaign::WriteFileAtomic(
+            sarif_path, campaign::RenderSarif(meta, bugs, result.outcomes))) {
+      result.sarif_path = sarif_path;
+    }
+  };
+
+  const std::function<bool()>& interrupt = opt.interrupt;
+  bool fleet_dead = false;
+  for (int round = start_round; !already_done && round <= rounds; ++round) {
+    if (interrupt && interrupt()) {
+      result.interrupted = true;
+      break;
+    }
+    std::vector<RunOutcome> replayed;
+    if (round == start_round && !pending.empty()) {
+      replayed = std::move(pending);
+      pending.clear();
+    }
+
+    // Stage the round's job table. Replayed ledger records (resume of an
+    // interrupted round) enter as already-done slots: reconstructed, never
+    // re-executed, never re-journaled.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_.clear();
+      open_leases_.clear();
+      done_count_ = 0;
+      round_ = round;
+      for (size_t m = 0; m < corpus.size(); ++m) {
+        if (quarantined[m]) {
+          continue;
+        }
+        JobSlot slot;
+        slot.module_index = static_cast<int>(m);
+        for (RunOutcome& o : replayed) {
+          if (o.module_index == static_cast<int>(m)) {
+            slot.phase = JobPhase::kDone;
+            slot.replayed = true;
+            slot.outcome = std::move(o);
+            ++done_count_;
+            break;
+          }
+        }
+        slots_.push_back(std::move(slot));
+      }
+      if (slots_.empty()) {
+        break;
+      }
+      round_active_ = true;
+      last_contact_us_ = NowMicros();
+    }
+    round_cv_.notify_all();
+
+    const Micros round_start = NowMicros();
+    bool drained = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (done_count_ < slots_.size()) {
+        round_cv_.wait_for(lock, std::chrono::milliseconds(50));
+        if (interrupt && interrupt() && !interrupted_) {
+          // Graceful drain: stop granting (agents get "done" on their next
+          // lease), let in-flight jobs publish, then stop waiting for the rest.
+          interrupted_ = true;
+          const Micros drain_deadline =
+              NowMicros() + static_cast<Micros>(options_.lease_timeout_ms) * 1000;
+          while (!open_leases_.empty() && NowMicros() < drain_deadline) {
+            round_cv_.wait_for(lock, std::chrono::milliseconds(50));
+          }
+          drained = true;
+          break;
+        }
+        if (options_.agent_idle_timeout_ms > 0 && done_count_ < slots_.size() &&
+            NowMicros() - last_contact_us_ >
+                static_cast<Micros>(options_.agent_idle_timeout_ms) * 1000) {
+          fleet_dead = true;
+          break;
+        }
+      }
+      round_active_ = false;
+    }
+
+    if (fleet_dead) {
+      result.error = "fleet stalled: no agent contact for " +
+                     std::to_string(options_.agent_idle_timeout_ms) +
+                     " ms with runs still pending — all agents presumed dead; "
+                     "rerun with resume to continue";
+      break;
+    }
+
+    // Round processing, in module order — identical to the single-process
+    // campaign's barrier, so every artifact is deterministic for a given seed no
+    // matter which agents ran which jobs in what order.
+    campaign::RoundStats stats;
+    stats.round = round;
+    stats.wall_us = NowMicros() - round_start;
+    stats.interrupted = drained;
+    TrapFile round_traps;
+    std::vector<JobSlot> slots;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots = std::move(slots_);
+      slots_.clear();
+      // Any lease still open (a drain cut its job short, or a straggler is about
+      // to publish a stolen job's duplicate) now dangles; kill it so a late
+      // publish is acked as a duplicate instead of touching the harvested round.
+      open_leases_.clear();
+    }
+    for (JobSlot& slot : slots) {
+      if (slot.phase != JobPhase::kDone) {
+        continue;  // drained before this job finished: resume re-executes it
+      }
+      RunOutcome& outcome = slot.outcome;
+      if (outcome.status == RunStatus::kSkipped) {
+        continue;
+      }
+      ++stats.runs;
+      if (outcome.status == RunStatus::kCrashed) {
+        ++stats.crashed;
+        if (outcome.killed_by_signal != 0) {
+          ++stats.killed_by_signal;
+        }
+      }
+      if (outcome.status == RunStatus::kTimedOut) {
+        ++stats.timed_out;
+      }
+      if (outcome.attempts > 1) {
+        ++stats.retried;
+      }
+      if (outcome.quarantined) {
+        ++stats.quarantined;
+        if (outcome.module_index >= 0 &&
+            outcome.module_index < static_cast<int>(quarantined.size())) {
+          quarantined[outcome.module_index] = 1;
+        }
+      }
+      stats.delays_injected += outcome.delays_injected;
+      stats.delays_early_woken += outcome.delays_early_woken;
+      stats.delays_aborted_stall += outcome.delays_aborted_stall;
+      stats.delays_skipped_budget += outcome.delays_skipped_budget;
+      if (outcome.runtime_disabled) {
+        ++stats.runtime_disabled;
+      }
+      stats.retrapped_imported += outcome.retrapped_imported;
+      result.false_positives += outcome.false_positives;
+      for (const campaign::BugObservation& obs : outcome.observations) {
+        if (mgr.Ingest(obs)) {
+          ++stats.new_unique_bugs;
+        }
+      }
+      round_traps.Merge(outcome.traps);
+      result.outcomes.push_back(std::move(outcome));
+    }
+    stats.trap_pairs_after = store_.CommitRound(round_traps);
+    result.rounds.push_back(stats);
+
+    if (drained) {
+      result.interrupted = true;
+      break;
+    }
+
+    if (persist) {
+      if (!store_.Snapshot().SaveTo(result.trap_path)) {
+        result.trap_path.clear();
+      }
+    }
+    if (journal_.is_open()) {
+      journal_.AppendRoundComplete(stats, mgr.UniqueBugCount());
+      if (opt.journal_snapshot_every > 0 &&
+          journal_.run_records() - last_snapshot_mark >=
+              static_cast<uint64_t>(opt.journal_snapshot_every)) {
+        if (campaign::SaveBugMgrSnapshot(
+                campaign::CampaignJournal::SnapshotPathIn(opt.out_dir), mgr,
+                journal_.run_records(), DurableFileSyncEnabled())) {
+          last_snapshot_mark = journal_.run_records();
+        }
+      }
+    }
+    if (opt.stop_when_converged && stats.new_unique_bugs == 0) {
+      result.converged = true;
+    }
+    flush_reports();
+    if (result.converged) {
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    round_active_ = false;
+  }
+  round_cv_.notify_all();
+
+  result.bugs = mgr.Bugs();
+  result.merged_traps = store_.Snapshot();
+  if (journal_.is_open() && !result.interrupted && !fleet_dead && !already_done) {
+    journal_.AppendCampaignComplete(result.converged);
+  }
+  journal_.Close();
+  flush_reports();
+  return result;
+}
+
+}  // namespace tsvd::fleet

@@ -1,0 +1,116 @@
+// Fleet coordinator: the distributed form of RunCampaign (DESIGN.md §13).
+//
+// The coordinator owns every piece of campaign state — the corpus identity, the
+// versioned trap store, the crash-consistent journal, the BugReportMgr — and
+// distributes only *execution*: (module, round) jobs leased to agents over the
+// abstracted transport, stolen back when a lease expires (the agent died or
+// stalled), with idempotent acceptance so a stolen-then-also-published job can
+// never double-count bugs. Rounds are barriers, exactly as in the single-process
+// campaign: every job of round r imports the same trap-store snapshot, and the
+// store, journal, reports, and convergence decision advance only when the round's
+// last outcome is in. With identical options and seed, a fleet of any size —
+// including one that lost agents to SIGKILL mid-round — reports the same
+// unique-bug set as `RunCampaign`, because both drive the shared execution core
+// (src/campaign/run_executor.h) with identical inputs in identical order.
+#ifndef SRC_FLEET_COORDINATOR_H_
+#define SRC_FLEET_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/journal.h"
+#include "src/campaign/json.h"
+#include "src/fleet/transport.h"
+#include "src/fleet/trap_store.h"
+
+namespace tsvd::fleet {
+
+struct FleetOptions {
+  // Campaign identity and execution policy; shipped to agents verbatim (minus
+  // process-local fields). `campaign.workers` is ignored — the fleet's
+  // parallelism is its agent count. `campaign.out_dir`, `resume`,
+  // `journal_snapshot_every`, and `interrupt` keep their single-process meaning,
+  // applied at the coordinator.
+  campaign::CampaignOptions campaign;
+  std::string address;  // transport endpoint ("uds:<path>" | "dir:<path>")
+  // A leased job not published within this window is considered lost (agent
+  // SIGKILLed, wedged, or partitioned) and becomes stealable by any agent.
+  int lease_timeout_ms = 30'000;
+  // Backoff hint returned to agents when nothing is leasable right now.
+  int wait_hint_ms = 50;
+  // Failsafe: abort the campaign when no agent has contacted the coordinator for
+  // this long while work is pending (the whole fleet died). <= 0 disables.
+  int agent_idle_timeout_ms = 120'000;
+};
+
+struct FleetStats {
+  uint64_t agents_joined = 0;
+  uint64_t leases_granted = 0;
+  uint64_t leases_stolen = 0;      // re-leases of an expired lease
+  uint64_t duplicate_results = 0;  // publishes discarded by idempotent acceptance
+};
+
+class FleetCoordinator {
+ public:
+  explicit FleetCoordinator(FleetOptions options);
+  ~FleetCoordinator();
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  // Runs the campaign to completion (or interrupt / fleet death) and returns the
+  // same result shape as RunCampaign. The transport keeps serving "done" to
+  // late-arriving agents after Run returns, so callers can join their agent
+  // processes before calling Shutdown.
+  campaign::CampaignResult Run();
+
+  // Stops the transport. Called automatically by the destructor.
+  void Shutdown();
+
+  FleetStats stats() const;
+
+ private:
+  enum class JobPhase { kPending, kLeased, kDone };
+  struct JobSlot {
+    int module_index = -1;
+    JobPhase phase = JobPhase::kPending;
+    Micros lease_deadline_us = 0;
+    bool replayed = false;  // restored from the journal; never journaled again
+    campaign::RunOutcome outcome;
+  };
+
+  campaign::Json Handle(const campaign::Json& request);
+  campaign::Json HandleHello(const campaign::Json& request);
+  campaign::Json HandleLease(const campaign::Json& request);
+  campaign::Json HandleResult(const campaign::Json& request);
+
+  const FleetOptions options_;
+
+  std::unique_ptr<TransportServer> server_;
+  TrapStoreService store_;
+  campaign::CampaignJournal journal_;
+
+  mutable std::mutex mu_;
+  std::condition_variable round_cv_;  // Run() waits for the round's last outcome
+  bool round_active_ = false;
+  bool finished_ = false;
+  bool interrupted_ = false;
+  int round_ = 0;
+  std::vector<JobSlot> slots_;
+  size_t done_count_ = 0;
+  uint64_t next_lease_ = 1;
+  std::map<uint64_t, size_t> open_leases_;  // lease id -> slot index
+  Micros last_contact_us_ = 0;
+  FleetStats stats_;
+  std::vector<std::string> corpus_names_;  // for backfilling outcome.module
+};
+
+}  // namespace tsvd::fleet
+
+#endif  // SRC_FLEET_COORDINATOR_H_

@@ -1,0 +1,51 @@
+// Fleet wire protocol (DESIGN.md §13): the JSON request/response vocabulary between
+// coordinator and agents, plus the campaign-options codec that lets every agent
+// rebuild the exact corpus and delay-engine config the coordinator scheduled.
+//
+// Exchanges (all initiated by the agent):
+//
+//   hello   {type:"hello", agent, protocol_version, codec_version}
+//        -> {type:"setup", options:{...}, corpus_size}          // join the fleet
+//        -> {type:"error", error}                               // version mismatch
+//
+//   lease   {type:"lease", agent, trap_version}
+//        -> {type:"job", lease, round, module_index,
+//            trap_version[, traps]}                             // traps only when
+//                                                               // the agent is stale
+//        -> {type:"wait", wait_ms}                              // nothing leasable
+//        -> {type:"done", interrupted}                          // campaign over
+//
+//   result  {type:"result", agent, lease, outcome:{...}}        // outcome_codec.h
+//        -> {type:"ack", accepted}                              // false = duplicate
+//                                                               // (stolen lease won)
+//
+// Versioning: the hello handshake checks both the protocol version and the
+// RunOutcome codec version (src/sandbox/outcome_codec.h), so mixed-build fleets
+// fail at join time with a clear error instead of mid-campaign.
+#ifndef SRC_FLEET_PROTOCOL_H_
+#define SRC_FLEET_PROTOCOL_H_
+
+#include <string>
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/json.h"
+
+namespace tsvd::fleet {
+
+inline constexpr int64_t kFleetProtocolVersion = 1;
+
+// Encodes the subset of CampaignOptions that determines campaign identity and
+// per-run execution: detector, corpus shape, seeds, scale, sandbox policy, fault
+// counts, and delay-engine overrides. Process-local fields (workers, out_dir,
+// resume, interrupt hook, snapshot cadence) are deliberately not shipped — each
+// process owns those.
+campaign::Json EncodeCampaignOptions(const campaign::CampaignOptions& options);
+
+// Strict inverse. Fields absent from the document keep their defaults; a
+// present-but-mistyped field fails with `error` set.
+bool DecodeCampaignOptions(const campaign::Json& doc,
+                           campaign::CampaignOptions* options, std::string* error);
+
+}  // namespace tsvd::fleet
+
+#endif  // SRC_FLEET_PROTOCOL_H_

@@ -1,0 +1,434 @@
+#include "src/fleet/transport.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace tsvd::fleet {
+namespace {
+
+using campaign::Json;
+
+constexpr char kUdsScheme[] = "uds:";
+constexpr char kDirScheme[] = "dir:";
+
+bool HasScheme(const std::string& address, const char* scheme) {
+  return address.rfind(scheme, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Unix-domain-socket backend: newline-delimited compact JSON over a stream
+// socket, one service thread per connection.
+// ---------------------------------------------------------------------------
+
+// Writes all of `data` to a connected socket. MSG_NOSIGNAL so a peer that died
+// mid-exchange surfaces as EPIPE, not process-wide SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads from `fd` into `buffer` until it holds a full '\n'-terminated line;
+// extracts that line (newline stripped) into `line`. False on EOF/error.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const size_t pos = buffer->find('\n');
+    if (pos != std::string::npos) {
+      line->assign(*buffer, 0, pos);
+      buffer->erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+class UdsServer : public TransportServer {
+ public:
+  explicit UdsServer(std::string path) : path_(std::move(path)) {}
+  ~UdsServer() override { Stop(); }
+
+  bool Start(RequestHandler handler, std::string* error) override {
+    sockaddr_un addr{};
+    if (path_.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long: " + path_;
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(path_.c_str());  // a previous server's stale endpoint
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 128) != 0) {
+      *error = "bind/listen " + path_ + ": " + std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    handler_ = std::move(handler);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+
+  void Stop() override {
+    if (listen_fd_ < 0) {
+      return;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const int fd : conn_fds_) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    for (std::thread& t : conn_threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    conn_threads_.clear();
+    conn_fds_.clear();
+    ::unlink(path_.c_str());
+  }
+
+ private:
+  void AcceptLoop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // shutdown (or a fatal accept error): stop serving
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    }
+  }
+
+  void ServeConnection(int fd) {
+    std::string buffer, line;
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           ReadLine(fd, &buffer, &line)) {
+      Json request;
+      Json response;
+      if (Json::Parse(line, &request)) {
+        response = handler_(request);
+      } else {
+        response = Json::MakeObject();
+        response.Set("type", "error");
+        response.Set("error", "unparseable request");
+      }
+      if (!SendAll(fd, response.Dump() + "\n")) {
+        break;
+      }
+    }
+    ::close(fd);
+  }
+
+  const std::string path_;
+  RequestHandler handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+class UdsClient : public TransportClient {
+ public:
+  explicit UdsClient(std::string path) : path_(std::move(path)) {}
+  ~UdsClient() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  void set_connect_timeout_ms(int ms) override { connect_timeout_ms_ = ms; }
+
+  bool Call(const Json& request, Json* response, std::string* error) override {
+    if (fd_ < 0 && !Connect(error)) {
+      return false;
+    }
+    std::string line;
+    if (!SendAll(fd_, request.Dump() + "\n") ||
+        !ReadLine(fd_, &buffer_, &line)) {
+      // Sever the exchange: the next Call reconnects from scratch.
+      ::close(fd_);
+      fd_ = -1;
+      buffer_.clear();
+      *error = "coordinator connection lost (" + path_ + ")";
+      return false;
+    }
+    if (!Json::Parse(line, response)) {
+      *error = "unparseable response from coordinator";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Connect(std::string* error) {
+    sockaddr_un addr{};
+    if (path_.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long: " + path_;
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+    const Micros deadline =
+        NowMicros() + static_cast<Micros>(connect_timeout_ms_) * 1000;
+    while (true) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+      }
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        fd_ = fd;
+        return true;
+      }
+      ::close(fd);
+      // The coordinator may simply not be listening yet (agents are often
+      // spawned first); retry until the deadline.
+      if (NowMicros() >= deadline) {
+        *error = "connect " + path_ + ": " + std::strerror(errno);
+        return false;
+      }
+      SleepMicros(20'000);
+    }
+  }
+
+  const std::string path_;
+  int connect_timeout_ms_ = 10'000;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// File-queue backend: requests are files renamed into <dir>/req/, responses into
+// <dir>/resp/, matched by name. Writers stage in <dir>/tmp/ (same filesystem) so
+// every publication is one atomic rename — a scan never sees a torn document.
+// ---------------------------------------------------------------------------
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Unique-per-call exchange names: "<pid>-<counter>". The counter is process-wide
+// so any number of clients in one process stay distinct.
+std::atomic<uint64_t> g_exchange_counter{0};
+
+class DirServer : public TransportServer {
+ public:
+  explicit DirServer(std::string dir) : dir_(std::move(dir)) {}
+  ~DirServer() override { Stop(); }
+
+  bool Start(RequestHandler handler, std::string* error) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_ + "/req", ec);
+    std::filesystem::create_directories(dir_ + "/resp", ec);
+    std::filesystem::create_directories(dir_ + "/tmp", ec);
+    if (ec) {
+      *error = "cannot create queue directories under " + dir_;
+      return false;
+    }
+    handler_ = std::move(handler);
+    running_ = true;
+    poll_thread_ = std::thread([this] { PollLoop(); });
+    return true;
+  }
+
+  void Stop() override {
+    if (!running_) {
+      return;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    if (poll_thread_.joinable()) {
+      poll_thread_.join();
+    }
+    running_ = false;
+  }
+
+ private:
+  void PollLoop() {
+    const std::string req_dir = dir_ + "/req";
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      bool served = false;
+      std::error_code ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(req_dir, ec)) {
+        if (!entry.is_regular_file(ec)) {
+          continue;
+        }
+        const std::string name = entry.path().filename().string();
+        std::string text;
+        if (!ReadWholeFile(entry.path().string(), &text)) {
+          continue;
+        }
+        std::filesystem::remove(entry.path(), ec);
+        Json request;
+        Json response;
+        if (Json::Parse(text, &request)) {
+          response = handler_(request);
+        } else {
+          response = Json::MakeObject();
+          response.Set("type", "error");
+          response.Set("error", "unparseable request");
+        }
+        // Publish the response with the request's name via the same
+        // stage-then-rename dance the client used.
+        const std::string staged = dir_ + "/tmp/resp-" + name;
+        std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+        out << response.Dump();
+        out.close();
+        std::rename(staged.c_str(), (dir_ + "/resp/" + name).c_str());
+        served = true;
+      }
+      if (!served) {
+        SleepMicros(2'000);
+      }
+    }
+  }
+
+  const std::string dir_;
+  RequestHandler handler_;
+  bool running_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread poll_thread_;
+};
+
+class DirClient : public TransportClient {
+ public:
+  explicit DirClient(std::string dir) : dir_(std::move(dir)) {}
+
+  void set_connect_timeout_ms(int ms) override { connect_timeout_ms_ = ms; }
+
+  bool Call(const Json& request, Json* response, std::string* error) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_ + "/req", ec);
+    std::filesystem::create_directories(dir_ + "/resp", ec);
+    std::filesystem::create_directories(dir_ + "/tmp", ec);
+    const std::string name =
+        std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
+        std::to_string(g_exchange_counter.fetch_add(1, std::memory_order_relaxed));
+    const std::string staged = dir_ + "/tmp/req-" + name;
+    {
+      std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        *error = "cannot stage request under " + dir_;
+        return false;
+      }
+      out << request.Dump();
+    }
+    if (std::rename(staged.c_str(), (dir_ + "/req/" + name).c_str()) != 0) {
+      *error = "cannot publish request under " + dir_;
+      return false;
+    }
+    // Await the response file. The server answers promptly once it is up, so the
+    // connect timeout doubles as the response deadline.
+    const std::string resp_path = dir_ + "/resp/" + name;
+    const Micros deadline =
+        NowMicros() + static_cast<Micros>(connect_timeout_ms_) * 1000;
+    std::string text;
+    while (!ReadWholeFile(resp_path, &text)) {
+      if (NowMicros() >= deadline) {
+        *error = "no response from coordinator via " + dir_;
+        return false;
+      }
+      SleepMicros(2'000);
+    }
+    std::filesystem::remove(resp_path, ec);
+    if (!Json::Parse(text, response)) {
+      *error = "unparseable response from coordinator";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::string dir_;
+  int connect_timeout_ms_ = 10'000;
+};
+
+}  // namespace
+
+std::unique_ptr<TransportServer> MakeTransportServer(const std::string& address,
+                                                     std::string* error) {
+  if (HasScheme(address, kUdsScheme)) {
+    return std::make_unique<UdsServer>(address.substr(sizeof(kUdsScheme) - 1));
+  }
+  if (HasScheme(address, kDirScheme)) {
+    return std::make_unique<DirServer>(address.substr(sizeof(kDirScheme) - 1));
+  }
+  if (error != nullptr) {
+    *error = "unknown transport scheme in \"" + address + "\" (want uds: or dir:)";
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TransportClient> MakeTransportClient(const std::string& address,
+                                                     std::string* error) {
+  if (HasScheme(address, kUdsScheme)) {
+    return std::make_unique<UdsClient>(address.substr(sizeof(kUdsScheme) - 1));
+  }
+  if (HasScheme(address, kDirScheme)) {
+    return std::make_unique<DirClient>(address.substr(sizeof(kDirScheme) - 1));
+  }
+  if (error != nullptr) {
+    *error = "unknown transport scheme in \"" + address + "\" (want uds: or dir:)";
+  }
+  return nullptr;
+}
+
+}  // namespace tsvd::fleet

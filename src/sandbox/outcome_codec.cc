@@ -39,6 +39,7 @@ bool RunStatusFromName(const std::string& name, RunStatus* out) {
 
 Json EncodeRunOutcome(const RunOutcome& outcome) {
   Json j = Json::MakeObject();
+  j.Set("codec_version", kRunOutcomeCodecVersion);
   j.Set("module_index", outcome.module_index);
   j.Set("module", outcome.module);
   j.Set("round", outcome.round);
@@ -138,9 +139,28 @@ bool ReadBool(const Json& doc, const char* key, bool* out) {
 
 }  // namespace
 
-bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
-  if (!doc.is_object()) {
+bool DecodeRunOutcome(const Json& doc, RunOutcome* out, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
     return false;
+  };
+  if (!doc.is_object()) {
+    return fail("encoded run outcome is not a JSON object");
+  }
+  // Version gate first: a mismatched peer must get the version error, not a
+  // confusing field-type error from whatever its format happens to look like.
+  // No stamp = version 1, the legacy encoding with identical fields.
+  if (const Json* v = doc.Find("codec_version"); v != nullptr) {
+    if (!v->is_number()) {
+      return fail("codec_version is not a number");
+    }
+    if (v->as_int() != kRunOutcomeCodecVersion && v->as_int() != 1) {
+      return fail("run outcome codec version " + std::to_string(v->as_int()) +
+                  ", this build speaks " + std::to_string(kRunOutcomeCodecVersion) +
+                  " — coordinator and agent builds must match");
+    }
   }
   *out = RunOutcome{};
 
@@ -168,10 +188,10 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
       !ReadInt(doc, "imported_pairs", &imported) ||
       !ReadInt(doc, "retrapped_imported", &retrapped) ||
       !ReadInt(doc, "false_positives", &false_positives)) {
-    return false;
+    return fail("malformed run outcome field");
   }
   if (!RunStatusFromName(status_name, &out->status)) {
-    return false;
+    return fail("malformed run outcome field");
   }
   out->module_index = static_cast<int>(module_index);
   out->round = static_cast<int>(round);
@@ -192,11 +212,11 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
 
   if (const Json* errors = doc.Find("attempt_errors"); errors != nullptr) {
     if (!errors->is_array()) {
-      return false;
+      return fail("malformed run outcome field");
     }
     for (size_t i = 0; i < errors->size(); ++i) {
       if (!errors->at(i).is_string()) {
-        return false;
+        return fail("malformed run outcome field");
       }
       out->attempt_errors.push_back(errors->at(i).as_string());
     }
@@ -204,7 +224,7 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
 
   if (const Json* observations = doc.Find("observations"); observations != nullptr) {
     if (!observations->is_array()) {
-      return false;
+      return fail("malformed run outcome field");
     }
     out->observations.reserve(observations->size());
     for (size_t i = 0; i < observations->size(); ++i) {
@@ -221,7 +241,7 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
           !ReadBool(o, "same_location", &obs.same_location) ||
           !ReadBool(o, "async_flavor", &obs.async_flavor) ||
           !ReadBool(o, "false_positive", &obs.false_positive)) {
-        return false;
+        return fail("malformed run outcome field");
       }
       obs.stack_digest = static_cast<uint64_t>(digest);
       obs.round = static_cast<int>(obs_round);
@@ -231,14 +251,14 @@ bool DecodeRunOutcome(const Json& doc, RunOutcome* out) {
 
   if (const Json* traps = doc.Find("traps"); traps != nullptr) {
     if (!traps->is_array()) {
-      return false;
+      return fail("malformed run outcome field");
     }
     out->traps.pairs.reserve(traps->size());
     for (size_t i = 0; i < traps->size(); ++i) {
       const Json& pair = traps->at(i);
       if (!pair.is_array() || pair.size() != 2 || !pair.at(0).is_string() ||
           !pair.at(1).is_string()) {
-        return false;
+        return fail("malformed run outcome field");
       }
       out->traps.pairs.emplace_back(pair.at(0).as_string(), pair.at(1).as_string());
     }

@@ -15,11 +15,23 @@
 
 namespace tsvd::sandbox {
 
+// Wire-format version stamped into every encoded outcome ("codec_version").
+// Version 1 is the unstamped legacy encoding; decoders accept a document with no
+// stamp as version 1 (the fields are identical) but refuse any other mismatch —
+// a coordinator and an agent from different builds must fail loudly with a clear
+// error instead of silently mis-parsing each other's runs. Bump this whenever an
+// encoded field changes meaning or type.
+inline constexpr int64_t kRunOutcomeCodecVersion = 2;
+
 campaign::Json EncodeRunOutcome(const campaign::RunOutcome& outcome);
 
 // Strict decode; returns false when `doc` is not an encoded RunOutcome. Unknown
 // fields are ignored so the protocol can grow without breaking older parents.
-bool DecodeRunOutcome(const campaign::Json& doc, campaign::RunOutcome* out);
+// When `error` is non-null, a failed decode stores a human-readable reason —
+// notably "run outcome codec version N, this build speaks M" on a version
+// mismatch.
+bool DecodeRunOutcome(const campaign::Json& doc, campaign::RunOutcome* out,
+                      std::string* error = nullptr);
 
 // String forms used by the codec and the sinks ("ok", "crashed", "timed_out").
 const char* RunStatusName(campaign::RunStatus status);

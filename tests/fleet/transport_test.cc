@@ -1,0 +1,177 @@
+// Transport conformance, run against every backend: request/response integrity,
+// concurrent clients, clients that start before the server listens (agents race
+// the coordinator), and clean Stop. The same suite binds to "uds:" and "dir:"
+// addresses so a future TCP backend inherits the contract by adding one line.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/json.h"
+#include "src/fleet/transport.h"
+
+namespace tsvd::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::Json;
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_transport_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+class TransportTest : public testing::TestWithParam<const char*> {
+ protected:
+  std::string Address() const {
+    const std::string scheme = GetParam();
+    return scheme + ":" + dir_.path + "/endpoint";
+  }
+  ScopedTempDir dir_;
+};
+
+Json EchoHandler(const Json& request) {
+  Json response = Json::MakeObject();
+  response.Set("echo", request.Find("payload") != nullptr
+                           ? *request.Find("payload")
+                           : Json());
+  response.Set("seq", request.Find("seq") != nullptr ? *request.Find("seq")
+                                                     : Json());
+  return response;
+}
+
+TEST_P(TransportTest, RoundTripsOneExchange) {
+  std::string error;
+  auto server = MakeTransportServer(Address(), &error);
+  ASSERT_NE(server, nullptr) << error;
+  ASSERT_TRUE(server->Start(EchoHandler, &error)) << error;
+
+  auto client = MakeTransportClient(Address(), &error);
+  ASSERT_NE(client, nullptr) << error;
+
+  Json request = Json::MakeObject();
+  request.Set("payload", "hello fleet");
+  request.Set("seq", 7);
+  Json response;
+  ASSERT_TRUE(client->Call(request, &response, &error)) << error;
+  ASSERT_TRUE(response.Has("echo"));
+  EXPECT_EQ(response.Find("echo")->as_string(), "hello fleet");
+  EXPECT_EQ(response.Find("seq")->as_int(), 7);
+  server->Stop();
+}
+
+TEST_P(TransportTest, ConcurrentClientsEachGetTheirOwnResponses) {
+  std::string error;
+  auto server = MakeTransportServer(Address(), &error);
+  ASSERT_NE(server, nullptr) << error;
+  ASSERT_TRUE(server->Start(EchoHandler, &error)) << error;
+
+  constexpr int kClients = 4;
+  constexpr int kCallsPerClient = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &mismatches] {
+      std::string err;
+      auto client = MakeTransportClient(Address(), &err);
+      if (client == nullptr) {
+        mismatches.fetch_add(kCallsPerClient);
+        return;
+      }
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        Json request = Json::MakeObject();
+        request.Set("payload", "client-" + std::to_string(c));
+        request.Set("seq", c * kCallsPerClient + i);
+        Json response;
+        if (!client->Call(request, &response, &err) ||
+            response.Find("seq") == nullptr ||
+            response.Find("seq")->as_int() != c * kCallsPerClient + i ||
+            response.Find("echo")->as_string() != "client-" + std::to_string(c)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  server->Stop();
+}
+
+TEST_P(TransportTest, ClientStartedBeforeServerRetriesUntilItListens) {
+  std::string error;
+  auto server = MakeTransportServer(Address(), &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  // The call below starts before Start(); the late server must still serve it.
+  std::thread late_starter([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    std::string err;
+    ASSERT_TRUE(server->Start(EchoHandler, &err)) << err;
+  });
+
+  auto client = MakeTransportClient(Address(), &error);
+  ASSERT_NE(client, nullptr) << error;
+  client->set_connect_timeout_ms(10'000);
+  Json request = Json::MakeObject();
+  request.Set("payload", "early bird");
+  Json response;
+  EXPECT_TRUE(client->Call(request, &response, &error)) << error;
+  EXPECT_EQ(response.Find("echo")->as_string(), "early bird");
+  late_starter.join();
+  server->Stop();
+}
+
+TEST_P(TransportTest, StopIsIdempotentAndCallAfterStopFails) {
+  std::string error;
+  auto server = MakeTransportServer(Address(), &error);
+  ASSERT_NE(server, nullptr) << error;
+  ASSERT_TRUE(server->Start(EchoHandler, &error)) << error;
+  server->Stop();
+  server->Stop();
+
+  auto client = MakeTransportClient(Address(), &error);
+  ASSERT_NE(client, nullptr) << error;
+  client->set_connect_timeout_ms(200);
+  Json response;
+  EXPECT_FALSE(client->Call(Json::MakeObject(), &response, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TransportTest,
+                         testing::Values("uds", "dir"),
+                         [](const testing::TestParamInfo<const char*>& param) {
+                           return std::string(param.param);
+                         });
+
+TEST(TransportFactoryTest, UnknownSchemeIsRejected) {
+  std::string error;
+  EXPECT_EQ(MakeTransportServer("carrier-pigeon:/coop", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_EQ(MakeTransportClient("carrier-pigeon:/coop", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace tsvd::fleet

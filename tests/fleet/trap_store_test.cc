@@ -1,0 +1,171 @@
+// Trap-store service semantics (versions advance only at round boundaries, and
+// only when the store grows) and the cross-process monotone-union merge: two
+// processes hammering MergeIntoStoreFile concurrently must never lose an entry —
+// the invariant the whole learned-near-miss carry-over rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#ifndef _WIN32
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "src/fleet/trap_store.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_trap_store_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+TrapFile MakeTraps(std::initializer_list<std::pair<std::string, std::string>> pairs) {
+  TrapFile file;
+  for (const auto& p : pairs) {
+    file.pairs.push_back(p);
+  }
+  file.Canonicalize();
+  return file;
+}
+
+TEST(TrapStoreServiceTest, VersionAdvancesOnlyWhenARoundGrowsTheStore) {
+  TrapStoreService service;
+  EXPECT_EQ(service.version(), 1u);
+
+  EXPECT_EQ(service.CommitRound(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"}})), 1u);
+  EXPECT_EQ(service.version(), 2u);
+
+  // Re-committing already-known pairs is a no-op round: no growth, no bump.
+  EXPECT_EQ(service.CommitRound(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"}})), 1u);
+  EXPECT_EQ(service.version(), 2u);
+
+  EXPECT_EQ(service.CommitRound(MakeTraps({{"c.cc:3 Put", "d.cc:4 Del"}})), 2u);
+  EXPECT_EQ(service.version(), 3u);
+}
+
+TEST(TrapStoreServiceTest, SerializeIfStaleOnlyShipsToStaleCallers) {
+  TrapStoreService service;
+  service.CommitRound(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"}}));
+
+  uint64_t version = 0;
+  std::string text;
+  ASSERT_TRUE(service.SerializeIfStale(0, &version, &text));
+  EXPECT_EQ(version, service.version());
+  EXPECT_EQ(TrapFile::Deserialize(text).size(), 1u);
+
+  // A current caller gets nothing — the lease fast path stays payload-free.
+  EXPECT_FALSE(service.SerializeIfStale(version, &version, &text));
+}
+
+TEST(TrapStoreServiceTest, RestoreSeedsWithoutBumpingTheVersion) {
+  TrapStoreService service;
+  service.Restore(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"},
+                             {"c.cc:3 Put", "d.cc:4 Del"}}));
+  EXPECT_EQ(service.version(), 1u);
+  EXPECT_EQ(service.Snapshot().size(), 2u);
+}
+
+TEST(TrapStoreMergeTest, MergeIntoMissingFileCreatesIt) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/traps.tsvd";
+  std::string error;
+  size_t merged_size = 0;
+  ASSERT_TRUE(MergeIntoStoreFile(path, MakeTraps({{"x.cc:9 Read", "y.cc:8 Write"}}),
+                                 &error, &merged_size))
+      << error;
+  EXPECT_EQ(merged_size, 1u);
+
+  TrapFile loaded;
+  ASSERT_TRUE(TrapFile::LoadFrom(path, &loaded));
+  EXPECT_TRUE(loaded.Contains("x.cc:9 Read", "y.cc:8 Write"));
+}
+
+TEST(TrapStoreMergeTest, SequentialMergesUnionMonotonically) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/traps.tsvd";
+  ASSERT_TRUE(MergeIntoStoreFile(path, MakeTraps({{"a", "b"}, {"c", "d"}})));
+  ASSERT_TRUE(MergeIntoStoreFile(path, MakeTraps({{"c", "d"}, {"e", "f"}})));
+
+  TrapFile loaded;
+  ASSERT_TRUE(TrapFile::LoadFrom(path, &loaded));
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(loaded.Contains("a", "b"));
+  EXPECT_TRUE(loaded.Contains("c", "d"));
+  EXPECT_TRUE(loaded.Contains("e", "f"));
+}
+
+#ifndef _WIN32
+// The satellite's contention proof: two child processes each push their own
+// disjoint sequence of entries into the same store file, interleaving freely.
+// The advisory lock must serialize the read-merge-write cycles so the final
+// store holds every entry from both writers — a lost update here would silently
+// forget learned near-misses fleet-wide.
+TEST(TrapStoreMergeTest, ConcurrentProcessesNeverLoseAnEntry) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/traps.tsvd";
+  constexpr int kWriters = 2;
+  constexpr int kMergesPerWriter = 25;
+
+  pid_t children[kWriters] = {};
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      SetDurableFileSync(false);  // speed; rename atomicity is what's under test
+      for (int i = 0; i < kMergesPerWriter; ++i) {
+        const std::string tag =
+            "w" + std::to_string(w) + "_" + std::to_string(i);
+        if (!MergeIntoStoreFile(path,
+                                MakeTraps({{"first_" + tag, "second_" + tag}}))) {
+          _exit(1);
+        }
+      }
+      _exit(0);
+    }
+    children[w] = pid;
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "writer child failed";
+  }
+
+  TrapFile loaded;
+  ASSERT_TRUE(TrapFile::LoadFrom(path, &loaded));
+  EXPECT_EQ(loaded.size(), static_cast<size_t>(kWriters * kMergesPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kMergesPerWriter; ++i) {
+      const std::string tag = "w" + std::to_string(w) + "_" + std::to_string(i);
+      EXPECT_TRUE(loaded.Contains("first_" + tag, "second_" + tag))
+          << "lost entry " << tag;
+    }
+  }
+}
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace tsvd::fleet

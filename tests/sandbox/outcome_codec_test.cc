@@ -151,6 +151,44 @@ TEST(OutcomeCodecTest, LegacyDocumentWithoutDelayEngineFieldsDecodes) {
   EXPECT_FALSE(DecodeRunOutcome(mistyped, &decoded));
 }
 
+TEST(OutcomeCodecTest, EncodeStampsCodecVersion) {
+  const campaign::Json doc = EncodeRunOutcome(campaign::RunOutcome{});
+  const campaign::Json* v = doc.Find("codec_version");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_int(), kRunOutcomeCodecVersion);
+}
+
+TEST(OutcomeCodecTest, UnstampedDocumentDecodesAsLegacy) {
+  // Version 1 never wrote a stamp; its fields are identical, so it still decodes.
+  campaign::Json doc;
+  ASSERT_TRUE(campaign::Json::Parse(R"({"module":"m","round":2})", &doc));
+  campaign::RunOutcome decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRunOutcome(doc, &decoded, &error));
+  EXPECT_EQ(decoded.module, "m");
+  EXPECT_EQ(decoded.round, 2);
+}
+
+TEST(OutcomeCodecTest, MismatchedCodecVersionIsRejectedWithClearError) {
+  campaign::Json doc = EncodeRunOutcome(FullOutcome());
+  doc.Set("codec_version", kRunOutcomeCodecVersion + 7);
+  campaign::RunOutcome decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeRunOutcome(doc, &decoded, &error));
+  // The error must name both versions so a mixed-build fleet is diagnosable from
+  // the message alone.
+  EXPECT_NE(error.find("codec version"), std::string::npos) << error;
+  EXPECT_NE(error.find(std::to_string(kRunOutcomeCodecVersion + 7)),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find(std::to_string(kRunOutcomeCodecVersion)), std::string::npos)
+      << error;
+
+  campaign::Json mistyped = EncodeRunOutcome(FullOutcome());
+  mistyped.Set("codec_version", "two");
+  EXPECT_FALSE(DecodeRunOutcome(mistyped, &decoded, &error));
+}
+
 TEST(OutcomeCodecTest, StatusNamesRoundTrip) {
   for (const campaign::RunStatus status :
        {campaign::RunStatus::kOk, campaign::RunStatus::kCrashed,

@@ -10,7 +10,11 @@
 #include <limits>
 #include <string>
 
+#include <vector>
+
 #include "src/campaign/campaign.h"
+#include "src/campaign/json.h"
+#include "src/campaign/run_executor.h"
 #include "src/sandbox/sandbox.h"
 #include "src/tasks/thread_pool.h"
 #include "tools/flag_parser.h"
@@ -83,8 +87,100 @@ Usage: tsvd_campaign [--flag=value ...]
   --max_internal_errors=N  internal faults absorbed before instrumentation
                        self-disables for the rest of the run (fail-open)
 
+ module inventory:
+  --list-modules   print the campaign's module inventory (per module: name, test
+                   count, buggy tests, workload archetypes, fault flag) instead of
+                   running; honors --modules/--seed/--fault-* so the listing shows
+                   exactly the corpus those flags would run
+  --json           with --list-modules, emit machine-readable JSON (the fleet
+                   coordinator's job source)
+
   --help           this text
 )";
+
+// The --list-modules inventory. Archetypes are the distinct workload pattern names
+// of the module's tests, in test order; the fault kind is "" for generated modules
+// and crash|hang|throw|deadlock for appended fault-injection modules.
+int ListModules(const tsvd::campaign::CampaignOptions& options, bool as_json) {
+  using tsvd::campaign::Json;
+  const tsvd::campaign::CampaignCorpus corpus =
+      tsvd::campaign::BuildCampaignCorpus(options);
+
+  if (as_json) {
+    Json doc = Json::MakeObject();
+    doc.Set("detector", options.detector);
+    doc.Set("seed", options.seed);
+    doc.Set("num_modules", static_cast<int64_t>(corpus.modules.size()));
+    Json modules = Json::MakeArray();
+    for (size_t i = 0; i < corpus.modules.size(); ++i) {
+      const auto& spec = corpus.modules[i];
+      Json m = Json::MakeObject();
+      m.Set("index", static_cast<int64_t>(i));
+      m.Set("name", spec.name);
+      m.Set("seed", spec.seed);
+      m.Set("tests", static_cast<int64_t>(spec.tests.size()));
+      int buggy = 0;
+      Json archetypes = Json::MakeArray();
+      std::vector<std::string> seen;
+      for (const auto& test : spec.tests) {
+        if (test.buggy) {
+          ++buggy;
+        }
+        bool duplicate = false;
+        for (const std::string& s : seen) {
+          if (s == test.name) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          seen.push_back(test.name);
+          archetypes.Push(test.name);
+        }
+      }
+      m.Set("buggy_tests", buggy);
+      m.Set("archetypes", std::move(archetypes));
+      m.Set("fault", corpus.fault_kinds[i]);
+      modules.Push(std::move(m));
+    }
+    doc.Set("modules", std::move(modules));
+    std::printf("%s\n", doc.Dump(2).c_str());
+    return 0;
+  }
+
+  std::printf(" index  name              tests  buggy  fault     archetypes\n");
+  for (size_t i = 0; i < corpus.modules.size(); ++i) {
+    const auto& spec = corpus.modules[i];
+    int buggy = 0;
+    std::string archetypes;
+    std::vector<std::string> seen;
+    for (const auto& test : spec.tests) {
+      if (test.buggy) {
+        ++buggy;
+      }
+      bool duplicate = false;
+      for (const std::string& s : seen) {
+        if (s == test.name) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        seen.push_back(test.name);
+        if (!archetypes.empty()) {
+          archetypes += ", ";
+        }
+        archetypes += test.name;
+      }
+    }
+    std::printf(" %5zu  %-16s %6zu %6d  %-8s  %s\n", i, spec.name.c_str(),
+                spec.tests.size(), buggy,
+                corpus.fault_kinds[i].empty() ? "-" : corpus.fault_kinds[i].c_str(),
+                archetypes.c_str());
+  }
+  std::printf(" %zu module(s)\n", corpus.modules.size());
+  return 0;
+}
 
 }  // namespace
 
@@ -129,10 +225,15 @@ int main(int argc, char** argv) {
   options.max_overhead_pct = flags.GetDouble("max_overhead_pct", -1.0, -1.0, 100.0);
   options.max_internal_errors =
       static_cast<int>(flags.GetInt("max_internal_errors", -1, -1, 1000000));
+  const bool list_modules = flags.GetBool("list-modules", false);
+  const bool list_json = flags.GetBool("json", false);
   flags.RejectUnknown();
   if (!flags.ok()) {
     std::fprintf(stderr, "tsvd_campaign: %s\nTry --help.\n", flags.error().c_str());
     return 2;
+  }
+  if (list_modules) {
+    return ListModules(options, list_json);
   }
   if (options.sandbox.enabled && !sandbox::ForkSupported()) {
     std::fprintf(stderr,

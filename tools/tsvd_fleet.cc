@@ -1,0 +1,306 @@
+// tsvd_fleet: distributed campaign runner — a coordinator plus N agent processes
+// on one machine, the single-box form of the paper's cluster-wide deployment
+// (Sections 2.1, 5.1). The coordinator owns the trap store, the crash-consistent
+// journal, and the bug ledger; agents lease (module, round) jobs over the
+// abstracted transport, execute them with the full sandbox/retry ladder, and
+// publish outcomes. Expired leases are stolen, so a SIGKILLed agent costs only
+// latency — the fleet converges to the exact unique-bug set the single-process
+// `tsvd_campaign` reports for the same seed. See DESIGN.md §13.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/fleet/agent.h"
+#include "src/fleet/coordinator.h"
+#include "src/sandbox/sandbox.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+std::atomic<int> g_stop_signal{0};
+
+void HandleStopSignal(int signal) {
+  g_stop_signal.store(signal, std::memory_order_relaxed);
+  std::signal(signal, SIG_DFL);
+}
+
+void InstallStopHandlers() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
+
+constexpr const char kUsage[] =
+    R"(tsvd_fleet: run a distributed TSVD campaign (coordinator + agent processes).
+
+Usage: tsvd_fleet [--flag=value ...]          # coordinator, spawns --agents=N agents
+       tsvd_fleet --agent --connect=ADDR ...  # one agent (normally spawned above)
+
+ coordinator:
+  --agents=N       agent processes to spawn (default 4; 0 = external agents only)
+  --address=ADDR   transport endpoint: uds:<socket-path> | dir:<queue-dir>
+                   (default "uds:<out>/fleet.sock")
+  --lease_timeout_ms=N  steal a leased job if unpublished after N ms (default 30000)
+  --out=DIR        artifact directory, as tsvd_campaign: traps.tsvd, campaign.json,
+                   campaign.sarif, journal.tsvdj (default "fleet-out")
+  --resume         continue a dead fleet (or tsvd_campaign) journal in --out
+  SIGINT/SIGTERM   graceful drain: in-flight runs publish, agents exit, journal and
+                   partial reports are flushed; rerun with --resume
+
+ campaign shape (same meaning as tsvd_campaign):
+  --rounds=N --modules=N --detector=NAME --scale=F --seed=N --no-converge
+  --max_attempts=N --journal_snapshot_every=N
+  --sandbox --run_timeout_ms=N --backoff_ms=N
+  --fault-crash=N --fault-hang=N --fault-throw=N --fault-deadlock=N
+  --delay_ms=N --stall_grace_ms=N --max_overhead_pct=F --max_internal_errors=N
+
+ agent mode:
+  --agent          run as an agent instead of a coordinator
+  --connect=ADDR   coordinator's transport address (required)
+  --agent-name=S   name reported to the coordinator (default "agent-<pid>")
+  --agent-dir=DIR  scratch dir for the local journal + sandbox checkpoints
+                   (default: a fresh directory under the system temp dir)
+
+  --help           this text
+
+The fleet and the single-process tsvd_campaign report the same unique-bug set for
+identical campaign flags and seed; agent deaths mid-round do not change it.
+)";
+
+tsvd::campaign::CampaignOptions ParseCampaignOptions(tsvd::tools::FlagParser& flags) {
+  tsvd::campaign::CampaignOptions options;
+  options.rounds = static_cast<int>(flags.GetInt("rounds", 3, 1, 1000));
+  options.num_modules = static_cast<int>(flags.GetInt("modules", 40, 1, 100000));
+  options.detector = flags.GetString("detector", "TSVD");
+  options.scale = flags.GetDouble("scale", 0.02, 1e-6, 1.0);
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", 42, 0, std::numeric_limits<int64_t>::max()));
+  options.max_attempts = static_cast<int>(flags.GetInt("max_attempts", 2, 1, 10));
+  options.stop_when_converged = !flags.GetBool("no-converge", false);
+  options.journal_snapshot_every =
+      static_cast<int>(flags.GetInt("journal_snapshot_every", 64, 0, 1000000));
+  options.sandbox.enabled = flags.GetBool("sandbox", false);
+  options.sandbox.run_timeout_ms =
+      static_cast<int>(flags.GetInt("run_timeout_ms", 30000, 0, 86400000));
+  options.sandbox.backoff_base_ms =
+      static_cast<int>(flags.GetInt("backoff_ms", 50, 0, 60000));
+  options.fault_crash_modules =
+      static_cast<int>(flags.GetInt("fault-crash", 0, 0, 100));
+  options.fault_hang_modules = static_cast<int>(flags.GetInt("fault-hang", 0, 0, 100));
+  options.fault_throw_modules =
+      static_cast<int>(flags.GetInt("fault-throw", 0, 0, 100));
+  options.fault_deadlock_modules =
+      static_cast<int>(flags.GetInt("fault-deadlock", 0, 0, 100));
+  options.delay_us_override = 1000 * flags.GetInt("delay_ms", 0, 0, 3600000);
+  options.stall_grace_us = 1000 * flags.GetInt("stall_grace_ms", -1, -1, 3600000);
+  options.max_overhead_pct = flags.GetDouble("max_overhead_pct", -1.0, -1.0, 100.0);
+  options.max_internal_errors =
+      static_cast<int>(flags.GetInt("max_internal_errors", -1, -1, 1000000));
+  return options;
+}
+
+int RunAgentMode(tsvd::tools::FlagParser& flags) {
+  tsvd::fleet::AgentOptions options;
+  options.address = flags.GetString("connect", "");
+  options.name = flags.GetString(
+      "agent-name", "agent-" + std::to_string(static_cast<uint64_t>(::getpid())));
+  options.work_dir = flags.GetString("agent-dir", "");
+  options.hello_timeout_ms =
+      static_cast<int>(flags.GetInt("hello_timeout_ms", 15000, 100, 600000));
+  flags.RejectUnknown();
+  if (!flags.ok() || options.address.empty()) {
+    std::fprintf(stderr, "tsvd_fleet --agent: %s\nTry --help.\n",
+                 flags.ok() ? "--connect=ADDR is required" : flags.error().c_str());
+    return 2;
+  }
+  options.interrupt = [] {
+    return g_stop_signal.load(std::memory_order_relaxed) != 0;
+  };
+  const tsvd::fleet::AgentResult result = tsvd::fleet::RunAgent(options);
+  if (!result.ok) {
+    std::fprintf(stderr, "tsvd_fleet agent %s: %s\n", options.name.c_str(),
+                 result.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "tsvd_fleet agent %s: %llu run(s), %llu duplicate(s)\n",
+               options.name.c_str(), static_cast<unsigned long long>(result.runs),
+               static_cast<unsigned long long>(result.duplicates));
+  return 0;
+}
+
+// Spawns one agent process: this binary re-executed with --agent flags. The child
+// is exec'd (not just forked) so it starts single-threaded with clean state.
+pid_t SpawnAgent(const std::string& self, const std::string& address,
+                 const std::string& name, const std::string& work_dir) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;
+  }
+  const std::string connect_flag = "--connect=" + address;
+  const std::string name_flag = "--agent-name=" + name;
+  const std::string dir_flag = "--agent-dir=" + work_dir;
+  const char* argv[] = {self.c_str(),      "--agent",        connect_flag.c_str(),
+                        name_flag.c_str(), dir_flag.c_str(), nullptr};
+  ::execv(self.c_str(), const_cast<char**>(argv));
+  std::fprintf(stderr, "tsvd_fleet: execv %s: %s\n", self.c_str(),
+               std::strerror(errno));
+  ::_exit(127);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsvd;
+
+  tools::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  InstallStopHandlers();
+  if (flags.GetBool("agent", false)) {
+    return RunAgentMode(flags);
+  }
+
+  fleet::FleetOptions options;
+  options.campaign = ParseCampaignOptions(flags);
+  options.campaign.out_dir = flags.GetString("out", "fleet-out");
+  options.campaign.resume = flags.GetBool("resume", false);
+  const int agents = static_cast<int>(flags.GetInt("agents", 4, 0, 256));
+  options.lease_timeout_ms =
+      static_cast<int>(flags.GetInt("lease_timeout_ms", 30000, 100, 3600000));
+  options.agent_idle_timeout_ms =
+      static_cast<int>(flags.GetInt("agent_idle_timeout_ms", 120000, 0, 3600000));
+  std::string address = flags.GetString("address", "");
+  flags.RejectUnknown();
+  if (!flags.ok()) {
+    std::fprintf(stderr, "tsvd_fleet: %s\nTry --help.\n", flags.error().c_str());
+    return 2;
+  }
+  if (options.campaign.out_dir.empty()) {
+    std::fprintf(stderr, "tsvd_fleet: --out=DIR is required\nTry --help.\n");
+    return 2;
+  }
+  std::filesystem::create_directories(options.campaign.out_dir);
+  if (address.empty()) {
+    address = "uds:" + options.campaign.out_dir + "/fleet.sock";
+  }
+  options.address = address;
+  options.campaign.interrupt = [] {
+    return g_stop_signal.load(std::memory_order_relaxed) != 0;
+  };
+
+  std::printf(
+      "tsvd_fleet: %s, %d modules, %d agent(s), up to %d round(s), scale %.3f, "
+      "seed %llu, %s%s%s\n",
+      options.campaign.detector.c_str(), options.campaign.num_modules, agents,
+      options.campaign.rounds, options.campaign.scale,
+      static_cast<unsigned long long>(options.campaign.seed), address.c_str(),
+      options.campaign.sandbox.enabled && sandbox::ForkSupported() ? ", sandboxed"
+                                                                   : "",
+      options.campaign.resume ? ", resuming" : "");
+
+  // Spawn the local agents before the coordinator starts serving; their hello
+  // retries until the endpoint is up. PIDs are printed one per line so harnesses
+  // (CI's kill-an-agent smoke) can target them.
+  std::string self = "/proc/self/exe";
+  if (!std::filesystem::exists(self)) {
+    self = argv[0];
+  }
+  std::vector<pid_t> agent_pids;
+  for (int i = 0; i < agents; ++i) {
+    const std::string name = "agent-" + std::to_string(i);
+    const std::string work_dir =
+        options.campaign.out_dir + "/agents/" + name;
+    const pid_t pid = SpawnAgent(self, address, name, work_dir);
+    if (pid < 0) {
+      std::fprintf(stderr, "tsvd_fleet: fork: %s\n", std::strerror(errno));
+      return 2;
+    }
+    agent_pids.push_back(pid);
+    std::printf("agent-pid: %d %s\n", static_cast<int>(pid), name.c_str());
+  }
+  std::fflush(stdout);
+
+  fleet::FleetCoordinator coordinator(options);
+  const campaign::CampaignResult result = coordinator.Run();
+
+  // Agents observe "done" on their next lease and exit; reap them before tearing
+  // the transport down.
+  for (const pid_t pid : agent_pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  coordinator.Shutdown();
+
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "tsvd_fleet: %s\n", result.error.c_str());
+    return 2;
+  }
+  if (result.resumed_runs > 0) {
+    std::printf(" resumed: %llu run record(s) across %d completed round(s)\n",
+                static_cast<unsigned long long>(result.resumed_runs),
+                result.resumed_rounds);
+  }
+
+  std::printf(
+      "\n round  runs  crash  t/out  retry  quar  new-bugs  traps  wall\n");
+  for (const campaign::RoundStats& stats : result.rounds) {
+    std::printf(" %5d %5d %6d %6d %6d %5d %9llu %6zu  %.2fs\n", stats.round,
+                stats.runs, stats.crashed, stats.timed_out, stats.retried,
+                stats.quarantined,
+                static_cast<unsigned long long>(stats.new_unique_bugs),
+                stats.trap_pairs_after, static_cast<double>(stats.wall_us) / 1e6);
+  }
+  if (result.converged) {
+    std::printf(" converged after %zu round(s)\n", result.rounds.size());
+  }
+
+  const fleet::FleetStats fstats = coordinator.stats();
+  std::printf(
+      "\nunique bugs: %llu   runs executed: %llu   false positives: %d\n"
+      "fleet: %llu agent join(s), %llu lease(s), %llu stolen, %llu duplicate "
+      "result(s)\n",
+      static_cast<unsigned long long>(result.UniqueBugCount()),
+      static_cast<unsigned long long>(result.RunsExecuted()),
+      result.false_positives,
+      static_cast<unsigned long long>(fstats.agents_joined),
+      static_cast<unsigned long long>(fstats.leases_granted),
+      static_cast<unsigned long long>(fstats.leases_stolen),
+      static_cast<unsigned long long>(fstats.duplicate_results));
+
+  int printed = 0;
+  for (const auto& bug : result.bugs) {
+    if (printed++ == 8) {
+      std::printf("  ... and %zu more\n", result.bugs.size() - 8);
+      break;
+    }
+    std::printf("  [round %d, %llux] %s  <->  %s\n", bug.first_round,
+                static_cast<unsigned long long>(bug.occurrences),
+                bug.sig_first.c_str(), bug.sig_second.c_str());
+  }
+
+  if (!result.trap_path.empty()) {
+    std::printf("\nartifacts:\n  %s\n  %s\n  %s\n  %s\n", result.trap_path.c_str(),
+                result.json_path.c_str(), result.sarif_path.c_str(),
+                result.journal_path.c_str());
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "tsvd_fleet: interrupted by signal %d after a graceful drain; "
+                 "journal and partial reports flushed — rerun with --resume to "
+                 "continue.\n",
+                 g_stop_signal.load(std::memory_order_relaxed));
+  }
+  return 0;
+}
