@@ -1,16 +1,24 @@
-// Fleet throughput: how run throughput scales with the agent count.
+// Fleet throughput: how run throughput scales with the agent count, per
+// transport backend.
 //
 // The deployment fanned 84,795 runs across machines (Section 5.1); the fleet
 // (src/fleet/) reproduces that as a coordinator plus N agent workers over an
 // abstracted transport. This bench runs the coordinator on the main thread and
-// the agents as in-process threads speaking the real wire protocol over a
-// unix-domain socket, sweeps the agent count over the same corpus/seed, and
+// the agents as in-process threads speaking the real wire protocol, sweeps the
+// agent count over the same corpus/seed for both the unix-domain-socket and the
+// TCP backend (loopback — the point is protocol overhead, not the wire), and
 // reports runs/second, wall time, and speedup over one agent. Writes
-// BENCH_campaign_fleet.json for CI artifact diffing.
+// BENCH_campaign_fleet.json for CI artifact diffing: the uds sweep keeps its
+// historical top-level "agents" key; the TCP sweep lands under "agents_tcp".
 //
 // Env overrides: TSVD_BENCH_MODULES (default 48), TSVD_BENCH_RUNS (rounds,
 // default 2), TSVD_BENCH_SCALE, TSVD_BENCH_SEED, TSVD_BENCH_MAX_AGENTS
 // (default 8).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -23,6 +31,31 @@
 #include "src/common/clock.h"
 #include "src/fleet/agent.h"
 #include "src/fleet/coordinator.h"
+
+namespace {
+
+// Binds loopback port 0 and reads back the kernel's pick; racy in principle,
+// fine for a bench.
+int ProbeFreeTcpPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  socklen_t len = sizeof(addr);
+  int port = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port = ntohs(addr.sin_port);
+  }
+  ::close(fd);
+  return port;
+}
+
+}  // namespace
 
 int main() {
   using namespace tsvd;
@@ -37,8 +70,6 @@ int main() {
   PrintHeader("Fleet throughput vs. agent count");
   std::printf("corpus: %d modules, %d round(s), scale %.3f, seed %llu\n\n",
               num_modules, rounds, scale, static_cast<unsigned long long>(seed));
-  std::printf("%8s %8s %10s %10s %9s %8s %8s\n", "agents", "runs", "wall",
-              "runs/sec", "speedup", "bugs", "stolen");
 
   char scratch_template[] = "/tmp/tsvd-bench-fleet-XXXXXX";
   const char* scratch = mkdtemp(scratch_template);
@@ -50,82 +81,103 @@ int main() {
   std::string json = "{\n  \"bench\": \"campaign_fleet\",\n";
   json += "  \"modules\": " + std::to_string(num_modules) + ",\n";
   json += "  \"rounds\": " + std::to_string(rounds) + ",\n";
-  json += "  \"agents\": {\n";
 
-  double base_wall_s = 0;
-  bool first = true;
-  for (const int agents : {1, 2, 4, 8}) {
-    if (agents > max_agents) {
-      continue;
-    }
-    const std::string dir = std::string(scratch) + "/a" + std::to_string(agents);
-    std::filesystem::create_directories(dir);
+  for (const char* transport : {"uds", "tcp"}) {
+    const bool tcp = std::string(transport) == "tcp";
+    std::printf("%s transport:\n", transport);
+    std::printf("%8s %8s %10s %10s %9s %8s %8s\n", "agents", "runs", "wall",
+                "runs/sec", "speedup", "bugs", "stolen");
+    // Historical key for the uds sweep (CI asserts on it); TCP gets its own.
+    json += tcp ? "  \"agents_tcp\": {\n" : "  \"agents\": {\n";
 
-    fleet::FleetOptions options;
-    options.campaign.num_modules = num_modules;
-    options.campaign.rounds = rounds;
-    options.campaign.stop_when_converged = false;  // equal work at every size
-    options.campaign.scale = scale;
-    options.campaign.seed = seed;
-    // Agents are threads of this process; forking sandbox children from a
-    // multithreaded bench binary is not worth the hazard, and the fleet's
-    // scaling story is about distribution, not isolation.
-    options.campaign.sandbox.enabled = false;
-    options.campaign.out_dir = dir + "/out";
-    options.address = "uds:" + dir + "/fleet.sock";
+    double base_wall_s = 0;
+    bool first = true;
+    for (const int agents : {1, 2, 4, 8}) {
+      if (agents > max_agents) {
+        continue;
+      }
+      const std::string dir = std::string(scratch) + "/" + transport + "-a" +
+                              std::to_string(agents);
+      std::filesystem::create_directories(dir);
 
-    fleet::FleetCoordinator coordinator(options);
-    std::vector<std::thread> fleet_threads;
-    fleet_threads.reserve(static_cast<size_t>(agents));
-    for (int i = 0; i < agents; ++i) {
-      fleet_threads.emplace_back([&options, &dir, i] {
-        fleet::AgentOptions agent;
-        agent.address = options.address;
-        agent.name = "bench-agent-" + std::to_string(i);
-        agent.work_dir = dir + "/" + agent.name;
-        const fleet::AgentResult r = fleet::RunAgent(agent);
-        if (!r.ok) {
-          std::fprintf(stderr, "%s failed: %s\n", agent.name.c_str(),
-                       r.error.c_str());
+      fleet::FleetOptions options;
+      options.campaign.num_modules = num_modules;
+      options.campaign.rounds = rounds;
+      options.campaign.stop_when_converged = false;  // equal work at every size
+      options.campaign.scale = scale;
+      options.campaign.seed = seed;
+      // Agents are threads of this process; forking sandbox children from a
+      // multithreaded bench binary is not worth the hazard, and the fleet's
+      // scaling story is about distribution, not isolation.
+      options.campaign.sandbox.enabled = false;
+      options.campaign.out_dir = dir + "/out";
+      if (tcp) {
+        const int port = ProbeFreeTcpPort();
+        if (port < 0) {
+          std::fprintf(stderr, "no free tcp port\n");
+          return 1;
         }
-      });
-    }
+        options.address = "tcp:127.0.0.1:" + std::to_string(port);
+      } else {
+        options.address = "uds:" + dir + "/fleet.sock";
+      }
 
-    const Micros t0 = NowMicros();
-    const campaign::CampaignResult result = coordinator.Run();
-    const double wall_s = static_cast<double>(NowMicros() - t0) / 1e6;
-    for (std::thread& t : fleet_threads) {
-      t.join();
-    }
-    coordinator.Shutdown();
-    if (!result.error.empty()) {
-      std::fprintf(stderr, "fleet run failed: %s\n", result.error.c_str());
-      return 1;
-    }
+      fleet::FleetCoordinator coordinator(options);
+      std::vector<std::thread> fleet_threads;
+      fleet_threads.reserve(static_cast<size_t>(agents));
+      for (int i = 0; i < agents; ++i) {
+        fleet_threads.emplace_back([&options, &dir, i] {
+          fleet::AgentOptions agent;
+          agent.address = options.address;
+          agent.name = "bench-agent-" + std::to_string(i);
+          agent.work_dir = dir + "/" + agent.name;
+          const fleet::AgentResult r = fleet::RunAgent(agent);
+          if (!r.ok) {
+            std::fprintf(stderr, "%s failed: %s\n", agent.name.c_str(),
+                         r.error.c_str());
+          }
+        });
+      }
 
-    if (agents == 1) {
-      base_wall_s = wall_s;
-    }
-    const double runs_per_sec =
-        static_cast<double>(result.RunsExecuted()) / wall_s;
-    std::printf("%8d %8llu %9.2fs %10.1f %8.2fx %8llu %8llu\n", agents,
-                static_cast<unsigned long long>(result.RunsExecuted()), wall_s,
-                runs_per_sec, base_wall_s / wall_s,
-                static_cast<unsigned long long>(result.UniqueBugCount()),
-                static_cast<unsigned long long>(coordinator.stats().leases_stolen));
+      const Micros t0 = NowMicros();
+      const campaign::CampaignResult result = coordinator.Run();
+      const double wall_s = static_cast<double>(NowMicros() - t0) / 1e6;
+      for (std::thread& t : fleet_threads) {
+        t.join();
+      }
+      coordinator.Shutdown();
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "fleet run failed: %s\n", result.error.c_str());
+        return 1;
+      }
 
-    if (!first) {
-      json += ",\n";
+      if (agents == 1) {
+        base_wall_s = wall_s;
+      }
+      const double runs_per_sec =
+          static_cast<double>(result.RunsExecuted()) / wall_s;
+      std::printf(
+          "%8d %8llu %9.2fs %10.1f %8.2fx %8llu %8llu\n", agents,
+          static_cast<unsigned long long>(result.RunsExecuted()), wall_s,
+          runs_per_sec, base_wall_s / wall_s,
+          static_cast<unsigned long long>(result.UniqueBugCount()),
+          static_cast<unsigned long long>(coordinator.stats().leases_stolen));
+
+      if (!first) {
+        json += ",\n";
+      }
+      first = false;
+      json += "    \"" + std::to_string(agents) + "\": {\"runs\": " +
+              std::to_string(result.RunsExecuted()) +
+              ", \"wall_s\": " + std::to_string(wall_s) +
+              ", \"runs_per_sec\": " + std::to_string(runs_per_sec) +
+              ", \"unique_bugs\": " + std::to_string(result.UniqueBugCount()) +
+              "}";
     }
-    first = false;
-    json += "    \"" + std::to_string(agents) + "\": {\"runs\": " +
-            std::to_string(result.RunsExecuted()) +
-            ", \"wall_s\": " + std::to_string(wall_s) +
-            ", \"runs_per_sec\": " + std::to_string(runs_per_sec) +
-            ", \"unique_bugs\": " + std::to_string(result.UniqueBugCount()) +
-            "}";
+    json += "\n  },\n";
+    std::printf("\n");
   }
-  json += "\n  }\n}\n";
+  json += "  \"transports\": [\"uds\", \"tcp\"]\n}\n";
 
   std::error_code ec;
   std::filesystem::remove_all(scratch, ec);

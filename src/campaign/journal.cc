@@ -338,6 +338,16 @@ bool CampaignJournal::AppendRoundComplete(const RoundStats& stats,
   return AppendLine(j.Dump() + "\n");
 }
 
+bool CampaignJournal::AppendEvent(const std::string& kind,
+                                  const std::string& detail) {
+  Json j = Json::MakeObject();
+  j.Set("type", "event");
+  j.Set("kind", kind);
+  j.Set("detail", detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLine(j.Dump() + "\n");
+}
+
 bool CampaignJournal::AppendCampaignComplete(bool converged) {
   Json j = Json::MakeObject();
   j.Set("type", "complete");
@@ -453,6 +463,8 @@ bool CampaignJournal::Load(const std::string& path, JournalReplay* out) {
       if (ReadBool(doc, "converged", &converged)) {
         out->converged = converged;
       }
+    } else if (type == "event") {
+      ++out->event_records;  // forensics: counted, never replayed
     } else {
       ++out->malformed_records;  // unknown record type: a newer writer's journal
     }

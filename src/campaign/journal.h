@@ -17,7 +17,11 @@
 //                             atomically saved (so a round record implies
 //                             traps.tsvd reflects that round);
 //     {"type":"complete",...} the campaign finished (converged or rounds
-//                             exhausted).
+//                             exhausted);
+//     {"type":"event",...}    operational forensics (e.g. a fleet coordinator
+//                             evicting an agent for missed heartbeats): recorded
+//                             and counted by replay but never re-applied — events
+//                             describe the orchestrator, not the campaign.
 //
 //   out_dir/bugmgr.snap.json — periodic atomic snapshot of BugReportMgr dedup
 //     state as of `watermark` run records, so resume replays only the ledger tail
@@ -69,6 +73,7 @@ struct JournalReplay {
   uint64_t unique_bugs_at_last_round = 0;
   bool complete = false;  // campaign-complete record present
   bool converged = false;
+  int event_records = 0;      // operational events seen (informational only)
   int malformed_records = 0;  // mid-file records dropped by salvage
   bool torn_tail = false;     // trailing partial record dropped (crash mid-append)
   // Byte length of the newline-terminated prefix. When torn_tail is set, a resume
@@ -98,6 +103,10 @@ class CampaignJournal {
   bool AppendRun(const RunOutcome& outcome);
   bool AppendRoundComplete(const RoundStats& stats, uint64_t cumulative_unique_bugs);
   bool AppendCampaignComplete(bool converged);
+  // Operational forensics record ({"type":"event","kind":...,"detail":...}):
+  // appended durably like every record, surfaced by replay as a count, never
+  // re-applied. `kind` is a stable machine tag ("agent-evicted"), `detail` prose.
+  bool AppendEvent(const std::string& kind, const std::string& detail);
   void Close();
 
   bool is_open() const { return file_ != nullptr; }

@@ -23,6 +23,10 @@ FleetCoordinator::FleetCoordinator(FleetOptions options)
 FleetCoordinator::~FleetCoordinator() { Shutdown(); }
 
 void FleetCoordinator::Shutdown() {
+  if (federator_ != nullptr) {
+    federator_->Stop();
+    federator_.reset();
+  }
   if (server_ != nullptr) {
     server_->Stop();
     server_.reset();
@@ -34,6 +38,26 @@ FleetStats FleetCoordinator::stats() const {
   return stats_;
 }
 
+FederationStats FleetCoordinator::federation_stats() const {
+  return federator_ != nullptr ? federator_->stats() : FederationStats();
+}
+
+namespace {
+
+std::string AgentName(const Json& request) {
+  const Json* agent = request.Find("agent");
+  return agent != nullptr && agent->is_string() ? agent->as_string() : "";
+}
+
+uint64_t RequestNonce(const Json& request) {
+  const Json* nonce = request.Find("nonce");
+  return nonce != nullptr && nonce->is_number() && nonce->as_int() > 0
+             ? static_cast<uint64_t>(nonce->as_int())
+             : 0;
+}
+
+}  // namespace
+
 Json FleetCoordinator::Handle(const Json& request) {
   const Json* type = request.Find("type");
   const std::string kind =
@@ -41,15 +65,63 @@ Json FleetCoordinator::Handle(const Json& request) {
   if (kind == "hello") {
     return HandleHello(request);
   }
-  if (kind == "lease") {
-    return HandleLease(request);
+  if (kind == "heartbeat") {
+    return HandleHeartbeat(request);
   }
-  if (kind == "result") {
-    return HandleResult(request);
+  if (kind == "lease" || kind == "result") {
+    // At-most-once gate (protocol.h): a replay of the agent's latest nonce —
+    // its retry after a lost response, or a network-duplicated delivery — is
+    // answered from the cache without re-entering the handler, so it cannot
+    // grant a second lease or publish twice.
+    const std::string agent = AgentName(request);
+    const uint64_t nonce = RequestNonce(request);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_contact_us_ = NowMicros();
+      AgentInfo& info = agents_[agent];
+      info.last_seen_us = last_contact_us_;
+      if (nonce != 0 && info.has_cached && info.cached_nonce == nonce) {
+        ++stats_.duplicate_requests;
+        return info.cached_response;
+      }
+    }
+    Json resp = kind == "lease" ? HandleLease(request) : HandleResult(request);
+    if (nonce != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      AgentInfo& info = agents_[agent];
+      info.cached_nonce = nonce;
+      info.cached_response = resp;
+      info.has_cached = true;
+    }
+    return resp;
   }
   Json resp = Json::MakeObject();
+  if (HandleStoreRequest(&store_, request, &resp)) {
+    return resp;  // federation peers are not agents: no liveness bookkeeping
+  }
   resp.Set("type", "error");
   resp.Set("error", "unknown request type \"" + kind + "\"");
+  return resp;
+}
+
+Json FleetCoordinator::HandleHeartbeat(const Json& request) {
+  Json resp = Json::MakeObject();
+  std::lock_guard<std::mutex> lock(mu_);
+  last_contact_us_ = NowMicros();
+  AgentInfo& info = agents_[AgentName(request)];
+  info.last_seen_us = last_contact_us_;
+  // Eviction is sticky until the next hello: a heartbeat arriving after the
+  // verdict (the partition healed) tells the agent, not the other way around.
+  if (info.evicted) {
+    resp.Set("type", "evicted");
+    return resp;
+  }
+  if (finished_ || interrupted_) {
+    resp.Set("type", "done");
+    resp.Set("interrupted", interrupted_);
+    return resp;
+  }
+  resp.Set("type", "beat");
   return resp;
 }
 
@@ -83,8 +155,14 @@ Json FleetCoordinator::HandleHello(const Json& request) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.agents_joined;
     last_contact_us_ = NowMicros();
+    AgentInfo& info = agents_[AgentName(request)];
+    if (info.last_seen_us == 0) {
+      // Distinct names only: a retried or duplicated hello must not recount.
+      ++stats_.agents_joined;
+    }
+    info.last_seen_us = last_contact_us_;
+    info.evicted = false;  // a fresh join wipes any earlier eviction verdict
   }
   resp.Set("type", "setup");
   resp.Set("options", EncodeCampaignOptions(options_.campaign));
@@ -97,6 +175,7 @@ Json FleetCoordinator::HandleLease(const Json& request) {
   const uint64_t agent_trap_version =
       have != nullptr && have->is_number() ? static_cast<uint64_t>(have->as_int())
                                            : 0;
+  const std::string agent = AgentName(request);
   Json resp = Json::MakeObject();
   uint64_t lease_id = 0;
   int module_index = -1;
@@ -104,6 +183,13 @@ Json FleetCoordinator::HandleLease(const Json& request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     last_contact_us_ = NowMicros();
+    // Eviction outranks completion: an evicted agent must learn its verdict (and
+    // exit with the distinct status) even when the campaign also happens to be
+    // over by the time it reconnects.
+    if (agents_[agent].evicted) {
+      resp.Set("type", "evicted");
+      return resp;
+    }
     if (finished_ || interrupted_) {
       // Campaign over (or draining after a signal): agents exit. A drain lets an
       // agent's in-flight job still publish — HandleResult keeps accepting while
@@ -140,7 +226,7 @@ Json FleetCoordinator::HandleLease(const Json& request) {
         slot.phase = JobPhase::kLeased;
         slot.lease_deadline_us =
             now + static_cast<Micros>(options_.lease_timeout_ms) * 1000;
-        open_leases_[lease_id] = grant_slot;
+        open_leases_[lease_id] = OpenLease{grant_slot, agent};
         ++stats_.leases_granted;
         module_index = slot.module_index;
         round = round_;
@@ -190,7 +276,7 @@ Json FleetCoordinator::HandleResult(const Json& request) {
     last_contact_us_ = NowMicros();
     const auto it = open_leases_.find(lease_id);
     if (it != open_leases_.end()) {
-      JobSlot& slot = slots_[it->second];
+      JobSlot& slot = slots_[it->second.slot];
       // Idempotent acceptance: the first publish for a slot wins; anything later
       // — a re-executed stolen job, a retransmit — is acknowledged and
       // discarded, so no run can ever double-count into stats, the journal, or
@@ -205,9 +291,10 @@ Json FleetCoordinator::HandleResult(const Json& request) {
         slot.phase = JobPhase::kDone;
         accepted = true;
         // Every lease for this slot (original + stolen) is now dead.
+        const size_t done_slot = it->second.slot;
         for (auto lease_it = open_leases_.begin();
              lease_it != open_leases_.end();) {
-          if (lease_it->second == it->second) {
+          if (lease_it->second.slot == done_slot) {
             lease_it = open_leases_.erase(lease_it);
           } else {
             ++lease_it;
@@ -236,6 +323,44 @@ Json FleetCoordinator::HandleResult(const Json& request) {
   resp.Set("type", "ack");
   resp.Set("accepted", accepted);
   return resp;
+}
+
+std::vector<std::string> FleetCoordinator::SweepEvictionsLocked(Micros now) {
+  std::vector<std::string> newly_evicted;
+  if (options_.heartbeat_timeout_ms <= 0) {
+    return newly_evicted;
+  }
+  const Micros budget = static_cast<Micros>(options_.heartbeat_timeout_ms) * 1000;
+  for (auto& [name, info] : agents_) {
+    if (info.evicted || info.last_seen_us == 0 ||
+        now - info.last_seen_us <= budget) {
+      continue;
+    }
+    info.evicted = true;
+    ++stats_.agents_evicted;
+    newly_evicted.push_back(name);
+    // The evicted agent's leases become stealable NOW: a fleet must not idle
+    // out the full lease_timeout_ms for an agent already judged dead. The
+    // leases stay open — if the agent was merely partitioned and its publish
+    // races the steal, whichever lands first wins, exactly as for any steal.
+    for (const auto& [lease_id, lease] : open_leases_) {
+      if (lease.agent == name) {
+        slots_[lease.slot].lease_deadline_us = 0;
+      }
+    }
+  }
+  return newly_evicted;
+}
+
+size_t FleetCoordinator::LiveOpenLeasesLocked() const {
+  size_t live = 0;
+  for (const auto& [lease_id, lease] : open_leases_) {
+    const auto it = agents_.find(lease.agent);
+    if (it == agents_.end() || !it->second.evicted) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 CampaignResult FleetCoordinator::Run() {
@@ -317,6 +442,17 @@ CampaignResult FleetCoordinator::Run() {
     journal_.Close();
     result.error = "transport: " + transport_error;
     return result;
+  }
+  if (!options_.federation.peers.empty()) {
+    federator_ = std::make_unique<StoreFederator>(&store_, options_.federation);
+    std::string federation_error;
+    if (!federator_->Start(&federation_error)) {
+      federator_.reset();
+      Shutdown();
+      journal_.Close();
+      result.error = "federation: " + federation_error;
+      return result;
+    }
   }
 
   const auto flush_reports = [&]() {
@@ -403,16 +539,37 @@ CampaignResult FleetCoordinator::Run() {
     bool drained = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      // Journals an eviction verdict without holding the coordinator lock over
+      // the fsync — handlers must never queue behind ledger I/O.
+      const auto journal_evictions = [&](std::vector<std::string> names) {
+        if (names.empty() || !journal_.is_open()) {
+          return;
+        }
+        lock.unlock();
+        for (const std::string& name : names) {
+          journal_.AppendEvent(
+              "agent-evicted",
+              name + " silent for over " +
+                  std::to_string(options_.heartbeat_timeout_ms) +
+                  " ms in round " + std::to_string(round) +
+                  "; its leases are released for stealing");
+        }
+        lock.lock();
+      };
       while (done_count_ < slots_.size()) {
         round_cv_.wait_for(lock, std::chrono::milliseconds(50));
+        journal_evictions(SweepEvictionsLocked(NowMicros()));
         if (interrupt && interrupt() && !interrupted_) {
           // Graceful drain: stop granting (agents get "done" on their next
           // lease), let in-flight jobs publish, then stop waiting for the rest.
+          // Only leases held by live agents are worth waiting on — an evicted
+          // holder's publish window already closed with its eviction.
           interrupted_ = true;
           const Micros drain_deadline =
               NowMicros() + static_cast<Micros>(options_.lease_timeout_ms) * 1000;
-          while (!open_leases_.empty() && NowMicros() < drain_deadline) {
+          while (LiveOpenLeasesLocked() > 0 && NowMicros() < drain_deadline) {
             round_cv_.wait_for(lock, std::chrono::milliseconds(50));
+            journal_evictions(SweepEvictionsLocked(NowMicros()));
           }
           drained = true;
           break;

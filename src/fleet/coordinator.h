@@ -12,6 +12,12 @@
 // including one that lost agents to SIGKILL mid-round — reports the same
 // unique-bug set as `RunCampaign`, because both drive the shared execution core
 // (src/campaign/run_executor.h) with identical inputs in identical order.
+//
+// Over a lossy network (DESIGN.md §14) the same contract holds: replayed
+// lease/result requests are answered from a per-agent nonce cache instead of
+// re-executed, agents silent past heartbeat_timeout_ms are evicted (their
+// leases become instantly stealable, their exchanges answer "evicted"), and
+// peer coordinators federate trap stores through the round-boundary commit.
 #ifndef SRC_FLEET_COORDINATOR_H_
 #define SRC_FLEET_COORDINATOR_H_
 
@@ -27,6 +33,7 @@
 #include "src/campaign/campaign.h"
 #include "src/campaign/journal.h"
 #include "src/campaign/json.h"
+#include "src/fleet/federation.h"
 #include "src/fleet/transport.h"
 #include "src/fleet/trap_store.h"
 
@@ -39,7 +46,7 @@ struct FleetOptions {
   // `journal_snapshot_every`, and `interrupt` keep their single-process meaning,
   // applied at the coordinator.
   campaign::CampaignOptions campaign;
-  std::string address;  // transport endpoint ("uds:<path>" | "dir:<path>")
+  std::string address;  // transport endpoint ("uds:" | "dir:" | "tcp:")
   // A leased job not published within this window is considered lost (agent
   // SIGKILLed, wedged, or partitioned) and becomes stealable by any agent.
   int lease_timeout_ms = 30'000;
@@ -48,13 +55,24 @@ struct FleetOptions {
   // Failsafe: abort the campaign when no agent has contacted the coordinator for
   // this long while work is pending (the whole fleet died). <= 0 disables.
   int agent_idle_timeout_ms = 120'000;
+  // Liveness eviction (DESIGN.md §14): an agent silent — no lease, result, or
+  // heartbeat — for this long is evicted: its open leases become immediately
+  // stealable (no waiting out lease_timeout_ms) and the agent is told "evicted"
+  // on its next exchange so it can exit with a distinct status. The leases stay
+  // open, so an evicted-but-actually-partitioned agent that publishes first
+  // still wins (first-publish-wins is preserved). <= 0 disables.
+  int heartbeat_timeout_ms = 0;
+  // Trap-store federation with peer coordinators; empty peers = disabled.
+  FederationOptions federation;
 };
 
 struct FleetStats {
-  uint64_t agents_joined = 0;
+  uint64_t agents_joined = 0;       // distinct agent names that completed hello
   uint64_t leases_granted = 0;
   uint64_t leases_stolen = 0;      // re-leases of an expired lease
   uint64_t duplicate_results = 0;  // publishes discarded by idempotent acceptance
+  uint64_t duplicate_requests = 0;  // replays answered from the nonce cache
+  uint64_t agents_evicted = 0;      // liveness evictions (re-joins may re-count)
 };
 
 class FleetCoordinator {
@@ -70,10 +88,12 @@ class FleetCoordinator {
   // processes before calling Shutdown.
   campaign::CampaignResult Run();
 
-  // Stops the transport. Called automatically by the destructor.
+  // Stops the transport and the federation thread. Called automatically by the
+  // destructor.
   void Shutdown();
 
   FleetStats stats() const;
+  FederationStats federation_stats() const;
 
  private:
   enum class JobPhase { kPending, kLeased, kDone };
@@ -84,15 +104,40 @@ class FleetCoordinator {
     bool replayed = false;  // restored from the journal; never journaled again
     campaign::RunOutcome outcome;
   };
+  struct OpenLease {
+    size_t slot = 0;
+    std::string agent;  // holder, for eviction's immediate-steal
+  };
+  // Per-agent liveness and at-most-once state, keyed by agent name. A single
+  // cached {nonce, response} suffices because an agent's nonces are issued by
+  // one sequential loop: a replay is always of the *latest* request (the one
+  // whose response may have been lost); anything older already succeeded and
+  // is safe to reprocess anyway (leases and publishes are idempotent).
+  struct AgentInfo {
+    Micros last_seen_us = 0;
+    bool evicted = false;
+    uint64_t cached_nonce = 0;
+    bool has_cached = false;
+    campaign::Json cached_response;
+  };
 
   campaign::Json Handle(const campaign::Json& request);
   campaign::Json HandleHello(const campaign::Json& request);
   campaign::Json HandleLease(const campaign::Json& request);
   campaign::Json HandleResult(const campaign::Json& request);
+  campaign::Json HandleHeartbeat(const campaign::Json& request);
+
+  // Marks agents silent past heartbeat_timeout_ms as evicted and zeroes the
+  // lease deadlines they hold. Returns the newly evicted names so the caller
+  // can journal them outside the lock. Requires mu_.
+  std::vector<std::string> SweepEvictionsLocked(Micros now);
+  // Open leases whose holder is not evicted — what a graceful drain waits on.
+  size_t LiveOpenLeasesLocked() const;
 
   const FleetOptions options_;
 
   std::unique_ptr<TransportServer> server_;
+  std::unique_ptr<StoreFederator> federator_;
   TrapStoreService store_;
   campaign::CampaignJournal journal_;
 
@@ -105,7 +150,8 @@ class FleetCoordinator {
   std::vector<JobSlot> slots_;
   size_t done_count_ = 0;
   uint64_t next_lease_ = 1;
-  std::map<uint64_t, size_t> open_leases_;  // lease id -> slot index
+  std::map<uint64_t, OpenLease> open_leases_;  // lease id -> holder + slot
+  std::map<std::string, AgentInfo> agents_;
   Micros last_contact_us_ = 0;
   FleetStats stats_;
   std::vector<std::string> corpus_names_;  // for backfilling outcome.module

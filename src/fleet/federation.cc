@@ -1,0 +1,166 @@
+#include "src/fleet/federation.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/fleet/chaos_transport.h"
+
+namespace tsvd::fleet {
+
+using campaign::Json;
+
+bool HandleStoreRequest(TrapStoreService* store, const Json& request,
+                        Json* response) {
+  const Json* type = request.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return false;
+  }
+  const std::string& kind = type->as_string();
+
+  if (kind == "store_pull") {
+    uint64_t have_version = 0;
+    const Json* have = request.Find("have_version");
+    if (have != nullptr && have->is_number() && have->as_int() > 0) {
+      have_version = static_cast<uint64_t>(have->as_int());
+    }
+    *response = Json::MakeObject();
+    response->Set("type", "store");
+    uint64_t version = 0;
+    std::string text;
+    if (store->SerializeIfStale(have_version, &version, &text)) {
+      response->Set("version", static_cast<int64_t>(version));
+      response->Set("traps", text);
+    } else {
+      response->Set("version", static_cast<int64_t>(have_version));
+    }
+    return true;
+  }
+
+  if (kind == "store_push") {
+    *response = Json::MakeObject();
+    response->Set("type", "ack");
+    const Json* traps = request.Find("traps");
+    if (traps == nullptr || !traps->is_string()) {
+      response->Set("accepted", false);
+      response->Set("error", "store_push without a traps payload");
+      return true;
+    }
+    // Salvage parse: a peer on a lossy link would rather we mine the valid
+    // remainder of a damaged payload than discard its whole delta.
+    const TrapFile remote = TrapFile::Salvage(traps->as_string());
+    const size_t before = store->staged_size();
+    const size_t after = store->StageFederated(remote);
+    response->Set("accepted", after > before);
+    response->Set("version", static_cast<int64_t>(store->version()));
+    return true;
+  }
+
+  return false;
+}
+
+StoreFederator::StoreFederator(TrapStoreService* store, FederationOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+StoreFederator::~StoreFederator() { Stop(); }
+
+bool StoreFederator::Start(std::string* error) {
+  peers_.reserve(options_.peers.size());
+  for (size_t i = 0; i < options_.peers.size(); ++i) {
+    Peer peer;
+    peer.address = options_.peers[i];
+    peer.client = MakeTransportClient(peer.address, error);
+    if (peer.client == nullptr) {
+      return false;
+    }
+    peer.client->set_connect_timeout_ms(options_.connect_timeout_ms);
+    // Distinct salt per peer link so shared specs still draw distinct streams.
+    peer.client = WrapWithChaos(std::move(peer.client), options_.chaos,
+                                /*seed_salt=*/0x0fed0000 + i, error);
+    if (peer.client == nullptr) {
+      return false;
+    }
+    peers_.push_back(std::move(peer));
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void StoreFederator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+FederationStats StoreFederator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StoreFederator::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    lock.unlock();
+    GossipOnce();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stopping_; });
+  }
+}
+
+void StoreFederator::GossipOnce() {
+  for (Peer& peer : peers_) {
+    // Pull: fetch whatever the peer has learned since we last looked.
+    Json pull = Json::MakeObject();
+    pull.Set("type", "store_pull");
+    pull.Set("have_version", static_cast<int64_t>(peer.seen_version));
+    Json response;
+    std::string error;
+    if (peer.client->Call(pull, &response, &error)) {
+      const Json* version = response.Find("version");
+      const Json* traps = response.Find("traps");
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.pulls;
+      if (traps != nullptr && traps->is_string()) {
+        const TrapFile remote = TrapFile::Salvage(traps->as_string());
+        stats_.pairs_staged += remote.size();
+        store_->StageFederated(remote);
+      }
+      if (version != nullptr && version->is_number()) {
+        peer.seen_version = static_cast<uint64_t>(version->as_int());
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+    }
+
+    // Push: ship our store when the peer has not acked this version. The
+    // push itself is idempotent (monotone union), so a lost ack merely costs
+    // one redundant re-send next cycle.
+    uint64_t our_version = 0;
+    std::string text;
+    if (!store_->SerializeIfStale(peer.pushed_version, &our_version, &text)) {
+      continue;
+    }
+    Json push = Json::MakeObject();
+    push.Set("type", "store_push");
+    push.Set("traps", text);
+    if (peer.client->Call(push, &response, &error)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.pushes;
+      peer.pushed_version = our_version;
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+    }
+  }
+}
+
+}  // namespace tsvd::fleet

@@ -1,0 +1,103 @@
+// Multi-machine trap-store federation (DESIGN.md §14).
+//
+// A fleet per machine is the natural unit — one coordinator, local agents — but
+// the trap store is the campaign's accumulated knowledge, and machines running
+// the same target should share it. Federation gossips the store between
+// coordinators over any transport backend (in practice tcp:): each coordinator
+// answers store_pull / store_push exchanges against its TrapStoreService, and a
+// StoreFederator thread periodically pulls each configured peer's store and
+// pushes its own when it has grown.
+//
+// Correctness over lossy links comes for free from the data model, not the
+// protocol: the trap store is a canonical set with monotone-union merge
+// (TrapFile::Merge), so deltas are commutative and idempotent — a dropped pull
+// is retried next cycle, a duplicated push merges to the same set, and pulls
+// crossing pushes cannot conflict. Remote pairs are STAGED
+// (TrapStoreService::StageFederated) and folded in only at the local round
+// boundary, so federation never violates the every-job-of-a-round-sees-one-
+// snapshot invariant that the bug-set-equality contract rests on.
+//
+// Version numbers are local counters, so cross-machine comparison is only
+// meaningful as "unchanged since I last looked": pull requests carry the
+// version last seen from that peer and the peer omits the (potentially large)
+// serialized store when it matches — the steady-state cycle is two small
+// frames per peer.
+#ifndef SRC_FLEET_FEDERATION_H_
+#define SRC_FLEET_FEDERATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/json.h"
+#include "src/fleet/transport.h"
+#include "src/fleet/trap_store.h"
+
+namespace tsvd::fleet {
+
+// Serves the federation side of the protocol: store_pull and store_push against
+// `store`. Returns true with *response filled when `request` was one of the two
+// store exchanges; returns false (response untouched) for any other request so
+// the caller can route it elsewhere. Thread-safe (TrapStoreService is).
+bool HandleStoreRequest(TrapStoreService* store, const campaign::Json& request,
+                        campaign::Json* response);
+
+struct FederationOptions {
+  std::vector<std::string> peers;  // transport addresses of peer coordinators
+  int interval_ms = 1000;          // gossip cycle period
+  int connect_timeout_ms = 10'000;
+  std::string chaos;  // chaos spec applied to every peer link ("" = none)
+};
+
+struct FederationStats {
+  uint64_t pulls = 0;         // successful store_pull exchanges
+  uint64_t pushes = 0;        // successful store_push exchanges
+  uint64_t failures = 0;      // exchanges lost to the network (retried next cycle)
+  uint64_t pairs_staged = 0;  // remote pairs staged across all pulls
+};
+
+// Background gossip thread: every interval, pulls each peer's store into
+// `store`'s staging area and pushes the local store to peers that have not
+// acked the current version. Peers being down or the link being chaotic is the
+// expected case — failures are counted and the next cycle retries.
+class StoreFederator {
+ public:
+  StoreFederator(TrapStoreService* store, FederationOptions options);
+  ~StoreFederator();
+
+  // Builds (and chaos-wraps) one client per peer and starts the gossip thread.
+  // Fails only on a malformed peer address or chaos spec.
+  bool Start(std::string* error);
+  void Stop();
+
+  FederationStats stats() const;
+
+ private:
+  void Loop();
+  void GossipOnce();
+
+  TrapStoreService* const store_;
+  const FederationOptions options_;
+
+  struct Peer {
+    std::string address;
+    std::unique_ptr<TransportClient> client;
+    uint64_t seen_version = 0;    // peer's version at our last successful pull
+    uint64_t pushed_version = 0;  // our version at the peer's last successful ack
+  };
+  std::vector<Peer> peers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  FederationStats stats_;
+  std::thread thread_;
+};
+
+}  // namespace tsvd::fleet
+
+#endif  // SRC_FLEET_FEDERATION_H_

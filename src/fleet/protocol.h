@@ -8,20 +8,42 @@
 //        -> {type:"setup", options:{...}, corpus_size}          // join the fleet
 //        -> {type:"error", error}                               // version mismatch
 //
-//   lease   {type:"lease", agent, trap_version}
+//   lease   {type:"lease", agent, nonce, trap_version}
 //        -> {type:"job", lease, round, module_index,
 //            trap_version[, traps]}                             // traps only when
 //                                                               // the agent is stale
 //        -> {type:"wait", wait_ms}                              // nothing leasable
 //        -> {type:"done", interrupted}                          // campaign over
 //
-//   result  {type:"result", agent, lease, outcome:{...}}        // outcome_codec.h
+//   result  {type:"result", agent, nonce, lease, outcome:{...}} // outcome_codec.h
 //        -> {type:"ack", accepted}                              // false = duplicate
 //                                                               // (stolen lease won)
 //
+//   heartbeat {type:"heartbeat", agent}                         // liveness proof
+//        -> {type:"beat"}                                       // still in fleet
+//        -> {type:"evicted"}                                    // missed too many
+//        -> {type:"done", interrupted}                          // campaign over
+//
+//   store_pull {type:"store_pull", have_version}                // federation peer
+//        -> {type:"store", version[, traps]}                    // traps only when
+//                                                               // the peer is stale
+//   store_push {type:"store_push", traps}
+//        -> {type:"ack", accepted, version}                     // accepted = grew
+//
+// Exactly-once over a lossy network: the `nonce` on lease/result requests is a
+// per-agent monotonically increasing counter, held constant across re-sends of
+// the same logical request. The coordinator caches the last {nonce, response}
+// per agent; a replay with the cached nonce returns the cached response without
+// re-executing the handler, so a duplicated or retried request cannot grant two
+// leases or double-publish a result even when the original response was lost in
+// flight. Hello, heartbeat, and the store exchanges are naturally idempotent
+// (set-union / last-write semantics) and carry no nonce.
+//
 // Versioning: the hello handshake checks both the protocol version and the
 // RunOutcome codec version (src/sandbox/outcome_codec.h), so mixed-build fleets
-// fail at join time with a clear error instead of mid-campaign.
+// fail at join time with a clear error instead of mid-campaign. Version 2 added
+// nonces, heartbeats, and the store federation exchanges; the check is an exact
+// match, so v1 and v2 processes refuse to form a fleet.
 #ifndef SRC_FLEET_PROTOCOL_H_
 #define SRC_FLEET_PROTOCOL_H_
 
@@ -32,7 +54,7 @@
 
 namespace tsvd::fleet {
 
-inline constexpr int64_t kFleetProtocolVersion = 1;
+inline constexpr int64_t kFleetProtocolVersion = 2;
 
 // Encodes the subset of CampaignOptions that determines campaign identity and
 // per-run execution: detector, corpus shape, seeds, scale, sandbox policy, fault

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -16,6 +17,8 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/fleet/transport_tcp.h"
+#include "src/fleet/wire.h"
 
 namespace tsvd::fleet {
 namespace {
@@ -24,6 +27,7 @@ using campaign::Json;
 
 constexpr char kUdsScheme[] = "uds:";
 constexpr char kDirScheme[] = "dir:";
+constexpr char kTcpScheme[] = "tcp:";
 
 bool HasScheme(const std::string& address, const char* scheme) {
   return address.rfind(scheme, 0) == 0;
@@ -31,25 +35,12 @@ bool HasScheme(const std::string& address, const char* scheme) {
 
 // ---------------------------------------------------------------------------
 // Unix-domain-socket backend: newline-delimited compact JSON over a stream
-// socket, one service thread per connection.
+// socket, one service thread per connection. Byte movement shares the
+// EINTR-safe loops in wire.h with the TCP backend.
 // ---------------------------------------------------------------------------
 
-// Writes all of `data` to a connected socket. MSG_NOSIGNAL so a peer that died
-// mid-exchange surfaces as EPIPE, not process-wide SIGPIPE.
 bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+  return wire::SendAll(fd, data.data(), data.size());
 }
 
 // Reads from `fd` into `buffer` until it holds a full '\n'-terminated line;
@@ -194,13 +185,16 @@ class UdsClient : public TransportClient {
       return false;
     }
     std::string line;
+    errno = 0;
     if (!SendAll(fd_, request.Dump() + "\n") ||
         !ReadLine(fd_, &buffer_, &line)) {
+      const int err = errno;  // captured before close can overwrite it
       // Sever the exchange: the next Call reconnects from scratch.
       ::close(fd_);
       fd_ = -1;
       buffer_.clear();
-      *error = "coordinator connection lost (" + path_ + ")";
+      *error = "coordinator connection lost (" + path_ + "): " +
+               (err != 0 ? std::strerror(err) : "connection closed by peer");
       return false;
     }
     if (!Json::Parse(line, response)) {
@@ -269,6 +263,17 @@ bool ReadWholeFile(const std::string& path, std::string* out) {
 // so any number of clients in one process stay distinct.
 std::atomic<uint64_t> g_exchange_counter{0};
 
+// Idle-poll backoff for the dir backend: starts fast so a live exchange stays
+// responsive, doubles while nothing arrives so an idle queue does not spin the
+// CPU at a fixed interval, and resets the moment there is work.
+constexpr Micros kDirPollFloorUs = 500;
+constexpr Micros kDirPollCeilingUs = 20'000;
+
+Micros NextDirPollBackoff(Micros current) {
+  return current < kDirPollCeilingUs ? std::min(current * 2, kDirPollCeilingUs)
+                                     : kDirPollCeilingUs;
+}
+
 class DirServer : public TransportServer {
  public:
   explicit DirServer(std::string dir) : dir_(std::move(dir)) {}
@@ -280,7 +285,8 @@ class DirServer : public TransportServer {
     std::filesystem::create_directories(dir_ + "/resp", ec);
     std::filesystem::create_directories(dir_ + "/tmp", ec);
     if (ec) {
-      *error = "cannot create queue directories under " + dir_;
+      *error = "cannot create queue directories under " + dir_ + ": " +
+               ec.message();
       return false;
     }
     handler_ = std::move(handler);
@@ -303,6 +309,7 @@ class DirServer : public TransportServer {
  private:
   void PollLoop() {
     const std::string req_dir = dir_ + "/req";
+    Micros idle_backoff_us = kDirPollFloorUs;
     while (!stopping_.load(std::memory_order_relaxed)) {
       bool served = false;
       std::error_code ec;
@@ -335,8 +342,11 @@ class DirServer : public TransportServer {
         std::rename(staged.c_str(), (dir_ + "/resp/" + name).c_str());
         served = true;
       }
-      if (!served) {
-        SleepMicros(2'000);
+      if (served) {
+        idle_backoff_us = kDirPollFloorUs;
+      } else {
+        SleepMicros(idle_backoff_us);
+        idle_backoff_us = NextDirPollBackoff(idle_backoff_us);
       }
     }
   }
@@ -366,27 +376,33 @@ class DirClient : public TransportClient {
     {
       std::ofstream out(staged, std::ios::binary | std::ios::trunc);
       if (!out) {
-        *error = "cannot stage request under " + dir_;
+        *error = "cannot stage request under " + dir_ + ": " +
+                 std::strerror(errno);
         return false;
       }
       out << request.Dump();
     }
     if (std::rename(staged.c_str(), (dir_ + "/req/" + name).c_str()) != 0) {
-      *error = "cannot publish request under " + dir_;
+      *error = "cannot publish request under " + dir_ + ": " +
+               std::strerror(errno);
       return false;
     }
-    // Await the response file. The server answers promptly once it is up, so the
-    // connect timeout doubles as the response deadline.
+    // Await the response file with the same exponential idle backoff the server
+    // polls with. The server answers promptly once it is up, so the connect
+    // timeout doubles as the response deadline.
     const std::string resp_path = dir_ + "/resp/" + name;
     const Micros deadline =
         NowMicros() + static_cast<Micros>(connect_timeout_ms_) * 1000;
     std::string text;
+    Micros backoff_us = kDirPollFloorUs;
     while (!ReadWholeFile(resp_path, &text)) {
       if (NowMicros() >= deadline) {
-        *error = "no response from coordinator via " + dir_;
+        *error = "no response from coordinator via " + dir_ + " after " +
+                 std::to_string(connect_timeout_ms_) + " ms";
         return false;
       }
-      SleepMicros(2'000);
+      SleepMicros(backoff_us);
+      backoff_us = NextDirPollBackoff(backoff_us);
     }
     std::filesystem::remove(resp_path, ec);
     if (!Json::Parse(text, response)) {
@@ -411,8 +427,12 @@ std::unique_ptr<TransportServer> MakeTransportServer(const std::string& address,
   if (HasScheme(address, kDirScheme)) {
     return std::make_unique<DirServer>(address.substr(sizeof(kDirScheme) - 1));
   }
+  if (HasScheme(address, kTcpScheme)) {
+    return MakeTcpTransportServer(address.substr(sizeof(kTcpScheme) - 1), error);
+  }
   if (error != nullptr) {
-    *error = "unknown transport scheme in \"" + address + "\" (want uds: or dir:)";
+    *error = "unknown transport scheme in \"" + address +
+             "\" (want uds:, dir:, or tcp:)";
   }
   return nullptr;
 }
@@ -425,8 +445,12 @@ std::unique_ptr<TransportClient> MakeTransportClient(const std::string& address,
   if (HasScheme(address, kDirScheme)) {
     return std::make_unique<DirClient>(address.substr(sizeof(kDirScheme) - 1));
   }
+  if (HasScheme(address, kTcpScheme)) {
+    return MakeTcpTransportClient(address.substr(sizeof(kTcpScheme) - 1), error);
+  }
   if (error != nullptr) {
-    *error = "unknown transport scheme in \"" + address + "\" (want uds: or dir:)";
+    *error = "unknown transport scheme in \"" + address +
+             "\" (want uds:, dir:, or tcp:)";
   }
   return nullptr;
 }

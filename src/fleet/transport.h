@@ -1,9 +1,8 @@
 // Fleet transport abstraction (DESIGN.md §13).
 //
 // The coordinator/agent protocol is pure request/response over JSON documents, so
-// the wire is abstracted behind two tiny interfaces and an address scheme; a TCP
-// backend can drop in later without touching protocol, coordinator, or agent code.
-// Two backends ship today:
+// the wire is abstracted behind two tiny interfaces and an address scheme.
+// Three backends ship today:
 //
 //   "uds:<path>"  Unix-domain stream socket. One listener, one thread per accepted
 //                 connection, newline-delimited compact JSON (the campaign Json
@@ -15,11 +14,20 @@
 //                 <path>/req/, responses into <path>/resp/, matched by file name.
 //                 Survives on filesystems where sockets are unavailable (some
 //                 containers, network mounts) and leaves an inspectable on-disk
-//                 trace; higher latency (polling).
+//                 trace; higher latency (exponential-backoff polling).
+//
+//   "tcp:<host>:<port>[?backlog=N]"
+//                 TCP stream socket with length-prefixed frames — the backend
+//                 that leaves the machine (DESIGN.md §14, transport_tcp.h).
 //
 // Clients retry connection establishment — agents may start before the coordinator
 // listens — but a Call on an established exchange fails rather than retries, so a
-// lost coordinator surfaces as an error the agent can act on.
+// lost coordinator surfaces as an error the caller's retry policy can act on
+// (agents re-send idempotently under nonces; see protocol.h). Every transport
+// error string names the failing endpoint and carries the errno cause.
+//
+// For deterministic network-fault injection around any client backend, see
+// chaos_transport.h.
 #ifndef SRC_FLEET_TRANSPORT_H_
 #define SRC_FLEET_TRANSPORT_H_
 
@@ -61,8 +69,8 @@ class TransportClient {
   virtual void set_connect_timeout_ms(int ms) = 0;
 };
 
-// Factories keyed by the address scheme ("uds:" | "dir:"). Return null with
-// `error` set for an unknown scheme or an unusable address.
+// Factories keyed by the address scheme ("uds:" | "dir:" | "tcp:"). Return null
+// with `error` set for an unknown scheme or an unusable address.
 std::unique_ptr<TransportServer> MakeTransportServer(const std::string& address,
                                                      std::string* error);
 std::unique_ptr<TransportClient> MakeTransportClient(const std::string& address,

@@ -1,0 +1,341 @@
+#include "src/fleet/transport_tcp.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/fleet/wire.h"
+
+namespace tsvd::fleet {
+namespace {
+
+using campaign::Json;
+
+struct TcpAddress {
+  std::string host;  // empty = wildcard (server) / loopback is NOT implied
+  std::string port;
+  int backlog = 128;
+};
+
+// "<host>:<port>[?backlog=N]". The host may be a name, an IPv4 literal, or a
+// bracketed IPv6 literal ("[::1]:7777"); the port is split at the *last* colon
+// so unbracketed IPv6 literals fail loudly instead of mis-parsing.
+bool ParseTcpAddress(const std::string& spec, TcpAddress* out,
+                     std::string* error) {
+  std::string rest = spec;
+  const size_t query = rest.find('?');
+  if (query != std::string::npos) {
+    const std::string params = rest.substr(query + 1);
+    rest.resize(query);
+    if (params.rfind("backlog=", 0) == 0) {
+      const long backlog = std::strtol(params.c_str() + 8, nullptr, 10);
+      if (backlog <= 0 || backlog > 65535) {
+        *error = "tcp address \"" + spec + "\": backlog must be in [1, 65535]";
+        return false;
+      }
+      out->backlog = static_cast<int>(backlog);
+    } else {
+      *error = "tcp address \"" + spec + "\": unknown parameter \"" + params +
+               "\" (want backlog=N)";
+      return false;
+    }
+  }
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon + 1 == rest.size()) {
+    *error = "tcp address \"" + spec + "\": want host:port";
+    return false;
+  }
+  out->host = rest.substr(0, colon);
+  out->port = rest.substr(colon + 1);
+  if (out->host.size() >= 2 && out->host.front() == '[' &&
+      out->host.back() == ']') {
+    out->host = out->host.substr(1, out->host.size() - 2);  // [::1] -> ::1
+  }
+  for (const char c : out->port) {
+    if (c < '0' || c > '9') {
+      *error = "tcp address \"" + spec + "\": port \"" + out->port +
+               "\" is not a number";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+class TcpServer : public TransportServer {
+ public:
+  explicit TcpServer(TcpAddress address) : address_(std::move(address)) {}
+  ~TcpServer() override { Stop(); }
+
+  bool Start(RequestHandler handler, std::string* error) override {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* results = nullptr;
+    const int rc =
+        ::getaddrinfo(address_.host.empty() ? nullptr : address_.host.c_str(),
+                      address_.port.c_str(), &hints, &results);
+    if (rc != 0) {
+      *error = "resolve " + address_.host + ":" + address_.port + ": " +
+               ::gai_strerror(rc);
+      return false;
+    }
+    std::string last_error = "no usable address";
+    for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family,
+                              ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+      if (fd < 0) {
+        last_error = Errno("socket");
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+          ::listen(fd, address_.backlog) != 0) {
+        last_error = Errno("bind/listen " + address_.host + ":" + address_.port);
+        ::close(fd);
+        continue;
+      }
+      listen_fd_ = fd;
+      break;
+    }
+    ::freeaddrinfo(results);
+    if (listen_fd_ < 0) {
+      *error = last_error;
+      return false;
+    }
+    handler_ = std::move(handler);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+
+  void Stop() override {
+    if (listen_fd_ < 0) {
+      return;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    // shutdown wakes a blocked accept on Linux; closing alone need not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const int fd : conn_fds_) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    for (std::thread& t : conn_threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    conn_threads_.clear();
+    conn_fds_.clear();
+  }
+
+  // Actual bound port (differs from the requested one when it was 0).
+  int bound_port() const {
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    if (listen_fd_ < 0 ||
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+            0) {
+      return -1;
+    }
+    if (addr.ss_family == AF_INET) {
+      return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+    }
+    if (addr.ss_family == AF_INET6) {
+      return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+    }
+    return -1;
+  }
+
+ private:
+  void AcceptLoop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) {
+          continue;
+        }
+        break;  // shutdown (or a fatal accept error): stop serving
+      }
+      SetNoDelay(fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    }
+  }
+
+  void ServeConnection(int fd) {
+    std::string payload;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      // A torn frame, an oversized length (garbage prefix), or any socket error
+      // closes this connection; other connections keep serving.
+      if (wire::RecvFrame(fd, &payload) != 1) {
+        break;
+      }
+      Json request;
+      Json response;
+      if (Json::Parse(payload, &request)) {
+        response = handler_(request);
+      } else {
+        response = Json::MakeObject();
+        response.Set("type", "error");
+        response.Set("error", "unparseable request");
+      }
+      if (!wire::SendFrame(fd, response.Dump())) {
+        break;
+      }
+    }
+    ::close(fd);
+  }
+
+  const TcpAddress address_;
+  RequestHandler handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+class TcpClient : public TransportClient {
+ public:
+  explicit TcpClient(TcpAddress address) : address_(std::move(address)) {}
+  ~TcpClient() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  void set_connect_timeout_ms(int ms) override { connect_timeout_ms_ = ms; }
+
+  bool Call(const Json& request, Json* response, std::string* error) override {
+    if (fd_ < 0 && !Connect(error)) {
+      return false;
+    }
+    errno = 0;  // distinguish a clean peer close from a real socket error
+    std::string payload;
+    if (!wire::SendFrame(fd_, request.Dump()) ||
+        wire::RecvFrame(fd_, &payload) != 1) {
+      const int err = errno;
+      // Sever the exchange: the next Call reconnects from scratch.
+      ::close(fd_);
+      fd_ = -1;
+      *error = "coordinator connection lost (tcp:" + address_.host + ":" +
+               address_.port + "): " +
+               (err != 0 ? std::strerror(err) : "connection closed by peer");
+      return false;
+    }
+    if (!Json::Parse(payload, response)) {
+      *error = "unparseable response from coordinator";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Connect(std::string* error) {
+    const Micros deadline =
+        NowMicros() + static_cast<Micros>(connect_timeout_ms_) * 1000;
+    std::string last_error;
+    while (true) {
+      if (TryConnectOnce(&last_error)) {
+        return true;
+      }
+      // The coordinator may simply not be listening yet (agents are often
+      // spawned first, and across machines it may still be booting); retry
+      // until the deadline.
+      if (NowMicros() >= deadline) {
+        *error = "connect tcp:" + address_.host + ":" + address_.port + ": " +
+                 last_error;
+        return false;
+      }
+      SleepMicros(20'000);
+    }
+  }
+
+  bool TryConnectOnce(std::string* last_error) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(
+        address_.host.empty() ? "127.0.0.1" : address_.host.c_str(),
+        address_.port.c_str(), &hints, &results);
+    if (rc != 0) {
+      *last_error = std::string(::gai_strerror(rc));
+      return false;
+    }
+    for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family,
+                              ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+      if (fd < 0) {
+        *last_error = Errno("socket");
+        continue;
+      }
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        SetNoDelay(fd);
+        fd_ = fd;
+        ::freeaddrinfo(results);
+        return true;
+      }
+      *last_error = std::strerror(errno);
+      ::close(fd);
+    }
+    ::freeaddrinfo(results);
+    return false;
+  }
+
+  const TcpAddress address_;
+  int connect_timeout_ms_ = 10'000;
+  int fd_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<TransportServer> MakeTcpTransportServer(
+    const std::string& hostport, std::string* error) {
+  TcpAddress address;
+  if (!ParseTcpAddress(hostport, &address, error)) {
+    return nullptr;
+  }
+  return std::make_unique<TcpServer>(std::move(address));
+}
+
+std::unique_ptr<TransportClient> MakeTcpTransportClient(
+    const std::string& hostport, std::string* error) {
+  TcpAddress address;
+  if (!ParseTcpAddress(hostport, &address, error)) {
+    return nullptr;
+  }
+  return std::make_unique<TcpClient>(std::move(address));
+}
+
+}  // namespace tsvd::fleet

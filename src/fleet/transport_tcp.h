@@ -1,0 +1,46 @@
+// The tcp: transport backend (DESIGN.md §14) — the backend that leaves the
+// machine.
+//
+//   "tcp:<host>:<port>[?backlog=N]"
+//
+// Server: resolves <host> (IPv4/IPv6/hostname; empty host binds the wildcard
+// address), binds with SO_REUSEADDR (coordinator restarts must not wait out
+// TIME_WAIT), listens with a configurable accept backlog (default 128), and
+// serves one thread per accepted connection — the same shape as the uds:
+// backend. Port 0 binds an ephemeral port; `bound_port()` reports it so tests
+// and supervisors can publish the real endpoint.
+//
+// Client: connects lazily with retry until the connect deadline (agents often
+// start before the coordinator listens; a refused or unreachable endpoint is
+// retried, not fatal), sets TCP_NODELAY (the protocol is small request/response
+// exchanges — Nagle would serialize them against delayed ACKs), and fails a
+// Call on any mid-exchange error so the caller's retry policy owns re-sending.
+//
+// Framing is length-prefixed (src/fleet/wire.h), not newline-delimited: a real
+// network can truncate a message mid-byte, and a length prefix turns any
+// truncation into a detectable short read instead of a silently concatenated
+// document. All errors carry errno text.
+//
+// These factories are internal to the transport layer; user code goes through
+// MakeTransportServer / MakeTransportClient with a "tcp:" address.
+#ifndef SRC_FLEET_TRANSPORT_TCP_H_
+#define SRC_FLEET_TRANSPORT_TCP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fleet/transport.h"
+
+namespace tsvd::fleet {
+
+// `hostport` is the address with the "tcp:" scheme already stripped:
+// "<host>:<port>[?backlog=N]". Returns null with `error` set on a malformed
+// address; resolution/bind errors surface from Start()/Call() with errno text.
+std::unique_ptr<TransportServer> MakeTcpTransportServer(
+    const std::string& hostport, std::string* error);
+std::unique_ptr<TransportClient> MakeTcpTransportClient(
+    const std::string& hostport, std::string* error);
+
+}  // namespace tsvd::fleet
+
+#endif  // SRC_FLEET_TRANSPORT_TCP_H_

@@ -48,10 +48,25 @@ size_t TrapStoreService::CommitRound(const TrapFile& round_traps) {
   std::lock_guard<std::mutex> lock(mu_);
   const size_t before = store_.size();
   store_.Merge(round_traps);
+  if (staged_.size() != 0) {
+    store_.Merge(staged_);
+    staged_ = TrapFile();
+  }
   if (store_.size() != before) {
     ++version_;
   }
   return store_.size();
+}
+
+size_t TrapStoreService::StageFederated(const TrapFile& remote_traps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  staged_.Merge(remote_traps);
+  return staged_.size();
+}
+
+size_t TrapStoreService::staged_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_.size();
 }
 
 bool MergeIntoStoreFile(const std::string& path, const TrapFile& traps,

@@ -44,13 +44,26 @@ class TrapStoreService {
   // version. Call before serving.
   void Restore(TrapFile initial);
 
-  // Round boundary: merges the round's learned pairs and bumps the version if the
-  // store grew. Returns the store size after the merge.
+  // Round boundary: merges the round's learned pairs — plus anything staged by
+  // federation since the last boundary — and bumps the version if the store
+  // grew. Returns the store size after the merge.
   size_t CommitRound(const TrapFile& round_traps);
+
+  // Federation intake (DESIGN.md §14): pairs learned by a *peer* coordinator are
+  // staged here and folded in only at the next CommitRound, preserving the
+  // round-boundary commit invariant — every job of a round still imports one
+  // snapshot, no matter when a peer's delta arrived. Returns how many staged
+  // pairs are pending. Thread-safe; TrapFile::Merge's monotone union makes
+  // re-delivery (duplicated or replayed pushes) harmless.
+  size_t StageFederated(const TrapFile& remote_traps);
+
+  // Pairs staged but not yet committed. For tests and stats.
+  size_t staged_size() const;
 
  private:
   mutable std::mutex mu_;
   TrapFile store_;
+  TrapFile staged_;  // federation deltas awaiting the next round boundary
   uint64_t version_ = 1;
 };
 

@@ -1,0 +1,259 @@
+// Trap-store federation: the store_pull / store_push protocol semantics, and
+// the end-to-end claim that two coordinators cross-gossiping over a lossy,
+// duplicating link still converge to the union of their stores — the monotone
+// union is doing the correctness work, the protocol only has to keep retrying.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/campaign/json.h"
+#include "src/fleet/federation.h"
+#include "src/fleet/transport.h"
+#include "src/fleet/trap_store.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::Json;
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_federation_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+TrapFile MakeTraps(
+    std::initializer_list<std::pair<std::string, std::string>> pairs) {
+  TrapFile file;
+  for (const auto& p : pairs) {
+    file.pairs.push_back(p);
+  }
+  file.Canonicalize();
+  return file;
+}
+
+TEST(HandleStoreRequestTest, IgnoresNonStoreRequests) {
+  TrapStoreService store;
+  Json request = Json::MakeObject();
+  request.Set("type", "lease");
+  Json response;
+  EXPECT_FALSE(HandleStoreRequest(&store, request, &response));
+
+  Json untyped = Json::MakeObject();
+  EXPECT_FALSE(HandleStoreRequest(&store, untyped, &response));
+}
+
+TEST(HandleStoreRequestTest, PullShipsOnlyToStaleCallers) {
+  TrapStoreService store;
+  store.CommitRound(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"}}));
+
+  Json pull = Json::MakeObject();
+  pull.Set("type", "store_pull");
+  pull.Set("have_version", 0);
+  Json response;
+  ASSERT_TRUE(HandleStoreRequest(&store, pull, &response));
+  EXPECT_EQ(response.Find("type")->as_string(), "store");
+  ASSERT_TRUE(response.Has("traps"));
+  EXPECT_EQ(TrapFile::Deserialize(response.Find("traps")->as_string()).size(),
+            1u);
+  const int64_t version = response.Find("version")->as_int();
+  EXPECT_EQ(version, static_cast<int64_t>(store.version()));
+
+  // A current caller gets a version echo and no payload.
+  pull.Set("have_version", version);
+  ASSERT_TRUE(HandleStoreRequest(&store, pull, &response));
+  EXPECT_FALSE(response.Has("traps"));
+  EXPECT_EQ(response.Find("version")->as_int(), version);
+}
+
+TEST(HandleStoreRequestTest, PushStagesAndIsIdempotent) {
+  TrapStoreService store;
+  Json push = Json::MakeObject();
+  push.Set("type", "store_push");
+  push.Set("traps", MakeTraps({{"p.cc:5 Lock", "q.cc:6 Unlock"}}).Serialize());
+  Json response;
+  ASSERT_TRUE(HandleStoreRequest(&store, push, &response));
+  EXPECT_EQ(response.Find("type")->as_string(), "ack");
+  EXPECT_TRUE(response.Find("accepted")->as_bool());
+  EXPECT_EQ(store.staged_size(), 1u);
+  EXPECT_EQ(store.Snapshot().size(), 0u);  // staged, not merged
+
+  // The same push replayed (a lost ack makes the peer re-send) stages nothing
+  // new and says so.
+  ASSERT_TRUE(HandleStoreRequest(&store, push, &response));
+  EXPECT_FALSE(response.Find("accepted")->as_bool());
+  EXPECT_EQ(store.staged_size(), 1u);
+}
+
+TEST(HandleStoreRequestTest, PushWithoutPayloadIsRefusedNotCrashed) {
+  TrapStoreService store;
+  Json push = Json::MakeObject();
+  push.Set("type", "store_push");
+  Json response;
+  ASSERT_TRUE(HandleStoreRequest(&store, push, &response));
+  EXPECT_FALSE(response.Find("accepted")->as_bool());
+  EXPECT_TRUE(response.Has("error"));
+}
+
+// One "coordinator" reduced to its federation surface: a trap store plus a
+// transport server that answers only the store exchanges.
+struct FederationNode {
+  explicit FederationNode(const std::string& address) : address_(address) {}
+
+  void Start() {
+    std::string error;
+    server_ = MakeTransportServer(address_, &error);
+    ASSERT_NE(server_, nullptr) << error;
+    ASSERT_TRUE(server_->Start(
+        [this](const Json& request) {
+          Json response;
+          if (!HandleStoreRequest(&store_, request, &response)) {
+            response = Json::MakeObject();
+            response.Set("type", "error");
+            response.Set("error", "not a store request");
+          }
+          return response;
+        },
+        &error))
+        << error;
+  }
+
+  void Federate(const std::string& peer, const std::string& chaos) {
+    FederationOptions options;
+    options.peers = {peer};
+    options.interval_ms = 20;
+    options.chaos = chaos;
+    federator_ = std::make_unique<StoreFederator>(&store_, options);
+    std::string error;
+    ASSERT_TRUE(federator_->Start(&error)) << error;
+  }
+
+  void Shutdown() {
+    if (federator_ != nullptr) {
+      federator_->Stop();
+    }
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+  }
+
+  const std::string address_;
+  TrapStoreService store_;
+  std::unique_ptr<TransportServer> server_;
+  std::unique_ptr<StoreFederator> federator_;
+};
+
+TEST(StoreFederatorTest, TwoNodesConvergeToTheUnionOverAChaoticLink) {
+  ScopedTempDir dir;
+  FederationNode a("uds:" + dir.path + "/a.sock");
+  FederationNode b("uds:" + dir.path + "/b.sock");
+  a.Start();
+  b.Start();
+
+  // Each side learns its own disjoint pairs before gossip begins.
+  a.store_.CommitRound(MakeTraps({{"a1 Get", "a2 Set"}, {"a3 Put", "a4 Del"}}));
+  b.store_.CommitRound(MakeTraps({{"b1 Get", "b2 Set"}}));
+
+  // A link that loses 30% of each direction and duplicates a quarter of the
+  // deliveries. Federation must converge anyway: failures retry next cycle and
+  // duplicated pushes merge to the same set.
+  const std::string chaos = "seed=9,drop_send=0.3,drop_recv=0.3,dup=0.25";
+  a.Federate(b.address_, chaos);
+  b.Federate(a.address_, chaos);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool converged = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Staged deltas only become visible at round boundaries, as in the real
+    // coordinator; drive empty rounds to fold them in.
+    a.store_.CommitRound(TrapFile());
+    b.store_.CommitRound(TrapFile());
+    if (a.store_.Snapshot().size() == 3 && b.store_.Snapshot().size() == 3) {
+      converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  a.Shutdown();
+  b.Shutdown();
+
+  ASSERT_TRUE(converged) << "stores did not converge: a="
+                         << a.store_.Snapshot().size()
+                         << " b=" << b.store_.Snapshot().size();
+  for (FederationNode* node : {&a, &b}) {
+    const TrapFile snapshot = node->store_.Snapshot();
+    EXPECT_TRUE(snapshot.Contains("a1 Get", "a2 Set"));
+    EXPECT_TRUE(snapshot.Contains("a3 Put", "a4 Del"));
+    EXPECT_TRUE(snapshot.Contains("b1 Get", "b2 Set"));
+  }
+  // The chaos actually bit: some exchanges failed and were retried.
+  EXPECT_GT(a.federator_->stats().failures + b.federator_->stats().failures, 0u);
+  EXPECT_GT(a.federator_->stats().pulls + a.federator_->stats().pushes, 0u);
+}
+
+TEST(StoreFederatorTest, StartRejectsMalformedPeerAddressesAndChaosSpecs) {
+  TrapStoreService store;
+  {
+    FederationOptions options;
+    options.peers = {"carrier-pigeon:/coop"};
+    StoreFederator federator(&store, options);
+    std::string error;
+    EXPECT_FALSE(federator.Start(&error));
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    FederationOptions options;
+    options.peers = {"tcp:127.0.0.1:1"};
+    options.chaos = "gremlins=0.9";
+    StoreFederator federator(&store, options);
+    std::string error;
+    EXPECT_FALSE(federator.Start(&error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(StoreFederatorTest, PeerBeingDownIsACountedFailureNotAnError) {
+  ScopedTempDir dir;
+  TrapStoreService store;
+  store.CommitRound(MakeTraps({{"x Get", "y Set"}}));
+  FederationOptions options;
+  options.peers = {"uds:" + dir.path + "/nobody-home.sock"};
+  options.interval_ms = 20;
+  options.connect_timeout_ms = 50;
+  StoreFederator federator(&store, options);
+  std::string error;
+  ASSERT_TRUE(federator.Start(&error)) << error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (federator.stats().failures == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  federator.Stop();
+  EXPECT_GT(federator.stats().failures, 0u);
+  EXPECT_EQ(federator.stats().pulls, 0u);
+}
+
+}  // namespace
+}  // namespace tsvd::fleet

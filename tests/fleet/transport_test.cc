@@ -1,11 +1,19 @@
 // Transport conformance, run against every backend: request/response integrity,
 // concurrent clients, clients that start before the server listens (agents race
-// the coordinator), and clean Stop. The same suite binds to "uds:" and "dir:"
-// addresses so a future TCP backend inherits the contract by adding one line.
+// the coordinator), and clean Stop. The same suite binds to "uds:", "dir:", and
+// "tcp:" addresses, so every backend inherits the contract. TCP additionally
+// gets raw-socket framing-robustness tests (torn frames, lying length prefixes,
+// garbage payloads) that the generic client interface cannot express.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -39,13 +47,39 @@ struct ScopedTempDir {
   std::string path;
 };
 
+// Grabs a currently-free loopback port by binding port 0 and reading back what
+// the kernel assigned. Racy in principle (someone else could claim it between
+// the close and the server's bind), but loopback churn in tests makes a
+// collision vanishingly rare — and a failure is loud, not silent.
+int ProbeFreeTcpPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
 class TransportTest : public testing::TestWithParam<const char*> {
  protected:
   std::string Address() const {
     const std::string scheme = GetParam();
+    if (scheme == "tcp") {
+      if (port_ == 0) {
+        port_ = ProbeFreeTcpPort();  // stable across calls within one test
+      }
+      return "tcp:127.0.0.1:" + std::to_string(port_);
+    }
     return scheme + ":" + dir_.path + "/endpoint";
   }
   ScopedTempDir dir_;
+  mutable int port_ = 0;
 };
 
 Json EchoHandler(const Json& request) {
@@ -159,7 +193,7 @@ TEST_P(TransportTest, StopIsIdempotentAndCallAfterStopFails) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, TransportTest,
-                         testing::Values("uds", "dir"),
+                         testing::Values("uds", "dir", "tcp"),
                          [](const testing::TestParamInfo<const char*>& param) {
                            return std::string(param.param);
                          });
@@ -171,6 +205,138 @@ TEST(TransportFactoryTest, UnknownSchemeIsRejected) {
   error.clear();
   EXPECT_EQ(MakeTransportClient("carrier-pigeon:/coop", &error), nullptr);
   EXPECT_FALSE(error.empty());
+}
+
+TEST(TransportFactoryTest, MalformedTcpAddressesAreRejectedWithReasons) {
+  const char* bad[] = {
+      "tcp:no-port-here",              // missing :port
+      "tcp:127.0.0.1:",                // empty port
+      "tcp:127.0.0.1:http",            // non-numeric port
+      "tcp:127.0.0.1:1?frobnicate=9",  // unknown parameter
+      "tcp:127.0.0.1:1?backlog=0",     // backlog out of range
+  };
+  for (const char* address : bad) {
+    std::string error;
+    EXPECT_EQ(MakeTransportServer(address, &error), nullptr) << address;
+    EXPECT_FALSE(error.empty()) << address;
+    error.clear();
+    EXPECT_EQ(MakeTransportClient(address, &error), nullptr) << address;
+    EXPECT_FALSE(error.empty()) << address;
+  }
+}
+
+// --- TCP-specific framing robustness -----------------------------------------
+// These speak raw bytes at the listener, which the TransportClient interface
+// cannot do: a hostile or truncated byte stream must cost one connection, never
+// the server.
+
+class TcpFramingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    port_ = ProbeFreeTcpPort();
+    std::string error;
+    server_ = MakeTransportServer(Address(), &error);
+    ASSERT_NE(server_, nullptr) << error;
+    ASSERT_TRUE(server_->Start(EchoHandler, &error)) << error;
+  }
+  void TearDown() override { server_->Stop(); }
+
+  std::string Address() const { return "tcp:127.0.0.1:" + std::to_string(port_); }
+
+  int RawConnect() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    return fd;
+  }
+
+  // The server must keep serving well-formed clients no matter what the raw
+  // socket just did to it.
+  void ExpectServerStillServes() {
+    std::string error;
+    auto client = MakeTransportClient(Address(), &error);
+    ASSERT_NE(client, nullptr) << error;
+    Json request = Json::MakeObject();
+    request.Set("payload", "still alive?");
+    Json response;
+    ASSERT_TRUE(client->Call(request, &response, &error)) << error;
+    EXPECT_EQ(response.Find("echo")->as_string(), "still alive?");
+  }
+
+  int port_ = 0;
+  std::unique_ptr<TransportServer> server_;
+};
+
+TEST_F(TcpFramingTest, TornFrameCostsOnlyThatConnection) {
+  const int fd = RawConnect();
+  // Header promises 64 bytes; deliver 5 and hang up mid-frame.
+  const unsigned char header[4] = {0, 0, 0, 64};
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0), 4);
+  ASSERT_EQ(::send(fd, "torn!", 5, 0), 5);
+  ::close(fd);
+  ExpectServerStillServes();
+}
+
+TEST_F(TcpFramingTest, LyingLengthPrefixIsRejectedNotAllocated) {
+  const int fd = RawConnect();
+  // 0xFFFFFFFF-byte frame: far past the 64 MiB guard. The server must refuse
+  // (close the connection) without trying to buffer 4 GiB.
+  const unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0), 4);
+  char byte = 0;
+  // Server closes on us: recv sees EOF rather than blocking for more payload.
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  ExpectServerStillServes();
+}
+
+TEST_F(TcpFramingTest, GarbagePayloadGetsAnErrorResponse) {
+  const int fd = RawConnect();
+  const std::string garbage = "this is not json";
+  const uint32_t be_len = htonl(static_cast<uint32_t>(garbage.size()));
+  unsigned char header[4];
+  std::memcpy(header, &be_len, 4);
+  ASSERT_EQ(::send(fd, header, 4, 0), 4);
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+
+  unsigned char resp_header[4] = {};
+  ASSERT_EQ(::recv(fd, resp_header, 4, MSG_WAITALL), 4);
+  uint32_t resp_len = 0;
+  std::memcpy(&resp_len, resp_header, 4);
+  resp_len = ntohl(resp_len);
+  ASSERT_GT(resp_len, 0u);
+  ASSERT_LT(resp_len, 4096u);
+  std::string payload(resp_len, '\0');
+  ASSERT_EQ(::recv(fd, payload.data(), resp_len, MSG_WAITALL),
+            static_cast<ssize_t>(resp_len));
+  Json doc;
+  ASSERT_TRUE(Json::Parse(payload, &doc));
+  EXPECT_EQ(doc.Find("type")->as_string(), "error");
+  ::close(fd);
+  ExpectServerStillServes();
+}
+
+TEST(TcpClientErrorTest, ConnectFailureNamesEndpointAndErrnoCause) {
+  // Nothing listens on the probed port; the refusal must name the endpoint and
+  // carry the OS-level cause (satellite: errno text in transport errors).
+  const int port = ProbeFreeTcpPort();
+  std::string error;
+  auto client =
+      MakeTransportClient("tcp:127.0.0.1:" + std::to_string(port), &error);
+  ASSERT_NE(client, nullptr) << error;
+  client->set_connect_timeout_ms(100);
+  Json response;
+  ASSERT_FALSE(client->Call(Json::MakeObject(), &response, &error));
+  EXPECT_NE(error.find("tcp:127.0.0.1:" + std::to_string(port)),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find("refused"), std::string::npos) << error;
 }
 
 }  // namespace

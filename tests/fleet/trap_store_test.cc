@@ -80,6 +80,31 @@ TEST(TrapStoreServiceTest, SerializeIfStaleOnlyShipsToStaleCallers) {
   EXPECT_FALSE(service.SerializeIfStale(version, &version, &text));
 }
 
+TEST(TrapStoreServiceTest, StagedFederationPairsAreInvisibleUntilCommitRound) {
+  TrapStoreService service;
+  service.CommitRound(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"}}));
+  const uint64_t version_before = service.version();
+
+  // A peer's delta arrives mid-round: staged, not merged — jobs of the current
+  // round must keep seeing the snapshot they started with.
+  EXPECT_EQ(service.StageFederated(MakeTraps({{"peer.cc:5 Lock", "peer.cc:6 Unlock"}})),
+            1u);
+  EXPECT_EQ(service.staged_size(), 1u);
+  EXPECT_EQ(service.Snapshot().size(), 1u);
+  EXPECT_EQ(service.version(), version_before);
+
+  // Re-delivery of the same delta (duplicated push over a lossy link) is a
+  // no-op thanks to the monotone union.
+  EXPECT_EQ(service.StageFederated(MakeTraps({{"peer.cc:5 Lock", "peer.cc:6 Unlock"}})),
+            1u);
+
+  // The round boundary folds the staged pairs in and bumps the version once.
+  EXPECT_EQ(service.CommitRound(TrapFile()), 2u);
+  EXPECT_EQ(service.staged_size(), 0u);
+  EXPECT_TRUE(service.Snapshot().Contains("peer.cc:5 Lock", "peer.cc:6 Unlock"));
+  EXPECT_EQ(service.version(), version_before + 1);
+}
+
 TEST(TrapStoreServiceTest, RestoreSeedsWithoutBumpingTheVersion) {
   TrapStoreService service;
   service.Restore(MakeTraps({{"a.cc:1 Get", "b.cc:2 Set"},

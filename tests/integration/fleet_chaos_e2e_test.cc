@@ -1,0 +1,396 @@
+// Chaos end-to-end: the fleet contract — bug-for-bug equality with the
+// single-process campaign — must survive a hostile network, not just a quiet
+// loopback socket. A 4-agent TCP fleet under seeded drop/duplicate/delay
+// schedules, a mid-round partition that heals, and a SIGKILLed agent whose
+// leases are freed by liveness eviction (not by waiting out the lease timeout)
+// must all report the exact unique-bug set of RunCampaign, with every
+// (round, module) in the ledger exactly once. Exit codes are part of the
+// contract too: an unreachable coordinator and an eviction verdict must be
+// distinguishable from a campaign failure without parsing stderr.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/journal.h"
+#include "src/fleet/agent.h"
+#include "src/fleet/coordinator.h"
+#include "src/report/trap_file.h"
+
+#ifndef _WIN32
+
+namespace tsvd::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::CampaignOptions;
+using campaign::CampaignResult;
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_fleet_chaos_e2e_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+int ProbeFreeTcpPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+// The same small bug-bearing corpus the clean fleet e2e pins its determinism
+// contract on (tests/integration/fleet_e2e_test.cc).
+CampaignOptions FastOptions(const std::string& out_dir) {
+  CampaignOptions options;
+  options.num_modules = 10;
+  options.workers = 4;
+  options.rounds = 3;
+  options.scale = 0.01;
+  options.seed = 42;
+  options.pool_threads_per_worker = 4;
+  options.out_dir = out_dir;
+  options.journal_snapshot_every = 4;
+  return options;
+}
+
+// The eviction scenarios need the campaign to still be mid-round when a silent
+// agent's eviction threshold passes, so they run the same corpus with 5x the
+// injected-delay scale: every job is ~5x longer, which stretches the campaign
+// without changing which bugs it finds.
+CampaignOptions SlowOptions(const std::string& out_dir) {
+  CampaignOptions options = FastOptions(out_dir);
+  options.scale = 0.05;
+  return options;
+}
+
+std::set<std::pair<std::string, std::string>> SignatureSet(
+    const CampaignResult& result) {
+  std::set<std::pair<std::string, std::string>> signatures;
+  for (const auto& bug : result.bugs) {
+    signatures.emplace(bug.sig_first, bug.sig_second);
+  }
+  return signatures;
+}
+
+void ExpectNoDuplicateRunRecords(const std::string& out_dir) {
+  campaign::JournalReplay replay;
+  ASSERT_TRUE(campaign::CampaignJournal::Load(
+      campaign::CampaignJournal::PathIn(out_dir), &replay));
+  std::set<std::pair<int, int>> keys;
+  for (const campaign::RunOutcome& outcome : replay.outcomes) {
+    EXPECT_TRUE(keys.emplace(outcome.round, outcome.module_index).second)
+        << "run journaled twice: round " << outcome.round << " module "
+        << outcome.module_index;
+  }
+}
+
+// The tsvd_fleet exit-code mapping, reproduced here so the forked agents
+// report their status the same way the CLI does.
+int ExitCodeFor(const AgentResult& result) {
+  switch (result.status) {
+    case AgentStatus::kOk:
+      return 0;
+    case AgentStatus::kUnreachable:
+      return 3;
+    case AgentStatus::kEvicted:
+      return 4;
+    case AgentStatus::kError:
+      return 1;
+  }
+  return 1;
+}
+
+// Per-agent knobs the chaos scenarios vary.
+struct AgentSpec {
+  std::string chaos;
+  uint64_t chaos_salt = 0;
+  int heartbeat_ms = 0;
+  int rpc_retry_ms = 30'000;
+};
+
+struct FleetRun {
+  CampaignResult result;
+  FleetStats stats;
+  std::vector<pid_t> agent_pids;
+  std::vector<int> agent_statuses;  // waitpid status per agent, same order
+};
+
+// Forks one agent process per spec (before the coordinator spawns any thread,
+// so the children are clean single-threaded forks), runs the coordinator to
+// completion on the calling thread, SIGKILLs agent `kill_index` after
+// `kill_after_ms` when asked, then joins everything.
+FleetRun RunChaosFleet(const FleetOptions& options, const std::string& scratch,
+                       const std::vector<AgentSpec>& specs, int kill_index = -1,
+                       int kill_after_ms = 0) {
+  FleetRun run;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const pid_t pid = fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+      SetDurableFileSync(false);  // agent journals are forensics, not the ledger
+      AgentOptions agent;
+      agent.address = options.address;
+      agent.name = "chaos-agent-" + std::to_string(i);
+      agent.work_dir = scratch + "/" + agent.name;
+      agent.chaos = specs[i].chaos;
+      agent.chaos_salt = specs[i].chaos_salt;
+      agent.heartbeat_ms = specs[i].heartbeat_ms;
+      agent.rpc_retry_ms = specs[i].rpc_retry_ms;
+      _exit(ExitCodeFor(RunAgent(agent)));
+    }
+    run.agent_pids.push_back(pid);
+  }
+
+  FleetCoordinator coordinator(options);
+  std::thread killer;
+  if (kill_index >= 0) {
+    const pid_t victim = run.agent_pids[static_cast<size_t>(kill_index)];
+    killer = std::thread([victim, kill_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+      kill(victim, SIGKILL);
+    });
+  }
+  run.result = coordinator.Run();
+  if (killer.joinable()) {
+    killer.join();
+  }
+  for (const pid_t pid : run.agent_pids) {
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    run.agent_statuses.push_back(status);
+  }
+  run.stats = coordinator.stats();
+  coordinator.Shutdown();
+  return run;
+}
+
+std::string TcpLoopbackAddress() {
+  return "tcp:127.0.0.1:" + std::to_string(ProbeFreeTcpPort());
+}
+
+TEST(FleetChaosE2ETest, ChaoticTcpFleetMatchesSingleProcessBugSet) {
+  ScopedTempDir baseline_dir;
+  ScopedTempDir fleet_dir;
+  const CampaignResult baseline =
+      campaign::RunCampaign(FastOptions(baseline_dir.path));
+  ASSERT_TRUE(baseline.error.empty()) << baseline.error;
+  ASSERT_FALSE(baseline.bugs.empty());
+
+  FleetOptions options;
+  options.campaign = FastOptions(fleet_dir.path + "/out");
+  options.address = TcpLoopbackAddress();
+  // Every link loses ~8% of each direction, duplicates ~12% of deliveries, and
+  // jitters by up to a millisecond — a genuinely bad network, seeded so the
+  // fault schedule replays.
+  std::vector<AgentSpec> specs(4);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].chaos = "seed=11,drop_send=0.08,drop_recv=0.08,dup=0.12,delay_ms=1";
+    specs[i].chaos_salt = i + 1;
+    specs[i].heartbeat_ms = 100;
+  }
+  const FleetRun fleet = RunChaosFleet(options, fleet_dir.path, specs);
+  ASSERT_TRUE(fleet.result.error.empty()) << fleet.result.error;
+
+  // The contract under test: the network faults are invisible at the ledger.
+  EXPECT_EQ(SignatureSet(fleet.result), SignatureSet(baseline));
+  EXPECT_EQ(fleet.result.UniqueBugCount(), baseline.UniqueBugCount());
+  EXPECT_EQ(fleet.result.RunsExecuted(), baseline.RunsExecuted());
+  EXPECT_EQ(fleet.result.rounds.size(), baseline.rounds.size());
+  EXPECT_EQ(fleet.result.converged, baseline.converged);
+
+  EXPECT_EQ(fleet.stats.agents_joined, 4u);
+  // The chaos actually bit: duplicated deliveries and post-loss retries were
+  // answered from the nonce cache instead of re-executing.
+  EXPECT_GT(fleet.stats.duplicate_requests, 0u);
+  for (const int status : fleet.agent_statuses) {
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  ExpectNoDuplicateRunRecords(options.campaign.out_dir);
+}
+
+TEST(FleetChaosE2ETest, MidRoundPartitionThatHealsChangesNothing) {
+  ScopedTempDir baseline_dir;
+  ScopedTempDir fleet_dir;
+  const CampaignResult baseline =
+      campaign::RunCampaign(FastOptions(baseline_dir.path));
+  ASSERT_TRUE(baseline.error.empty()) << baseline.error;
+
+  FleetOptions options;
+  options.campaign = FastOptions(fleet_dir.path + "/out");
+  options.address = TcpLoopbackAddress();
+  // Short lease so jobs the partitioned agent is holding get stolen while it is
+  // cut off; when it heals, its stale publishes lose to first-publish-wins.
+  options.lease_timeout_ms = 500;
+  std::vector<AgentSpec> specs(4);
+  // Agent 0 falls off the network 150ms into its campaign, both directions, for
+  // 700ms, then heals for good and rejoins the work.
+  specs[0].chaos = "seed=5,partition_after_ms=150,partition_ms=700";
+  const FleetRun fleet = RunChaosFleet(options, fleet_dir.path, specs);
+  ASSERT_TRUE(fleet.result.error.empty()) << fleet.result.error;
+  EXPECT_FALSE(fleet.result.interrupted);
+
+  EXPECT_EQ(SignatureSet(fleet.result), SignatureSet(baseline));
+  EXPECT_EQ(fleet.result.UniqueBugCount(), baseline.UniqueBugCount());
+  EXPECT_EQ(fleet.result.RunsExecuted(), baseline.RunsExecuted());
+  EXPECT_EQ(fleet.result.rounds.size(), baseline.rounds.size());
+  EXPECT_EQ(fleet.result.converged, baseline.converged);
+
+  // The healed agent exits cleanly like everyone else — a survived partition is
+  // not an error.
+  for (const int status : fleet.agent_statuses) {
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  ExpectNoDuplicateRunRecords(options.campaign.out_dir);
+}
+
+TEST(FleetChaosE2ETest, SigkilledAgentIsEvictedAndItsLeasesFreedImmediately) {
+  ScopedTempDir baseline_dir;
+  ScopedTempDir fleet_dir;
+  // A slower campaign than the clean scenarios: the victim may die in an
+  // end-of-round wait state holding no lease, in which case eviction only
+  // fires if a round is still running 300ms after its last contact — so the
+  // survivors need enough remaining work that the campaign is guaranteed to
+  // still be mid-round by then.
+  const CampaignResult baseline =
+      campaign::RunCampaign(SlowOptions(baseline_dir.path));
+  ASSERT_TRUE(baseline.error.empty()) << baseline.error;
+
+  FleetOptions options;
+  options.campaign = SlowOptions(fleet_dir.path + "/out");
+  options.address = TcpLoopbackAddress();
+  // The lease timeout is deliberately enormous: the ONLY thing that can free
+  // the victim's leases within the test's lifetime is liveness eviction. If the
+  // sweep failed to zero the deadlines, the round barrier would hang here.
+  options.lease_timeout_ms = 600'000;
+  options.heartbeat_timeout_ms = 300;
+  std::vector<AgentSpec> specs(4);
+  for (AgentSpec& spec : specs) {
+    spec.heartbeat_ms = 75;
+  }
+  const FleetRun fleet = RunChaosFleet(options, fleet_dir.path, specs,
+                                       /*kill_index=*/1, /*kill_after_ms=*/250);
+  ASSERT_TRUE(fleet.result.error.empty()) << fleet.result.error;
+  EXPECT_FALSE(fleet.result.interrupted);
+
+  EXPECT_EQ(SignatureSet(fleet.result), SignatureSet(baseline));
+  EXPECT_EQ(fleet.result.UniqueBugCount(), baseline.UniqueBugCount());
+  EXPECT_EQ(fleet.result.RunsExecuted(), baseline.RunsExecuted());
+  EXPECT_EQ(fleet.result.rounds.size(), baseline.rounds.size());
+  EXPECT_EQ(fleet.result.converged, baseline.converged);
+  EXPECT_GE(fleet.stats.agents_evicted, 1u);
+
+  // The victim died by SIGKILL; every survivor exited cleanly.
+  EXPECT_TRUE(WIFSIGNALED(fleet.agent_statuses[1]) &&
+              WTERMSIG(fleet.agent_statuses[1]) == SIGKILL);
+  for (const size_t i : {0ul, 2ul, 3ul}) {
+    const int status = fleet.agent_statuses[i];
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  // Eviction + steal re-executed the victim's lost jobs without double-counting
+  // any (round, module), and the verdict was journaled as an event record.
+  ExpectNoDuplicateRunRecords(options.campaign.out_dir);
+  campaign::JournalReplay replay;
+  ASSERT_TRUE(campaign::CampaignJournal::Load(
+      campaign::CampaignJournal::PathIn(options.campaign.out_dir), &replay));
+  EXPECT_GE(replay.event_records, 1);
+}
+
+TEST(FleetChaosE2ETest, UnreachableCoordinatorYieldsTheDistinctExitCode) {
+  ScopedTempDir dir;
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    SetDurableFileSync(false);
+    AgentOptions agent;
+    agent.address = TcpLoopbackAddress();  // nothing listens here
+    agent.name = "lost-agent";
+    agent.work_dir = dir.path + "/lost-agent";
+    agent.hello_timeout_ms = 300;
+    _exit(ExitCodeFor(RunAgent(agent)));
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 3)
+      << "exit status " << status;
+}
+
+TEST(FleetChaosE2ETest, EvictedAgentExitsWithTheDistinctExitCode) {
+  ScopedTempDir baseline_dir;
+  ScopedTempDir fleet_dir;
+  // The slower corpus: the campaign must still be mid-round when the
+  // partitioned agent's silence crosses the eviction threshold, even with a
+  // single survivor carrying all the work.
+  const CampaignResult baseline =
+      campaign::RunCampaign(SlowOptions(baseline_dir.path));
+  ASSERT_TRUE(baseline.error.empty()) << baseline.error;
+
+  FleetOptions options;
+  options.campaign = SlowOptions(fleet_dir.path + "/out");
+  options.address = TcpLoopbackAddress();
+  options.heartbeat_timeout_ms = 200;
+  std::vector<AgentSpec> specs(2);
+  // Agent 0 sends no heartbeats and falls silent behind a long partition: the
+  // coordinator must evict it, and when the partition heals the agent must
+  // learn the sticky verdict on its next exchange and exit 4 — even if the
+  // campaign is already over by then. The onset is early enough that rounds
+  // are certainly still running 200ms later, and late enough that the agent
+  // has joined (an agent the coordinator never saw cannot be evicted).
+  specs[0].chaos = "seed=3,partition_after_ms=150,partition_ms=2500";
+  specs[0].heartbeat_ms = 0;
+  specs[1].heartbeat_ms = 50;  // the survivor carries the campaign alone
+  const FleetRun fleet = RunChaosFleet(options, fleet_dir.path, specs);
+  ASSERT_TRUE(fleet.result.error.empty()) << fleet.result.error;
+
+  EXPECT_EQ(SignatureSet(fleet.result), SignatureSet(baseline));
+  EXPECT_GE(fleet.stats.agents_evicted, 1u);
+  EXPECT_TRUE(WIFEXITED(fleet.agent_statuses[0]) &&
+              WEXITSTATUS(fleet.agent_statuses[0]) == 4)
+      << "exit status " << fleet.agent_statuses[0];
+  EXPECT_TRUE(WIFEXITED(fleet.agent_statuses[1]) &&
+              WEXITSTATUS(fleet.agent_statuses[1]) == 0);
+  ExpectNoDuplicateRunRecords(options.campaign.out_dir);
+}
+
+}  // namespace
+}  // namespace tsvd::fleet
+
+#endif  // !_WIN32
