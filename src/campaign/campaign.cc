@@ -1,6 +1,9 @@
 #include "src/campaign/campaign.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <utility>
 
@@ -8,6 +11,7 @@
 #include "src/campaign/run_executor.h"
 #include "src/campaign/scheduler.h"
 #include "src/campaign/sinks.h"
+#include "src/io/chaos_fs.h"
 
 namespace tsvd::campaign {
 
@@ -93,6 +97,9 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     if (!journal.Open(journal_path, header, /*truncate=*/fresh,
                       /*fsync=*/DurableFileSyncEnabled())) {
       result.error = "failed to open campaign journal at " + journal_path;
+      if (journal.last_errno() != 0) {
+        result.error += ": " + std::string(std::strerror(journal.last_errno()));
+      }
       return result;
     }
     journal.set_replayed_run_records(result.resumed_runs);
@@ -110,6 +117,23 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     }
   }
 
+  // Storage degradation state (DESIGN.md §15), errno-directed. ENOSPC on any
+  // durable write sets storage_drain, which the interrupt closure below turns
+  // into the same graceful drain a SIGINT produces: in-flight runs finish, a
+  // partial report is flushed, and the CLI maps result.disk_full to its
+  // distinct exit code. Any other journal failure (EIO) sets journal_degraded:
+  // the ledger is fail-closed but the campaign keeps running journal-less,
+  // stamping its reports "durability": "degraded".
+  std::atomic<bool> storage_drain{false};
+  std::atomic<bool> journal_lost{false};
+  const auto apply_storage_errno = [&](int err) {
+    if (err == ENOSPC) {
+      storage_drain.store(true, std::memory_order_relaxed);
+    } else {
+      journal_lost.store(true, std::memory_order_relaxed);
+    }
+  };
+
   Scheduler scheduler(options.workers, options.pool_threads_per_worker);
   if (journal.is_open()) {
     // The commit point: one fsync'd ledger record the moment a run reaches its
@@ -121,7 +145,11 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
           record.module_index < static_cast<int>(corpus.size())) {
         record.module = corpus[record.module_index].name;
       }
-      journal.AppendRun(record);
+      if (!journal.AppendRun(record)) {
+        // The journal fail-closed (journal.cc retried once on a fresh handle
+        // first). The run itself still counts — only its replay record is gone.
+        apply_storage_errno(journal.last_errno());
+      }
     });
   }
 
@@ -143,16 +171,28 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     meta.sandbox = sandboxed;
     meta.scale = options.scale;
     meta.seed = options.seed;
+    meta.durability =
+        journal_lost.load(std::memory_order_relaxed) ? "degraded" : "ok";
+    if (const io::ChaosFs* chaos = io::InstalledChaosFs()) {
+      meta.storage_faults = chaos->stats().Classes();
+    }
     const std::filesystem::path dir(options.out_dir);
     const std::string json_path = (dir / "campaign.json").string();
     const std::string sarif_path = (dir / "campaign.sarif").string();
     const std::vector<BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+    int sink_err = 0;
     if (WriteFileAtomic(json_path,
-                        RenderJson(meta, result.rounds, bugs, result.outcomes))) {
+                        RenderJson(meta, result.rounds, bugs, result.outcomes),
+                        &sink_err)) {
       result.json_path = json_path;
+    } else if (sink_err == ENOSPC) {
+      storage_drain.store(true, std::memory_order_relaxed);
     }
-    if (WriteFileAtomic(sarif_path, RenderSarif(meta, bugs, result.outcomes))) {
+    if (WriteFileAtomic(sarif_path, RenderSarif(meta, bugs, result.outcomes),
+                        &sink_err)) {
       result.sarif_path = sarif_path;
+    } else if (sink_err == ENOSPC) {
+      storage_drain.store(true, std::memory_order_relaxed);
     }
   };
 
@@ -161,10 +201,16 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   retry.backoff_base_ms = options.sandbox.backoff_base_ms;
   retry.backoff_cap_ms = options.sandbox.backoff_cap_ms;
 
-  const std::function<bool()>& interrupt = options.interrupt;
+  // Disk-full behaves exactly like a delivered SIGINT: the scheduler polls this
+  // closure between runs and drains on the first true.
+  const std::function<bool()> interrupt = [&]() {
+    return storage_drain.load(std::memory_order_relaxed) ||
+           (options.interrupt && options.interrupt());
+  };
   for (int round = start_round; !already_done && round <= rounds; ++round) {
-    if (interrupt && interrupt()) {
-      // Signal arrived between rounds: stop before dispatching anything.
+    if (interrupt()) {
+      // Signal (or disk-full drain) arrived between rounds: stop before
+      // dispatching anything.
       result.interrupted = true;
       break;
     }
@@ -296,22 +342,35 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       break;
     }
 
+    bool trap_store_committed = true;
     if (persist) {
-      if (!merged.SaveTo(result.trap_path)) {
+      int save_err = 0;
+      if (!merged.SaveTo(result.trap_path, &save_err)) {
+        trap_store_committed = false;
         result.trap_path.clear();
+        if (save_err == ENOSPC) {
+          storage_drain.store(true, std::memory_order_relaxed);
+        }
       }
     }
-    if (journal.is_open()) {
+    if (journal.is_open() && trap_store_committed) {
       // Commit the round — strictly after the trap store hit disk, so a round
-      // record always implies traps.tsvd reflects that round.
-      journal.AppendRoundComplete(stats, mgr.UniqueBugCount());
-      if (options.journal_snapshot_every > 0 &&
+      // record always implies traps.tsvd reflects that round. When the trap
+      // save failed the round record is withheld: resume re-executes the round
+      // rather than trusting a store that never landed.
+      if (!journal.AppendRoundComplete(stats, mgr.UniqueBugCount())) {
+        apply_storage_errno(journal.last_errno());
+      }
+      if (journal.is_open() && options.journal_snapshot_every > 0 &&
           journal.run_records() - last_snapshot_mark >=
               static_cast<uint64_t>(options.journal_snapshot_every)) {
+        int snap_err = 0;
         if (SaveBugMgrSnapshot(CampaignJournal::SnapshotPathIn(options.out_dir),
                                mgr, journal.run_records(),
-                               DurableFileSyncEnabled())) {
+                               DurableFileSyncEnabled(), &snap_err)) {
           last_snapshot_mark = journal.run_records();
+        } else if (snap_err == ENOSPC) {
+          storage_drain.store(true, std::memory_order_relaxed);
         }
       }
     }
@@ -330,8 +389,21 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   }
   result.merged_traps = std::move(merged);
 
+  if (storage_drain.load(std::memory_order_relaxed)) {
+    // Disk-full drain: the campaign is cut short like a signal drain, plus the
+    // distinct disk_full marker the CLI maps to its own exit code.
+    result.disk_full = true;
+    result.interrupted = true;
+  }
+  result.journal_degraded = journal_lost.load(std::memory_order_relaxed);
+
   if (journal.is_open() && !result.interrupted && !already_done) {
-    journal.AppendCampaignComplete(result.converged);
+    if (!journal.AppendCampaignComplete(result.converged)) {
+      apply_storage_errno(journal.last_errno());
+      result.disk_full =
+          result.disk_full || storage_drain.load(std::memory_order_relaxed);
+      result.journal_degraded = journal_lost.load(std::memory_order_relaxed);
+    }
   }
   journal.Close();
 

@@ -95,6 +95,15 @@ struct CampaignResult {
   // A drain (options.interrupt fired) cut the campaign short. The journal holds
   // every completed run; artifacts are partial and stamped "interrupted": true.
   bool interrupted = false;
+  // Storage degradation (DESIGN.md §15). disk_full: a durable write failed with
+  // ENOSPC, the campaign drained like a signal — in-flight runs finished, a
+  // partial report was flushed, and the CLI exits with the distinct disk-full
+  // code. journal_degraded: the run ledger failed with a non-ENOSPC error (EIO)
+  // and was closed; the campaign kept running journal-less — results are
+  // complete but not resumable, and reports are stamped "durability":
+  // "degraded".
+  bool disk_full = false;
+  bool journal_degraded = false;
   int false_positives = 0;
   // Fatal orchestration error (resume identity mismatch, journal I/O failure);
   // when non-empty no rounds were executed.

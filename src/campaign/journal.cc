@@ -1,14 +1,11 @@
 #include "src/campaign/journal.h"
 
+#include <cerrno>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
-
-#ifndef _WIN32
-#include <unistd.h>
-#endif
 
 #include "src/campaign/json.h"
 #include "src/report/trap_file.h"
@@ -268,49 +265,87 @@ std::string CampaignJournal::SnapshotPathIn(const std::string& out_dir) {
 bool CampaignJournal::Open(const std::string& path, const JournalHeader& header,
                            bool truncate, bool fsync) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
+  CloseLocked();
+  io::Vfs* vfs = io::ActiveVfs();
   fsync_ = fsync;
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) {
+  path_ = path;
+  last_errno_ = 0;
+  if (!truncate) {
+    // Appends land after the existing newline-terminated prefix; the resume
+    // path has already truncated any torn tail (run_executor.cc).
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    committed_bytes_ = ec ? 0 : static_cast<uint64_t>(size);
+  }
+  int err = vfs->Open(path,
+                      truncate ? io::Vfs::OpenMode::kTruncate
+                               : io::Vfs::OpenMode::kAppend,
+                      &file_);
+  if (err != 0) {
+    last_errno_ = err;
     return false;
   }
   if (truncate) {
     run_records_ = 0;
+    committed_bytes_ = 0;
     Json h = EncodeHeader(header);
     h.Set("version", kJournalVersion);
     const std::string line = h.Dump() + "\n";
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-        std::fflush(file_) != 0) {
-      std::fclose(file_);
-      file_ = nullptr;
+    if ((err = WriteAndSyncLocked(line)) != 0) {
+      last_errno_ = err;
+      vfs->Close(std::move(file_));
       return false;
     }
-#ifndef _WIN32
-    if (fsync_) {
-      ::fsync(::fileno(file_));
-    }
-#endif
+    committed_bytes_ = line.size();
   }
   return true;
 }
 
+int CampaignJournal::WriteAndSyncLocked(const std::string& line) {
+  io::Vfs* vfs = io::ActiveVfs();
+  int err = vfs->Write(file_.get(), line);
+  if (err == 0 && fsync_) {
+    err = vfs->Fsync(file_.get());
+  }
+  return err;
+}
+
 bool CampaignJournal::AppendLine(const std::string& line) {
   if (file_ == nullptr) {
+    last_errno_ = last_errno_ != 0 ? last_errno_ : EBADF;
     return false;
   }
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fflush(file_) != 0) {
-    return false;
+  int err = WriteAndSyncLocked(line);
+  if (err == 0) {
+    committed_bytes_ += line.size();
+    return true;
   }
-#ifndef _WIN32
-  if (fsync_ && ::fsync(::fileno(file_)) != 0) {
-    return false;
+  // fsyncgate: after a failed write or fsync the handle's dirty pages — and the
+  // error itself — may already be gone from the page cache, so nothing written
+  // since the last successful sync can be trusted. Reopen from scratch,
+  // truncate back to the committed prefix (discarding any torn partial line),
+  // and retry the record once on the fresh handle.
+  io::Vfs* vfs = io::ActiveVfs();
+  vfs->Close(std::move(file_));
+  if (vfs->Truncate(path_, committed_bytes_) == 0 &&
+      vfs->Open(path_, io::Vfs::OpenMode::kAppend, &file_) == 0 && file_) {
+    const int retry_err = WriteAndSyncLocked(line);
+    if (retry_err == 0) {
+      committed_bytes_ += line.size();
+      return true;
+    }
+    err = retry_err;
   }
-#endif
-  return true;
+  // Fail closed: drop the handle and put the file back to the committed prefix
+  // (best effort — the disk is already misbehaving) so the ledger never holds a
+  // record whose durability is unknown. The caller reads last_errno() to pick a
+  // degradation policy (ENOSPC = drain, EIO = journal-less degraded mode).
+  if (file_) {
+    vfs->Close(std::move(file_));
+  }
+  vfs->Truncate(path_, committed_bytes_);
+  last_errno_ = err != 0 ? err : EIO;
+  return false;
 }
 
 bool CampaignJournal::AppendRun(const RunOutcome& outcome) {
@@ -358,9 +393,12 @@ bool CampaignJournal::AppendCampaignComplete(bool converged) {
 
 void CampaignJournal::Close() {
   std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+}
+
+void CampaignJournal::CloseLocked() {
   if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+    io::ActiveVfs()->Close(std::move(file_));
   }
 }
 
@@ -473,7 +511,7 @@ bool CampaignJournal::Load(const std::string& path, JournalReplay* out) {
 }
 
 bool SaveBugMgrSnapshot(const std::string& path, const BugReportMgr& mgr,
-                        uint64_t watermark, bool durable) {
+                        uint64_t watermark, bool durable, int* err) {
   Json j = Json::MakeObject();
   j.Set("version", kSnapshotVersion);
   j.Set("watermark", watermark);
@@ -482,7 +520,7 @@ bool SaveBugMgrSnapshot(const std::string& path, const BugReportMgr& mgr,
     bugs.Push(EncodeUniqueBug(bug));
   }
   j.Set("bugs", std::move(bugs));
-  return AtomicWriteFileDurable(path, j.Dump(2), durable);
+  return AtomicWriteFileDurable(path, j.Dump(2), durable, err);
 }
 
 bool LoadBugMgrSnapshot(const std::string& path, BugMgrSnapshot* out) {

@@ -34,13 +34,14 @@
 #define SRC_CAMPAIGN_JOURNAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/campaign/bug_report_mgr.h"
 #include "src/campaign/round.h"
+#include "src/io/vfs.h"
 
 namespace tsvd::campaign {
 
@@ -109,7 +110,17 @@ class CampaignJournal {
   bool AppendEvent(const std::string& kind, const std::string& detail);
   void Close();
 
-  bool is_open() const { return file_ != nullptr; }
+  bool is_open() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_ != nullptr;
+  }
+  // errno of the most recent failed operation (0 when none failed yet). The
+  // campaign's degradation policy is errno-directed: ENOSPC drains gracefully,
+  // anything else (EIO) drops to journal-less degraded mode.
+  int last_errno() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_errno_;
+  }
   // Total run records in the ledger: replayed predecessors + appended this session.
   uint64_t run_records() const;
   void set_replayed_run_records(uint64_t n);
@@ -119,12 +130,23 @@ class CampaignJournal {
   static bool Load(const std::string& path, JournalReplay* out);
 
  private:
+  // Requires mu_. On a write or fsync failure the handle is never trusted again
+  // (fsyncgate: the kernel may have dropped the error with the dirty pages):
+  // the file is reopened, truncated back to the last committed byte, and the
+  // record retried once on the fresh handle; a second failure closes the
+  // journal for good (fail closed) with last_errno_ set.
   bool AppendLine(const std::string& line);
+  // Write + (optional) fsync of `line` on the current handle; 0 or errno.
+  int WriteAndSyncLocked(const std::string& line);
+  void CloseLocked();
 
   mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<io::VfsFile> file_;
+  std::string path_;
   bool fsync_ = true;
   uint64_t run_records_ = 0;
+  uint64_t committed_bytes_ = 0;  // newline-terminated, synced prefix length
+  int last_errno_ = 0;
 };
 
 // BugReportMgr dedup-state snapshot sidecar, written atomically (temp + rename)
@@ -133,8 +155,10 @@ struct BugMgrSnapshot {
   uint64_t watermark = 0;  // run records whose observations the snapshot covers
   std::vector<BugReportMgr::UniqueBug> bugs;
 };
+// `err` (optional) receives the failing errno, 0 on success — the campaign's
+// errno-directed degradation policy needs to distinguish ENOSPC from EIO.
 bool SaveBugMgrSnapshot(const std::string& path, const BugReportMgr& mgr,
-                        uint64_t watermark, bool durable);
+                        uint64_t watermark, bool durable, int* err = nullptr);
 bool LoadBugMgrSnapshot(const std::string& path, BugMgrSnapshot* out);
 
 // Reaps the per-run trap checkpoints a dead orchestrator left in `checkpoint_dir`:

@@ -105,7 +105,18 @@ std::string RenderJson(const CampaignMeta& meta, const std::vector<RoundStats>& 
   campaign.Set("sandbox", meta.sandbox);
   campaign.Set("scale", meta.scale);
   campaign.Set("seed", meta.seed);
+  campaign.Set("durability", meta.durability);
   root.Set("campaign", std::move(campaign));
+
+  // Injected storage-fault counts, present only when a ChaosFs schedule was
+  // installed — the hook CI uses to assert a seeded schedule actually fired.
+  if (!meta.storage_faults.empty()) {
+    Json chaos = Json::MakeObject();
+    for (const auto& [cls, count] : meta.storage_faults) {
+      chaos.Set(cls, count);
+    }
+    root.Set("storage_chaos", std::move(chaos));
+  }
 
   Json round_array = Json::MakeArray();
   uint64_t total_delays = 0;
@@ -262,6 +273,12 @@ std::string RenderSarif(const CampaignMeta& meta,
   Json run = Json::MakeObject();
   run.Set("tool", std::move(tool));
   run.Set("results", std::move(results));
+  {
+    Json properties = Json::MakeObject();
+    properties.Set("durability", meta.durability);
+    properties.Set("interrupted", meta.interrupted);
+    run.Set("properties", std::move(properties));
+  }
 
   // SARIF invocations: one per failed/retried campaign run, carrying the sandbox
   // forensics. Omitted entirely when no outcome trail was provided (legacy calls)
@@ -312,8 +329,9 @@ std::string RenderSarif(const CampaignMeta& meta,
   return root.Dump(2);
 }
 
-bool WriteFileAtomic(const std::string& path, const std::string& content) {
-  return AtomicWriteFileDurable(path, content, DurableFileSyncEnabled());
+bool WriteFileAtomic(const std::string& path, const std::string& content,
+                     int* err) {
+  return AtomicWriteFileDurable(path, content, DurableFileSyncEnabled(), err);
 }
 
 }  // namespace tsvd::campaign

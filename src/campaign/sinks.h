@@ -11,7 +11,9 @@
 #ifndef SRC_CAMPAIGN_SINKS_H_
 #define SRC_CAMPAIGN_SINKS_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/campaign/bug_report_mgr.h"
@@ -31,6 +33,14 @@ struct CampaignMeta {
   bool sandbox = false;  // runs executed in forked sandbox children
   double scale = 0;
   uint64_t seed = 0;
+  // Durability of the artifact trail (DESIGN.md §15): "ok", or "degraded" when
+  // the run ledger failed mid-campaign (EIO) and the campaign finished
+  // journal-less — results complete, resume impossible.
+  std::string durability = "ok";
+  // Per-class injected storage-fault counts (ChaosFsStats::Classes()) when a
+  // ChaosFs is installed; empty otherwise. Rendered as the JSON "storage_chaos"
+  // object so CI can assert a seeded fault schedule actually fired.
+  std::vector<std::pair<std::string, uint64_t>> storage_faults;
 };
 
 // `outcomes` (every run of every round, in order) feeds the failure forensics:
@@ -47,8 +57,11 @@ std::string RenderSarif(const CampaignMeta& meta,
                         const std::vector<BugReportMgr::UniqueBug>& bugs,
                         const std::vector<RunOutcome>& outcomes = {});
 
-// Atomic file write (temp + rename); returns false on I/O failure.
-bool WriteFileAtomic(const std::string& path, const std::string& content);
+// Atomic file write (temp + rename); returns false on I/O failure. `err`
+// (optional) receives the failing errno (0 on success) for errno-directed
+// degradation.
+bool WriteFileAtomic(const std::string& path, const std::string& content,
+                     int* err = nullptr);
 
 // Splits a call-site signature "file:line api" into its components; line is 0 and
 // file/api best-effort when the signature is not in canonical shape.

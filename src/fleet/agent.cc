@@ -167,6 +167,9 @@ AgentResult RunAgent(const AgentOptions& agent_options) {
   hello.Set("agent", agent_options.name);
   hello.Set("protocol_version", kFleetProtocolVersion);
   hello.Set("codec_version", sandbox::kRunOutcomeCodecVersion);
+  if (!agent_options.auth_token.empty()) {
+    hello.Set("auth_token", agent_options.auth_token);
+  }
   Json setup;
   if (!CallWithRetry(client.get(), hello, &setup, agent_options.hello_timeout_ms,
                      agent_options.interrupt, &jitter_rng, &result.rpc_retries,

@@ -57,6 +57,9 @@ struct AgentOptions {
   // empty = faultless. `chaos_salt` decorrelates agents sharing one spec.
   std::string chaos;
   uint64_t chaos_salt = 0;
+  // Shared secret presented in the hello when non-empty; must match the
+  // coordinator's --auth_token or the join is refused.
+  std::string auth_token;
   // Graceful stop: polled between runs; the first true finishes the current job,
   // publishes it, and exits cleanly.
   std::function<bool()> interrupt;

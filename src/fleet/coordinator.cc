@@ -1,13 +1,16 @@
 #include "src/fleet/coordinator.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <utility>
 
 #include "src/campaign/run_executor.h"
 #include "src/campaign/sinks.h"
 #include "src/fleet/protocol.h"
+#include "src/io/chaos_fs.h"
 #include "src/sandbox/outcome_codec.h"
 
 namespace tsvd::fleet {
@@ -127,6 +130,24 @@ Json FleetCoordinator::HandleHeartbeat(const Json& request) {
 
 Json FleetCoordinator::HandleHello(const Json& request) {
   Json resp = Json::MakeObject();
+  // Authentication comes before everything else — an unauthenticated caller
+  // learns nothing about the fleet, not even which protocol version it speaks.
+  if (!options_.auth_token.empty()) {
+    const Json* token = request.Find("auth_token");
+    const std::string presented =
+        token != nullptr && token->is_string() ? token->as_string() : "";
+    if (!ConstantTimeEquals(presented, options_.auth_token)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hellos_rejected_auth;
+      }
+      resp.Set("type", "error");
+      resp.Set("error",
+               "fleet join rejected: missing or invalid auth token "
+               "(coordinator runs with --auth_token)");
+      return resp;
+    }
+  }
   const Json* protocol = request.Find("protocol_version");
   if (protocol == nullptr || !protocol->is_number() ||
       protocol->as_int() != kFleetProtocolVersion) {
@@ -311,8 +332,11 @@ Json FleetCoordinator::HandleResult(const Json& request) {
     // fsync'd before the ack, outside the coordinator lock. done_count_ advances
     // only after the record is durable, so the round barrier can never commit a
     // round record ahead of one of its run records.
-    if (journal_.is_open()) {
-      journal_.AppendRun(outcome);
+    if (journal_.is_open() && !journal_.AppendRun(outcome)) {
+      // The journal fail-closed (one fresh-handle retry already happened inside
+      // AppendRun). The result itself is still accepted — only its replay
+      // record is gone; the degradation policy decides what happens next.
+      ApplyStorageErrno(journal_.last_errno());
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -323,6 +347,14 @@ Json FleetCoordinator::HandleResult(const Json& request) {
   resp.Set("type", "ack");
   resp.Set("accepted", accepted);
   return resp;
+}
+
+void FleetCoordinator::ApplyStorageErrno(int err) {
+  if (err == ENOSPC) {
+    storage_drain_.store(true, std::memory_order_relaxed);
+  } else {
+    journal_lost_.store(true, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::string> FleetCoordinator::SweepEvictionsLocked(Micros now) {
@@ -427,6 +459,9 @@ CampaignResult FleetCoordinator::Run() {
     if (!journal_.Open(journal_path, header, /*truncate=*/fresh,
                        /*fsync=*/DurableFileSyncEnabled())) {
       result.error = "failed to open campaign journal at " + journal_path;
+      if (journal_.last_errno() != 0) {
+        result.error += ": " + std::string(std::strerror(journal_.last_errno()));
+      }
       return result;
     }
     journal_.set_replayed_run_records(result.resumed_runs);
@@ -473,25 +508,42 @@ CampaignResult FleetCoordinator::Run() {
     meta.sandbox = opt.sandbox.enabled;
     meta.scale = opt.scale;
     meta.seed = opt.seed;
+    meta.durability =
+        journal_lost_.load(std::memory_order_relaxed) ? "degraded" : "ok";
+    if (const io::ChaosFs* chaos = io::InstalledChaosFs()) {
+      meta.storage_faults = chaos->stats().Classes();
+    }
     const std::filesystem::path dir(opt.out_dir);
     const std::string json_path = (dir / "campaign.json").string();
     const std::string sarif_path = (dir / "campaign.sarif").string();
     const std::vector<campaign::BugReportMgr::UniqueBug> bugs = mgr.Bugs();
+    int sink_err = 0;
     if (campaign::WriteFileAtomic(
-            json_path, campaign::RenderJson(meta, result.rounds, bugs,
-                                            result.outcomes))) {
+            json_path,
+            campaign::RenderJson(meta, result.rounds, bugs, result.outcomes),
+            &sink_err)) {
       result.json_path = json_path;
+    } else if (sink_err == ENOSPC) {
+      storage_drain_.store(true, std::memory_order_relaxed);
     }
     if (campaign::WriteFileAtomic(
-            sarif_path, campaign::RenderSarif(meta, bugs, result.outcomes))) {
+            sarif_path, campaign::RenderSarif(meta, bugs, result.outcomes),
+            &sink_err)) {
       result.sarif_path = sarif_path;
+    } else if (sink_err == ENOSPC) {
+      storage_drain_.store(true, std::memory_order_relaxed);
     }
   };
 
-  const std::function<bool()>& interrupt = opt.interrupt;
+  // Disk-full drains exactly like a delivered signal: the drain loop below
+  // polls this closure and stops granting leases on the first true.
+  const std::function<bool()> interrupt = [&]() {
+    return storage_drain_.load(std::memory_order_relaxed) ||
+           (opt.interrupt && opt.interrupt());
+  };
   bool fleet_dead = false;
   for (int round = start_round; !already_done && round <= rounds; ++round) {
-    if (interrupt && interrupt()) {
+    if (interrupt()) {
       result.interrupted = true;
       break;
     }
@@ -559,7 +611,7 @@ CampaignResult FleetCoordinator::Run() {
       while (done_count_ < slots_.size()) {
         round_cv_.wait_for(lock, std::chrono::milliseconds(50));
         journal_evictions(SweepEvictionsLocked(NowMicros()));
-        if (interrupt && interrupt() && !interrupted_) {
+        if (interrupt() && !interrupted_) {
           // Graceful drain: stop granting (agents get "done" on their next
           // lease), let in-flight jobs publish, then stop waiting for the rest.
           // Only leases held by live agents are worth waiting on — an evicted
@@ -663,20 +715,34 @@ CampaignResult FleetCoordinator::Run() {
       break;
     }
 
+    bool trap_store_committed = true;
     if (persist) {
-      if (!store_.Snapshot().SaveTo(result.trap_path)) {
+      int save_err = 0;
+      if (!store_.Snapshot().SaveTo(result.trap_path, &save_err)) {
+        trap_store_committed = false;
         result.trap_path.clear();
+        if (save_err == ENOSPC) {
+          storage_drain_.store(true, std::memory_order_relaxed);
+        }
       }
     }
-    if (journal_.is_open()) {
-      journal_.AppendRoundComplete(stats, mgr.UniqueBugCount());
-      if (opt.journal_snapshot_every > 0 &&
+    if (journal_.is_open() && trap_store_committed) {
+      // Round record strictly after the trap store hit disk — and withheld
+      // when the save failed, so "round record implies traps.tsvd reflects the
+      // round" survives storage faults; resume re-executes the round instead.
+      if (!journal_.AppendRoundComplete(stats, mgr.UniqueBugCount())) {
+        ApplyStorageErrno(journal_.last_errno());
+      }
+      if (journal_.is_open() && opt.journal_snapshot_every > 0 &&
           journal_.run_records() - last_snapshot_mark >=
               static_cast<uint64_t>(opt.journal_snapshot_every)) {
+        int snap_err = 0;
         if (campaign::SaveBugMgrSnapshot(
                 campaign::CampaignJournal::SnapshotPathIn(opt.out_dir), mgr,
-                journal_.run_records(), DurableFileSyncEnabled())) {
+                journal_.run_records(), DurableFileSyncEnabled(), &snap_err)) {
           last_snapshot_mark = journal_.run_records();
+        } else if (snap_err == ENOSPC) {
+          storage_drain_.store(true, std::memory_order_relaxed);
         }
       }
     }
@@ -698,8 +764,17 @@ CampaignResult FleetCoordinator::Run() {
 
   result.bugs = mgr.Bugs();
   result.merged_traps = store_.Snapshot();
+  if (storage_drain_.load(std::memory_order_relaxed)) {
+    result.disk_full = true;
+    result.interrupted = true;
+  }
+  result.journal_degraded = journal_lost_.load(std::memory_order_relaxed);
   if (journal_.is_open() && !result.interrupted && !fleet_dead && !already_done) {
-    journal_.AppendCampaignComplete(result.converged);
+    if (!journal_.AppendCampaignComplete(result.converged)) {
+      ApplyStorageErrno(journal_.last_errno());
+      result.disk_full = storage_drain_.load(std::memory_order_relaxed);
+      result.journal_degraded = journal_lost_.load(std::memory_order_relaxed);
+    }
   }
   journal_.Close();
   flush_reports();

@@ -21,6 +21,7 @@
 #ifndef SRC_FLEET_COORDINATOR_H_
 #define SRC_FLEET_COORDINATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -64,6 +65,12 @@ struct FleetOptions {
   int heartbeat_timeout_ms = 0;
   // Trap-store federation with peer coordinators; empty peers = disabled.
   FederationOptions federation;
+  // Shared-secret join check: when non-empty, a hello must carry an
+  // "auth_token" field that matches (compared in constant time) or it is
+  // answered with a framed {type:"error"} and counted in
+  // stats.hellos_rejected_auth. Defends a tcp: listener on a shared network
+  // against stray or misdirected agents; it is not transport encryption.
+  std::string auth_token;
 };
 
 struct FleetStats {
@@ -73,6 +80,7 @@ struct FleetStats {
   uint64_t duplicate_results = 0;  // publishes discarded by idempotent acceptance
   uint64_t duplicate_requests = 0;  // replays answered from the nonce cache
   uint64_t agents_evicted = 0;      // liveness evictions (re-joins may re-count)
+  uint64_t hellos_rejected_auth = 0;  // joins refused by the auth_token check
 };
 
 class FleetCoordinator {
@@ -127,6 +135,12 @@ class FleetCoordinator {
   campaign::Json HandleResult(const campaign::Json& request);
   campaign::Json HandleHeartbeat(const campaign::Json& request);
 
+  // Errno-directed storage degradation (DESIGN.md §15), mirroring the
+  // single-process campaign: ENOSPC arms storage_drain_ (graceful drain +
+  // disk_full result), anything else arms journal_lost_ (journal-less degraded
+  // mode, reports stamped "durability": "degraded").
+  void ApplyStorageErrno(int err);
+
   // Marks agents silent past heartbeat_timeout_ms as evicted and zeroes the
   // lease deadlines they hold. Returns the newly evicted names so the caller
   // can journal them outside the lock. Requires mu_.
@@ -153,6 +167,8 @@ class FleetCoordinator {
   std::map<uint64_t, OpenLease> open_leases_;  // lease id -> holder + slot
   std::map<std::string, AgentInfo> agents_;
   Micros last_contact_us_ = 0;
+  std::atomic<bool> storage_drain_{false};  // ENOSPC: drain like a signal
+  std::atomic<bool> journal_lost_{false};   // EIO: journal-less degraded mode
   FleetStats stats_;
   std::vector<std::string> corpus_names_;  // for backfilling outcome.module
 };

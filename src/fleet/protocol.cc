@@ -162,4 +162,19 @@ bool DecodeCampaignOptions(const Json& doc, CampaignOptions* options,
   return true;
 }
 
+bool ConstantTimeEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  // volatile keeps the compiler from short-circuiting the accumulation once it
+  // can prove the result; every byte pair is always inspected.
+  volatile unsigned char diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<unsigned char>(
+        diff | (static_cast<unsigned char>(a[i]) ^
+                static_cast<unsigned char>(b[i])));
+  }
+  return diff == 0;
+}
+
 }  // namespace tsvd::fleet

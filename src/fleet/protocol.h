@@ -4,9 +4,10 @@
 //
 // Exchanges (all initiated by the agent):
 //
-//   hello   {type:"hello", agent, protocol_version, codec_version}
+//   hello   {type:"hello", agent, protocol_version, codec_version[, auth_token]}
 //        -> {type:"setup", options:{...}, corpus_size}          // join the fleet
 //        -> {type:"error", error}                               // version mismatch
+//                                                               // or bad token
 //
 //   lease   {type:"lease", agent, nonce, trap_version}
 //        -> {type:"job", lease, round, module_index,
@@ -67,6 +68,13 @@ campaign::Json EncodeCampaignOptions(const campaign::CampaignOptions& options);
 // present-but-mistyped field fails with `error` set.
 bool DecodeCampaignOptions(const campaign::Json& doc,
                            campaign::CampaignOptions* options, std::string* error);
+
+// Length-leaking but content-constant-time string comparison, for the hello
+// shared-secret check: the comparison inspects every byte of both strings
+// regardless of where they first differ, so response timing cannot be used to
+// guess a token byte-by-byte. (Leaking the length is acceptable — tokens are
+// operator-chosen secrets, not padded cryptographic material.)
+bool ConstantTimeEquals(const std::string& a, const std::string& b);
 
 }  // namespace tsvd::fleet
 

@@ -19,6 +19,7 @@
 #include "src/common/clock.h"
 #include "src/fleet/transport_tcp.h"
 #include "src/fleet/wire.h"
+#include "src/io/vfs.h"
 
 namespace tsvd::fleet {
 namespace {
@@ -274,6 +275,26 @@ Micros NextDirPollBackoff(Micros current) {
                                      : kDirPollCeilingUs;
 }
 
+// One atomic publication: stage `content` at `staged`, rename to `final_path`.
+// Routed through the io::Vfs seam so storage chaos can fault the queue like any
+// other durable writer. Returns 0 or the failing errno (ENOSPC on a full disk —
+// callers back off rather than busy-retrying). Transport documents are
+// ephemeral, so no fsync: a crash loses at most one in-flight exchange, which
+// the RPC layer already treats as a timeout.
+int PublishDocument(const std::string& staged, const std::string& final_path,
+                    const std::string& content) {
+  io::Vfs* vfs = io::ActiveVfs();
+  int err = io::WriteFileThroughVfs(staged, content, /*durable=*/false);
+  if (err != 0) {
+    return err;
+  }
+  if ((err = vfs->Rename(staged, final_path)) != 0) {
+    vfs->Unlink(staged);
+    return err;
+  }
+  return 0;
+}
+
 class DirServer : public TransportServer {
  public:
   explicit DirServer(std::string dir) : dir_(std::move(dir)) {}
@@ -334,13 +355,15 @@ class DirServer : public TransportServer {
           response.Set("error", "unparseable request");
         }
         // Publish the response with the request's name via the same
-        // stage-then-rename dance the client used.
+        // stage-then-rename dance the client used. On failure (e.g. ENOSPC)
+        // `served` stays false so the loop falls into the idle backoff below
+        // instead of busy-spinning against a full disk; the client sees a
+        // timeout and retries or reports.
         const std::string staged = dir_ + "/tmp/resp-" + name;
-        std::ofstream out(staged, std::ios::binary | std::ios::trunc);
-        out << response.Dump();
-        out.close();
-        std::rename(staged.c_str(), (dir_ + "/resp/" + name).c_str());
-        served = true;
+        if (PublishDocument(staged, dir_ + "/resp/" + name,
+                            response.Dump()) == 0) {
+          served = true;
+        }
       }
       if (served) {
         idle_backoff_us = kDirPollFloorUs;
@@ -373,28 +396,33 @@ class DirClient : public TransportClient {
         std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
         std::to_string(g_exchange_counter.fetch_add(1, std::memory_order_relaxed));
     const std::string staged = dir_ + "/tmp/req-" + name;
-    {
-      std::ofstream out(staged, std::ios::binary | std::ios::trunc);
-      if (!out) {
-        *error = "cannot stage request under " + dir_ + ": " +
-                 std::strerror(errno);
+    const Micros deadline =
+        NowMicros() + static_cast<Micros>(connect_timeout_ms_) * 1000;
+    // Publish with exponential backoff on ENOSPC: a full disk is usually a
+    // transient shared-queue condition (the server unlinks served requests), so
+    // retrying after a pause beats failing the exchange — but never retry
+    // other errors, and never past the deadline.
+    Micros backoff_us = kDirPollFloorUs;
+    for (;;) {
+      const int err = PublishDocument(staged, dir_ + "/req/" + name,
+                                      request.Dump());
+      if (err == 0) {
+        break;
+      }
+      if (err != ENOSPC || NowMicros() >= deadline) {
+        *error = "cannot publish request under " + dir_ + ": " +
+                 std::strerror(err);
         return false;
       }
-      out << request.Dump();
-    }
-    if (std::rename(staged.c_str(), (dir_ + "/req/" + name).c_str()) != 0) {
-      *error = "cannot publish request under " + dir_ + ": " +
-               std::strerror(errno);
-      return false;
+      SleepMicros(backoff_us);
+      backoff_us = NextDirPollBackoff(backoff_us);
     }
     // Await the response file with the same exponential idle backoff the server
     // polls with. The server answers promptly once it is up, so the connect
     // timeout doubles as the response deadline.
     const std::string resp_path = dir_ + "/resp/" + name;
-    const Micros deadline =
-        NowMicros() + static_cast<Micros>(connect_timeout_ms_) * 1000;
     std::string text;
-    Micros backoff_us = kDirPollFloorUs;
+    backoff_us = kDirPollFloorUs;
     while (!ReadWholeFile(resp_path, &text)) {
       if (NowMicros() >= deadline) {
         *error = "no response from coordinator via " + dir_ + " after " +

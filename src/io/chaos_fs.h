@@ -1,0 +1,158 @@
+// Deterministic storage-fault injection over the Vfs seam (DESIGN.md §15) —
+// the filesystem analogue of the fleet's ChaosTransport.
+//
+// ChaosFs decorates a Vfs and injects, per operation, the faults a real disk
+// delivers: no space, I/O errors, short (torn) writes, fsync failures, rename
+// failures, and mid-write process death. Every decision is a pure function of
+// (seed, salt, operation index): the per-op random draws are derived from the
+// op's own index, not a shared evolving stream, so the schedule replays
+// identically even when operations race in from many threads — which is what
+// lets the storage-chaos suite assert bug-set equality instead of merely
+// "it didn't crash".
+//
+// Fault model, per operation class:
+//
+//   enospc=P       Open/Write/Rename/Mkdir fails with ENOSPC (disk full).
+//   eio=P          Open/Write fails with EIO (the flaky-mount fault that must
+//                  drop the campaign into journal-less degraded mode).
+//   short_write=P  a Write persists only a deterministic prefix, then reports
+//                  ENOSPC — the torn file a crash mid-write leaves behind.
+//   fsync_fail=P   Fsync/FsyncDir fails with EIO. fsyncgate semantics: callers
+//                  must treat everything since the last good sync as untrusted.
+//   rename_fail=P  Rename fails with EIO; the destination is untouched.
+//   after=N        the first N operations are exempt (lets setup succeed).
+//   max_faults=N   stop injecting after N faults (0 = unlimited) — "fail once,
+//                  then recover", for the reopen-retry paths.
+//   crash_at=N     the Nth operation kills the process (SIGKILL) instead of
+//                  completing; a Write first persists a deterministic prefix,
+//                  so the crash point is torn-at-offset. The crash-point
+//                  harness enumerates N over [1, stats().ops] of a clean run.
+//   path=SUBSTR    only paths containing SUBSTR are faultable (and counted);
+//                  everything else passes straight through.
+//
+// Spec strings are comma-separated key=value lists, e.g.
+//   "seed=7,enospc=0.05,eio=0.02,after=10"
+//   "seed=3,fsync_fail=1,max_faults=1,path=journal.tsvdj"
+#ifndef SRC_IO_CHAOS_FS_H_
+#define SRC_IO_CHAOS_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/io/vfs.h"
+
+namespace tsvd::io {
+
+struct ChaosFsSpec {
+  uint64_t seed = 1;
+  double enospc = 0;  // probabilities in [0, 1]
+  double eio = 0;
+  double short_write = 0;
+  double fsync_fail = 0;
+  double rename_fail = 0;
+  int64_t after = 0;       // exempt operation prefix
+  int64_t max_faults = 0;  // total injected-fault cap; 0 = unlimited
+  int64_t crash_at = 0;    // 1-based op index that dies mid-operation; 0 = never
+  std::string path_substr;  // "" = every path is faultable
+
+  // Parses a comma-separated key=value spec. Unknown keys, unparseable values,
+  // and probabilities outside [0, 1] fail with `error` set. An empty string is
+  // a valid no-fault spec.
+  static bool Parse(const std::string& text, ChaosFsSpec* out,
+                    std::string* error);
+};
+
+// What the decorator actually did — asserted by tests and by the storage-chaos
+// CI job, printed into the campaign run summary.
+struct ChaosFsStats {
+  uint64_t ops = 0;  // faultable operations observed (post path filter)
+  uint64_t enospc = 0;
+  uint64_t eio = 0;
+  uint64_t short_writes = 0;
+  uint64_t fsync_failures = 0;
+  uint64_t rename_failures = 0;
+
+  uint64_t TotalFaults() const {
+    return enospc + eio + short_writes + fsync_failures + rename_failures;
+  }
+  // Stable (name, count) listing of the fault classes, for run summaries.
+  std::vector<std::pair<std::string, uint64_t>> Classes() const;
+};
+
+class ChaosFs : public Vfs {
+ public:
+  // `inner` is borrowed (typically RealVfs()) and must outlive the decorator.
+  // `salt` decorrelates instances sharing one spec, exactly like the network
+  // chaos decorator's seed_salt.
+  ChaosFs(Vfs* inner, ChaosFsSpec spec, uint64_t salt = 0);
+
+  using Vfs::Write;  // keep the whole-string convenience overload visible
+  int Open(const std::string& path, OpenMode mode,
+           std::unique_ptr<VfsFile>* out) override;
+  int Write(VfsFile* file, const char* data, size_t size) override;
+  int Fsync(VfsFile* file) override;
+  int Close(std::unique_ptr<VfsFile> file) override;
+  int Rename(const std::string& from, const std::string& to) override;
+  int Unlink(const std::string& path) override;
+  int Mkdir(const std::string& path) override;
+  int FsyncDir(const std::string& path) override;
+  int Truncate(const std::string& path, uint64_t size) override;
+
+  ChaosFsStats stats() const;
+  const ChaosFsSpec& spec() const { return spec_; }
+
+ private:
+  // One op's fault decisions, all derived from the op index up front so the
+  // schedule is a pure function of (seed, salt, index).
+  struct Draws {
+    uint64_t index = 0;   // 1-based faultable-op index
+    bool exempt = false;  // inside the `after` prefix, or past max_faults
+    bool crash = false;   // this op is the crash point
+    bool flip_a = false;  // first..third class flips, in declaration order of
+    bool flip_b = false;  // the op's fault classes (see chaos_fs.cc)
+    bool flip_c = false;
+    uint64_t fraction = 0;  // torn-write offset draw
+  };
+  Draws DrawsFor(double pa, double pb, double pc);
+  bool Charge();  // counts one fault against max_faults; false = cap reached
+  [[noreturn]] void CrashNow(VfsFile* torn_write_target, const char* data,
+                             size_t size, uint64_t fraction);
+
+  // Whether the path filter makes this path's operations faultable. Handles
+  // remember the verdict of their Open, so Write/Fsync on a filtered-out
+  // file stay exempt too.
+  bool Faultable(const std::string& path) const;
+
+  Vfs* const inner_;
+  const ChaosFsSpec spec_;
+  const uint64_t salt_;
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> faults_charged_{0};
+  std::atomic<uint64_t> stat_ops_{0};
+  std::atomic<uint64_t> stat_enospc_{0};
+  std::atomic<uint64_t> stat_eio_{0};
+  std::atomic<uint64_t> stat_short_{0};
+  std::atomic<uint64_t> stat_fsync_{0};
+  std::atomic<uint64_t> stat_rename_{0};
+};
+
+// The installed ChaosFs, when the active Vfs is one; nullptr otherwise. Lets
+// the campaign stamp fault stats into its run summary without owning the
+// decorator.
+ChaosFs* InstalledChaosFs();
+
+// Parses `spec_text` and installs a ChaosFs over RealVfs() process-wide,
+// returning the owned decorator (keep it alive; SetActiveVfs(nullptr) or
+// destruction order is the caller's problem). An empty spec installs nothing
+// and returns null with no error. A malformed spec returns null with `error`
+// set.
+std::unique_ptr<ChaosFs> InstallChaosFsFromSpec(const std::string& spec_text,
+                                                uint64_t salt,
+                                                std::string* error);
+
+}  // namespace tsvd::io
+
+#endif  // SRC_IO_CHAOS_FS_H_

@@ -1,0 +1,225 @@
+#include "src/io/vfs.h"
+
+#include <atomic>
+#include <cerrno>
+#include <filesystem>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#endif
+
+namespace tsvd::io {
+namespace {
+
+#ifndef _WIN32
+
+class PosixFile : public VfsFile {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  int fd() const { return fd_; }
+  int ReleaseAndClose() {
+    const int rc = ::close(fd_) == 0 ? 0 : errno;
+    fd_ = -1;
+    return rc;
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  int Open(const std::string& path, OpenMode mode,
+           std::unique_ptr<VfsFile>* out) override {
+    const int flags = O_WRONLY | O_CREAT |
+                      (mode == OpenMode::kTruncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return errno;
+    }
+    *out = std::make_unique<PosixFile>(fd);
+    return 0;
+  }
+
+  int Write(VfsFile* file, const char* data, size_t size) override {
+    const int fd = static_cast<PosixFile*>(file)->fd();
+    size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return errno;
+      }
+      written += static_cast<size_t>(n);
+    }
+    return 0;
+  }
+
+  int Fsync(VfsFile* file) override {
+    return ::fsync(static_cast<PosixFile*>(file)->fd()) == 0 ? 0 : errno;
+  }
+
+  int Close(std::unique_ptr<VfsFile> file) override {
+    return file == nullptr
+               ? 0
+               : static_cast<PosixFile*>(file.get())->ReleaseAndClose();
+  }
+
+  int Rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0 ? 0 : errno;
+  }
+
+  int Unlink(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0 ? 0 : errno;
+  }
+
+  int Mkdir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    return ec ? (ec.value() != 0 ? ec.value() : EIO) : 0;
+  }
+
+  int FsyncDir(const std::string& path) override {
+    int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+    flags |= O_DIRECTORY;
+#endif
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0) {
+      return errno;
+    }
+    const int rc = ::fsync(fd) == 0 ? 0 : errno;
+    ::close(fd);
+    return rc;
+  }
+
+  int Truncate(const std::string& path, uint64_t size) override {
+    return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0 ? 0 : errno;
+  }
+};
+
+using PlatformVfs = PosixVfs;
+
+#else  // _WIN32
+
+// stdio fallback: no fsync (matching the pre-seam behavior on Windows, where
+// durability was already best-effort).
+class StdioFile : public VfsFile {
+ public:
+  explicit StdioFile(std::FILE* f) : f_(f) {}
+  ~StdioFile() override {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+    }
+  }
+  std::FILE* get() const { return f_; }
+  int ReleaseAndClose() {
+    const int rc = std::fclose(f_) == 0 ? 0 : EIO;
+    f_ = nullptr;
+    return rc;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+class StdioVfs : public Vfs {
+ public:
+  int Open(const std::string& path, OpenMode mode,
+           std::unique_ptr<VfsFile>* out) override {
+    std::FILE* f =
+        std::fopen(path.c_str(), mode == OpenMode::kTruncate ? "wb" : "ab");
+    if (f == nullptr) {
+      return errno != 0 ? errno : EIO;
+    }
+    *out = std::make_unique<StdioFile>(f);
+    return 0;
+  }
+  int Write(VfsFile* file, const char* data, size_t size) override {
+    std::FILE* f = static_cast<StdioFile*>(file)->get();
+    if (std::fwrite(data, 1, size, f) != size || std::fflush(f) != 0) {
+      return errno != 0 ? errno : EIO;
+    }
+    return 0;
+  }
+  int Fsync(VfsFile*) override { return 0; }
+  int Close(std::unique_ptr<VfsFile> file) override {
+    return file == nullptr ? 0
+                           : static_cast<StdioFile*>(file.get())->ReleaseAndClose();
+  }
+  int Rename(const std::string& from, const std::string& to) override {
+    return std::rename(from.c_str(), to.c_str()) == 0 ? 0 : errno;
+  }
+  int Unlink(const std::string& path) override {
+    return std::remove(path.c_str()) == 0 ? 0 : errno;
+  }
+  int Mkdir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    return ec ? (ec.value() != 0 ? ec.value() : EIO) : 0;
+  }
+  int FsyncDir(const std::string&) override { return 0; }
+  int Truncate(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    return ec ? (ec.value() != 0 ? ec.value() : EIO) : 0;
+  }
+};
+
+using PlatformVfs = StdioVfs;
+
+#endif  // _WIN32
+
+std::atomic<Vfs*> g_active_vfs{nullptr};
+
+}  // namespace
+
+Vfs* RealVfs() {
+  static PlatformVfs vfs;
+  return &vfs;
+}
+
+Vfs* ActiveVfs() {
+  Vfs* vfs = g_active_vfs.load(std::memory_order_acquire);
+  return vfs != nullptr ? vfs : RealVfs();
+}
+
+void SetActiveVfs(Vfs* vfs) {
+  g_active_vfs.store(vfs, std::memory_order_release);
+}
+
+int WriteFileThroughVfs(const std::string& path, const std::string& content,
+                        bool durable) {
+  Vfs* vfs = ActiveVfs();
+  std::unique_ptr<VfsFile> file;
+  int err = vfs->Open(path, Vfs::OpenMode::kTruncate, &file);
+  if (err != 0) {
+    return err;
+  }
+  err = vfs->Write(file.get(), content);
+  if (err == 0 && durable) {
+    err = vfs->Fsync(file.get());
+  }
+  const int close_err = vfs->Close(std::move(file));
+  if (err == 0) {
+    err = close_err;
+  }
+  if (err != 0) {
+    vfs->Unlink(path);  // never leave a torn whole-file write behind
+  }
+  return err;
+}
+
+}  // namespace tsvd::io

@@ -9,10 +9,7 @@
 #include <sstream>
 #include <string_view>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
+#include "src/io/vfs.h"
 
 namespace tsvd {
 namespace {
@@ -22,56 +19,27 @@ constexpr std::string_view kHeaderPrefix = "tsvd-trap-";
 
 std::atomic<bool> g_durable_file_sync{true};
 
-// fsync by path (std::ofstream exposes no fd). Directory fsync commits a rename to
-// the journal on filesystems that need it (ext4, xfs); a no-op on Windows.
-bool FsyncPath(const std::string& path, bool is_dir) {
-#ifndef _WIN32
-  int flags = O_RDONLY;
-#ifdef O_DIRECTORY
-  if (is_dir) {
-    flags |= O_DIRECTORY;
-  }
-#endif
-  const int fd = ::open(path.c_str(), flags);
-  if (fd < 0) {
-    return false;
-  }
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-#else
-  (void)path;
-  (void)is_dir;
-  return true;
-#endif
-}
-
 std::string DirOf(const std::string& path) {
   const size_t slash = path.find_last_of("/\\");
   return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
 }
 
-// Writes `content` to `path` (truncating) and optionally fsyncs it. Removes the
-// partial file on failure.
-bool WriteWholeFile(const std::string& path, const std::string& content,
-                    bool durable) {
-  {
-    std::ofstream out(path, std::ios::trunc | std::ios::binary);
-    if (!out) {
-      return false;
-    }
-    out << content;
-    out.flush();
-    if (!out) {
-      std::remove(path.c_str());
-      return false;
-    }
+void SetErr(int* err, int value) {
+  if (err != nullptr) {
+    *err = value;
   }
-  if (durable && !FsyncPath(path, /*is_dir=*/false)) {
-    std::remove(path.c_str());
-    return false;
+}
+
+// Commits a rename in `dir` to stable storage. A failed directory fsync means
+// the rename's durability is unknown (fsyncgate: the error may be dropped with
+// the dirty state); one retry on a fresh descriptor, then fail closed.
+int FsyncDirChecked(const std::string& dir) {
+  io::Vfs* vfs = io::ActiveVfs();
+  int rc = vfs->FsyncDir(dir);
+  if (rc != 0) {
+    rc = vfs->FsyncDir(dir);
   }
-  return true;
+  return rc;
 }
 
 uint64_t NextTempSuffix() {
@@ -90,15 +58,21 @@ bool DurableFileSyncEnabled() {
 }
 
 bool AtomicReplaceFile(const std::string& tmp_path, const std::string& dest_path,
-                       bool durable) {
-  if (std::rename(tmp_path.c_str(), dest_path.c_str()) == 0) {
-    if (durable) {
-      FsyncPath(DirOf(dest_path), /*is_dir=*/true);
+                       bool durable, int* err) {
+  io::Vfs* vfs = io::ActiveVfs();
+  SetErr(err, 0);
+  int rc = vfs->Rename(tmp_path, dest_path);
+  if (rc == 0) {
+    if (durable && (rc = FsyncDirChecked(DirOf(dest_path))) != 0) {
+      // The new content is in place but its durability is unknown; report
+      // failure so no caller records the save as committed.
+      SetErr(err, rc);
+      return false;
     }
     return true;
   }
 #ifdef EXDEV
-  if (errno == EXDEV) {
+  if (rc == EXDEV) {
     // tmp lives on a different filesystem than dest (e.g. system temp dir vs. an
     // out_dir mount): re-stage the bytes inside dest's directory so the final
     // rename cannot cross a filesystem boundary, then replace within that fs.
@@ -106,42 +80,49 @@ bool AtomicReplaceFile(const std::string& tmp_path, const std::string& dest_path
     {
       std::ifstream in(tmp_path, std::ios::binary);
       if (!in) {
-        std::remove(tmp_path.c_str());
+        vfs->Unlink(tmp_path);
+        SetErr(err, EIO);
         return false;
       }
       std::ostringstream buffer;
       buffer << in.rdbuf();
       content = buffer.str();
     }
-    std::remove(tmp_path.c_str());
+    vfs->Unlink(tmp_path);
     const std::string staged =
         dest_path + ".xdev." + std::to_string(NextTempSuffix());
-    if (!WriteWholeFile(staged, content, durable)) {
+    if ((rc = io::WriteFileThroughVfs(staged, content, durable)) != 0) {
+      SetErr(err, rc);
       return false;
     }
-    if (std::rename(staged.c_str(), dest_path.c_str()) != 0) {
-      std::remove(staged.c_str());
+    if ((rc = vfs->Rename(staged, dest_path)) != 0) {
+      vfs->Unlink(staged);
+      SetErr(err, rc);
       return false;
     }
-    if (durable) {
-      FsyncPath(DirOf(dest_path), /*is_dir=*/true);
+    if (durable && (rc = FsyncDirChecked(DirOf(dest_path))) != 0) {
+      SetErr(err, rc);
+      return false;
     }
     return true;
   }
 #endif
-  std::remove(tmp_path.c_str());
+  vfs->Unlink(tmp_path);
+  SetErr(err, rc);
   return false;
 }
 
 bool AtomicWriteFileDurable(const std::string& path, const std::string& content,
-                            bool durable) {
+                            bool durable, int* err) {
   // The temp file is a sibling of `path` so the common-path rename stays within one
   // filesystem; the counter keeps concurrent savers off each other's temp.
   const std::string tmp = path + ".tmp." + std::to_string(NextTempSuffix());
-  if (!WriteWholeFile(tmp, content, durable)) {
+  const int rc = io::WriteFileThroughVfs(tmp, content, durable);
+  if (rc != 0) {
+    SetErr(err, rc);
     return false;
   }
-  return AtomicReplaceFile(tmp, path, durable);
+  return AtomicReplaceFile(tmp, path, durable, err);
 }
 
 namespace {
@@ -247,8 +228,8 @@ TrapFile TrapFile::Salvage(const std::string& text, int* skipped_lines) {
   return file;
 }
 
-bool TrapFile::SaveTo(const std::string& path) const {
-  return AtomicWriteFileDurable(path, Serialize(), DurableFileSyncEnabled());
+bool TrapFile::SaveTo(const std::string& path, int* err) const {
+  return AtomicWriteFileDurable(path, Serialize(), DurableFileSyncEnabled(), err);
 }
 
 bool TrapFile::LoadFrom(const std::string& path, TrapFile* out) {

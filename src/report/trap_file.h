@@ -29,17 +29,24 @@ bool DurableFileSyncEnabled();
 // Atomically replaces `path` with `content`: writes a sibling temp file, optionally
 // fsyncs it, renames it over `path`, and optionally fsyncs the directory so the
 // rename itself is durable. Readers and crashed writers can never observe a torn
-// file. Returns false on any I/O failure (the temp file is cleaned up).
+// file. Returns false on any I/O failure (the temp file is cleaned up); when
+// `err` is non-null it receives the failing errno (0 on success) so callers can
+// apply errno-directed degradation policy (ENOSPC drains, EIO degrades). All
+// writes route through the io::Vfs seam (src/io/vfs.h) so storage chaos can
+// fault them deterministically.
 bool AtomicWriteFileDurable(const std::string& path, const std::string& content,
-                            bool durable);
+                            bool durable, int* err = nullptr);
 
 // Renames `tmp_path` over `dest_path`. When the rename fails with EXDEV (the two
 // live on different filesystems — e.g. a temp-dir staging file and an out_dir on
 // another mount), falls back to copying the content into a temp file *inside*
 // dest's directory and renaming within that filesystem, so the replacement stays
-// atomic. `tmp_path` is consumed (removed) on both success and failure.
+// atomic. `tmp_path` is consumed (removed) on both success and failure. A failed
+// directory fsync after the rename is a failure (retried once on a fresh
+// descriptor first): fsyncgate semantics — durability of the rename is unknown,
+// so the save must not be reported as committed.
 bool AtomicReplaceFile(const std::string& tmp_path, const std::string& dest_path,
-                       bool durable);
+                       bool durable, int* err = nullptr);
 
 struct TrapFile {
   // Each entry is a dangerous pair of call-site signatures (canonically ordered).
@@ -80,7 +87,8 @@ struct TrapFile {
   // to a sibling temp file and renamed over `path`, so concurrent readers see either
   // the old or the new store, never a torn one. Durability follows the process-wide
   // SetDurableFileSync policy (fsync file, then directory, before declaring success).
-  bool SaveTo(const std::string& path) const;
+  // `err` (optional) receives the failing errno, 0 on success.
+  bool SaveTo(const std::string& path, int* err = nullptr) const;
   static bool LoadFrom(const std::string& path, TrapFile* out);
   // Salvage-mode load; false only when the file cannot be read at all.
   static bool SalvageFrom(const std::string& path, TrapFile* out,

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -14,6 +15,8 @@
 
 #include "src/campaign/bug_report_mgr.h"
 #include "src/campaign/journal.h"
+#include "src/io/chaos_fs.h"
+#include "src/io/vfs.h"
 #include "src/report/trap_file.h"
 
 namespace tsvd::campaign {
@@ -317,6 +320,114 @@ TEST(JournalTest, DurabilityKnobTogglesWithoutBreakingAtomicWrites) {
   EXPECT_TRUE(DurableFileSyncEnabled());
   EXPECT_TRUE(AtomicWriteFileDurable(path, "durable", DurableFileSyncEnabled()));
   EXPECT_EQ(ReadAll(path), "durable");
+}
+
+// Property: truncating the journal at EVERY byte offset of the final record
+// must salvage exactly the newline-terminated prefix — the records before the
+// cut, nothing more, nothing invented. This is the contract the crash-point
+// harness (tests/integration/storage_chaos_e2e_test.cc) leans on: any torn
+// tail a SIGKILL leaves behind resumes losslessly.
+TEST(JournalTest, TruncationAtEveryByteOfTheFinalRecordSalvagesThePrefix) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::PathIn(dir.path);
+
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(path, MakeHeader(), /*truncate=*/true, /*fsync=*/false));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 0)));
+  ASSERT_TRUE(journal.AppendRun(MakeRun(1, 1)));
+  journal.Close();
+
+  const std::string contents = ReadAll(path);
+  // Byte length of everything before the final record (header + first run).
+  const size_t prefix_end = contents.find_last_of('\n', contents.size() - 2) + 1;
+  ASSERT_GT(prefix_end, 0u);
+  ASSERT_LT(prefix_end, contents.size());
+
+  for (size_t cut = prefix_end; cut <= contents.size(); ++cut) {
+    const std::string torn_path =
+        dir.path + "/torn_" + std::to_string(cut) + ".tsvdj";
+    {
+      std::ofstream out(torn_path, std::ios::binary | std::ios::trunc);
+      out << contents.substr(0, cut);
+    }
+    JournalReplay replay;
+    ASSERT_TRUE(CampaignJournal::Load(torn_path, &replay)) << "cut=" << cut;
+    const bool final_record_committed = cut == contents.size();
+    EXPECT_EQ(replay.outcomes.size(), final_record_committed ? 2u : 1u)
+        << "cut=" << cut;
+    EXPECT_EQ(replay.outcomes[0].module_index, 0) << "cut=" << cut;
+    // Salvage reports the newline-terminated prefix; only a cut landing exactly
+    // on a record boundary is torn-tail-free.
+    const bool on_boundary = cut == prefix_end || final_record_committed;
+    EXPECT_EQ(replay.torn_tail, !on_boundary) << "cut=" << cut;
+    EXPECT_EQ(replay.valid_bytes, on_boundary ? cut : prefix_end)
+        << "cut=" << cut;
+    EXPECT_EQ(replay.malformed_records, 0) << "cut=" << cut;
+    EXPECT_TRUE(replay.has_header) << "cut=" << cut;
+    fs::remove(torn_path);
+  }
+}
+
+// fsyncgate, recover-once: the first append whose fsync fails must not trust
+// the handle again — the journal reopens, truncates back to the committed
+// prefix, and retries the record on the fresh descriptor. With the fault
+// capped at one shot (max_faults=1) the retry succeeds and nothing is lost.
+TEST(JournalTest, FsyncFailureRecoversOnceViaReopenAndRetry) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::PathIn(dir.path);
+
+  io::ChaosFsSpec spec;
+  spec.fsync_fail = 1.0;
+  spec.after = 3;  // exempt open + header write + header fsync
+  spec.max_faults = 1;
+  io::ChaosFs chaos(io::RealVfs(), spec);
+  io::ScopedVfs scoped(&chaos);
+
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(path, MakeHeader(), /*truncate=*/true, /*fsync=*/true));
+  EXPECT_TRUE(journal.AppendRun(MakeRun(1, 0)));  // fsync fails once, retried
+  EXPECT_TRUE(journal.is_open());
+  EXPECT_TRUE(journal.AppendRun(MakeRun(1, 1)));
+  journal.Close();
+  EXPECT_EQ(chaos.stats().fsync_failures, 1u);
+
+  JournalReplay replay;
+  ASSERT_TRUE(CampaignJournal::Load(path, &replay));
+  ASSERT_EQ(replay.outcomes.size(), 2u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.malformed_records, 0);
+}
+
+// fsyncgate, fail closed: when the retry on the fresh descriptor fails too,
+// the journal closes for good with the errno latched and the on-disk file
+// holding exactly the committed prefix — never a record whose durability is
+// unknown.
+TEST(JournalTest, PersistentFsyncFailureFailsClosedAtTheCommittedPrefix) {
+  ScopedTempDir dir;
+  const std::string path = CampaignJournal::PathIn(dir.path);
+
+  io::ChaosFsSpec spec;
+  spec.fsync_fail = 1.0;
+  spec.after = 3;  // header commits, then every fsync fails
+  io::ChaosFs chaos(io::RealVfs(), spec);
+  io::ScopedVfs scoped(&chaos);
+
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(path, MakeHeader(), /*truncate=*/true, /*fsync=*/true));
+  const uint64_t committed = fs::file_size(path);  // the header line
+  EXPECT_FALSE(journal.AppendRun(MakeRun(1, 0)));
+  EXPECT_FALSE(journal.is_open());
+  EXPECT_EQ(journal.last_errno(), EIO);
+  // Subsequent appends fail fast without resurrecting the handle.
+  EXPECT_FALSE(journal.AppendRun(MakeRun(1, 1)));
+
+  // The uncommitted record was truncated away: replay sees only the header.
+  EXPECT_EQ(fs::file_size(path), committed);
+  JournalReplay replay;
+  ASSERT_TRUE(CampaignJournal::Load(path, &replay));
+  EXPECT_TRUE(replay.has_header);
+  EXPECT_TRUE(replay.outcomes.empty());
+  EXPECT_FALSE(replay.torn_tail);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Fleet join authentication: the coordinator's --auth_token shared secret.
+// A hello without the right token is answered with a framed error (before any
+// version negotiation leaks fleet details), counted, and the campaign is
+// unaffected; the comparison itself is constant-time in the token content.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "src/campaign/campaign.h"
+#include "src/fleet/agent.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/protocol.h"
+#include "src/report/trap_file.h"
+
+namespace tsvd::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ConstantTimeEqualsTest, MatchesPlainEquality) {
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+  EXPECT_TRUE(ConstantTimeEquals("secret", "secret"));
+  EXPECT_FALSE(ConstantTimeEquals("secret", "secreT"));
+  EXPECT_FALSE(ConstantTimeEquals("secret", "secret2"));  // length differs
+  EXPECT_FALSE(ConstantTimeEquals("secret", ""));
+  EXPECT_FALSE(ConstantTimeEquals("abcdef", "fedcba"));
+  // Differences anywhere in the string are caught, not just the first byte.
+  EXPECT_FALSE(ConstantTimeEquals("aaaaaaaaaaab", "aaaaaaaaaaaa"));
+}
+
+#ifndef _WIN32
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_auth_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// Forks an agent presenting `token`; exit code encodes the AgentStatus.
+pid_t ForkAgent(const std::string& address, const std::string& scratch,
+                const std::string& name, const std::string& token) {
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    SetDurableFileSync(false);
+    AgentOptions agent;
+    agent.address = address;
+    agent.name = name;
+    agent.work_dir = scratch + "/" + name;
+    agent.auth_token = token;
+    const AgentResult result = RunAgent(agent);
+    _exit(static_cast<int>(result.status));
+  }
+  return pid;
+}
+
+int WaitExitCode(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(FleetAuthTest, WrongOrMissingTokenIsRefusedMatchingTokenJoins) {
+  ScopedTempDir dir;
+
+  FleetOptions options;
+  options.campaign.num_modules = 6;
+  options.campaign.workers = 2;
+  options.campaign.rounds = 2;
+  options.campaign.scale = 0.01;
+  options.campaign.seed = 42;
+  options.campaign.pool_threads_per_worker = 4;
+  options.campaign.out_dir = dir.path + "/out";
+  options.address = "uds:" + dir.path + "/fleet.sock";
+  options.auth_token = "hunter2";
+
+  // Fork before the coordinator spawns threads: one impostor, one agent with
+  // no token at all, one legitimate agent that carries the whole campaign.
+  const pid_t wrong = ForkAgent(options.address, dir.path, "wrong", "hunter3");
+  const pid_t missing = ForkAgent(options.address, dir.path, "missing", "");
+  const pid_t good = ForkAgent(options.address, dir.path, "good", "hunter2");
+
+  FleetCoordinator coordinator(options);
+  const campaign::CampaignResult result = coordinator.Run();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+
+  // The rejected agents exit kError after the framed refusal; the campaign
+  // still completes on the authenticated one.
+  EXPECT_EQ(WaitExitCode(wrong), static_cast<int>(AgentStatus::kError));
+  EXPECT_EQ(WaitExitCode(missing), static_cast<int>(AgentStatus::kError));
+  EXPECT_EQ(WaitExitCode(good), static_cast<int>(AgentStatus::kOk));
+
+  coordinator.Shutdown();
+  const FleetStats stats = coordinator.stats();
+  EXPECT_EQ(stats.hellos_rejected_auth, 2u);
+  EXPECT_EQ(stats.agents_joined, 1u);
+  EXPECT_FALSE(result.bugs.empty());
+}
+
+TEST(FleetAuthTest, NoTokenConfiguredAcceptsTokenlessAgents) {
+  ScopedTempDir dir;
+
+  FleetOptions options;
+  options.campaign.num_modules = 6;
+  options.campaign.workers = 2;
+  options.campaign.rounds = 2;
+  options.campaign.scale = 0.01;
+  options.campaign.seed = 42;
+  options.campaign.pool_threads_per_worker = 4;
+  options.campaign.out_dir = dir.path + "/out";
+  options.address = "uds:" + dir.path + "/fleet.sock";
+
+  const pid_t agent = ForkAgent(options.address, dir.path, "plain", "");
+  FleetCoordinator coordinator(options);
+  const campaign::CampaignResult result = coordinator.Run();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(WaitExitCode(agent), static_cast<int>(AgentStatus::kOk));
+  coordinator.Shutdown();
+  EXPECT_EQ(coordinator.stats().hellos_rejected_auth, 0u);
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace tsvd::fleet

@@ -1,0 +1,292 @@
+// Storage-chaos end-to-end (DESIGN.md §15): a campaign on a disk that tears,
+// fills, and lies must never lose a committed bug.
+//
+//   * Crash points: a clean instrumented run enumerates every durability
+//     boundary (every Vfs op a durable writer issues); for EACH boundary k a
+//     forked campaign is SIGKILLed mid-op-k by ChaosFs crash_at (writes die
+//     torn-at-offset), then --resume runs fault-free and must converge to the
+//     uninterrupted campaign's exact unique-bug set.
+//   * Disk full: a seeded ENOSPC schedule drains the campaign gracefully
+//     (disk_full set, like a signal drain); resume on a healed disk converges.
+//   * Flaky journal: EIO scoped to journal.tsvdj drops the campaign into
+//     journal-less degraded mode — complete results, stamped degraded.
+//   * Determinism: the same (seed, salt) replays the identical fault schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef _WIN32
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "src/campaign/campaign.h"
+#include "src/campaign/journal.h"
+#include "src/io/chaos_fs.h"
+#include "src/io/vfs.h"
+
+#ifndef _WIN32
+
+namespace tsvd::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_storage_chaos_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// Small bug-bearing corpus (same shape as the resume e2e): big enough to cross
+// several rounds, trap saves, and snapshots; small enough that enumerating
+// every durability boundary stays affordable.
+CampaignOptions SmallOptions(const std::string& out_dir) {
+  CampaignOptions options;
+  options.num_modules = 6;
+  options.workers = 2;
+  options.rounds = 2;
+  options.scale = 0.01;
+  options.seed = 42;
+  options.pool_threads_per_worker = 4;
+  options.out_dir = out_dir;
+  options.journal_snapshot_every = 4;
+  return options;
+}
+
+std::set<std::pair<std::string, std::string>> SignatureSet(
+    const CampaignResult& result) {
+  std::set<std::pair<std::string, std::string>> signatures;
+  for (const auto& bug : result.bugs) {
+    signatures.emplace(bug.sig_first, bug.sig_second);
+  }
+  return signatures;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Every (round, module) appears in the ledger at most once, even after torn
+// tails and re-executed rounds.
+void ExpectNoDuplicateRunRecords(const std::string& out_dir) {
+  JournalReplay replay;
+  ASSERT_TRUE(
+      CampaignJournal::Load(CampaignJournal::PathIn(out_dir), &replay));
+  std::set<std::pair<int, int>> keys;
+  for (const RunOutcome& outcome : replay.outcomes) {
+    EXPECT_TRUE(keys.emplace(outcome.round, outcome.module_index).second)
+        << "run journaled twice: round " << outcome.round << " module "
+        << outcome.module_index;
+  }
+}
+
+// The uninterrupted truth every chaos variant must converge to. Computed once;
+// gtest runs each TEST in the same process so a function-local static is safe.
+const CampaignResult& Baseline() {
+  static const CampaignResult result = [] {
+    static ScopedTempDir dir;
+    return RunCampaign(SmallOptions(dir.path + "/out"));
+  }();
+  return result;
+}
+
+TEST(StorageChaosE2ETest, NoFaultChaosFsIsAnIdentityDecorator) {
+  ASSERT_TRUE(Baseline().error.empty()) << Baseline().error;
+  ASSERT_FALSE(Baseline().bugs.empty());
+
+  ScopedTempDir dir;
+  io::ChaosFs chaos(io::RealVfs(), io::ChaosFsSpec{});
+  CampaignResult result;
+  {
+    io::ScopedVfs scoped(&chaos);
+    result = RunCampaign(SmallOptions(dir.path + "/out"));
+  }
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(SignatureSet(result), SignatureSet(Baseline()));
+  EXPECT_FALSE(result.disk_full);
+  EXPECT_FALSE(result.journal_degraded);
+  EXPECT_EQ(chaos.stats().TotalFaults(), 0u);
+  // The campaign's durable writers all route through the seam: this op count
+  // is the crash-point enumeration domain below.
+  EXPECT_GT(chaos.stats().ops, 20u);
+}
+
+// The tentpole assertion: SIGKILL the campaign at EVERY durability boundary;
+// --resume on the survivor's out_dir must reach the uninterrupted bug set.
+TEST(StorageChaosE2ETest, ResumeConvergesFromEveryCrashPoint) {
+  ASSERT_TRUE(Baseline().error.empty()) << Baseline().error;
+  const auto baseline_signatures = SignatureSet(Baseline());
+
+  // Count the durability boundaries of one clean run.
+  uint64_t boundaries = 0;
+  {
+    ScopedTempDir count_dir;
+    io::ChaosFs counter(io::RealVfs(), io::ChaosFsSpec{});
+    io::ScopedVfs scoped(&counter);
+    const CampaignResult counted = RunCampaign(SmallOptions(count_dir.path + "/out"));
+    ASSERT_TRUE(counted.error.empty()) << counted.error;
+    boundaries = counter.stats().ops;
+  }
+  ASSERT_GT(boundaries, 0u);
+
+  for (uint64_t k = 1; k <= boundaries; ++k) {
+    ScopedTempDir dir;
+    const std::string out_dir = dir.path + "/out";
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: die mid-op k. A write crash point first persists a torn prefix,
+      // so resume faces exactly the state a power cut leaves behind.
+      io::ChaosFsSpec spec;
+      spec.crash_at = static_cast<int64_t>(k);
+      io::ChaosFs chaos(io::RealVfs(), spec);
+      io::SetActiveVfs(&chaos);
+      RunCampaign(SmallOptions(out_dir));
+      _exit(42);  // campaign finished before op k — enumeration bug
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "crash point " << k << " did not fire (status " << status << ")";
+
+    CampaignOptions resume_options = SmallOptions(out_dir);
+    resume_options.resume = true;
+    const CampaignResult resumed = RunCampaign(resume_options);
+    ASSERT_TRUE(resumed.error.empty())
+        << "crash point " << k << ": " << resumed.error;
+    EXPECT_EQ(SignatureSet(resumed), baseline_signatures)
+        << "crash point " << k;
+    EXPECT_EQ(resumed.UniqueBugCount(), Baseline().UniqueBugCount())
+        << "crash point " << k;
+    EXPECT_EQ(resumed.converged, Baseline().converged) << "crash point " << k;
+    ExpectNoDuplicateRunRecords(out_dir);
+  }
+}
+
+TEST(StorageChaosE2ETest, EnospcDrainsGracefullyAndResumeConverges) {
+  ASSERT_TRUE(Baseline().error.empty()) << Baseline().error;
+
+  ScopedTempDir dir;
+  const std::string out_dir = dir.path + "/out";
+  // The disk fills for good partway in: every durable write from op 26 on
+  // fails with ENOSPC. The campaign must drain like a signal, not die.
+  io::ChaosFsSpec spec;
+  spec.seed = 7;
+  spec.enospc = 1.0;
+  spec.after = 25;
+  io::ChaosFs chaos(io::RealVfs(), spec);
+  CampaignResult drained;
+  {
+    io::ScopedVfs scoped(&chaos);
+    drained = RunCampaign(SmallOptions(out_dir));
+  }
+  ASSERT_TRUE(drained.error.empty()) << drained.error;
+  EXPECT_TRUE(drained.disk_full);
+  EXPECT_TRUE(drained.interrupted);
+  EXPECT_GE(chaos.stats().enospc, 1u);
+  EXPECT_LT(drained.RunsExecuted(), Baseline().RunsExecuted());
+
+  // The disk heals; --resume picks up from the journal's committed prefix.
+  CampaignOptions resume_options = SmallOptions(out_dir);
+  resume_options.resume = true;
+  const CampaignResult resumed = RunCampaign(resume_options);
+  ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+  EXPECT_FALSE(resumed.disk_full);
+  EXPECT_EQ(SignatureSet(resumed), SignatureSet(Baseline()));
+  EXPECT_EQ(resumed.converged, Baseline().converged);
+  ExpectNoDuplicateRunRecords(out_dir);
+}
+
+TEST(StorageChaosE2ETest, FlakyJournalDegradesWithoutLosingResults) {
+  ASSERT_TRUE(Baseline().error.empty()) << Baseline().error;
+
+  ScopedTempDir dir;
+  const std::string out_dir = dir.path + "/out";
+  // EIO scoped to the journal alone (the flaky-mount shape): the ledger fails
+  // after its header commits, everything else is healthy. The campaign keeps
+  // running journal-less and still reports the full bug set — stamped so
+  // automation knows this run is not resumable.
+  io::ChaosFsSpec spec;
+  spec.eio = 1.0;
+  spec.after = 5;
+  spec.path_substr = "journal.tsvdj";
+  io::ChaosFs chaos(io::RealVfs(), spec);
+  CampaignResult result;
+  {
+    io::ScopedVfs scoped(&chaos);
+    result = RunCampaign(SmallOptions(out_dir));
+  }
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.journal_degraded);
+  EXPECT_FALSE(result.disk_full);
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_GE(chaos.stats().eio, 1u);
+  EXPECT_EQ(SignatureSet(result), SignatureSet(Baseline()));
+  EXPECT_EQ(result.RunsExecuted(), Baseline().RunsExecuted());
+
+  // The report sinks carry the degradation stamp.
+  ASSERT_FALSE(result.json_path.empty());
+  EXPECT_NE(ReadAll(result.json_path).find("degraded"), std::string::npos);
+}
+
+TEST(StorageChaosE2ETest, SameSeedAndSaltReplayTheSameFaultSchedule) {
+  // Single worker: the op sequence is sequential, so per-class fault counts —
+  // not just the by-index schedule — must replay exactly.
+  auto run_once = [](const std::string& out_dir, io::ChaosFsStats* stats,
+                     CampaignResult* result) {
+    io::ChaosFsSpec spec;
+    spec.seed = 1234;
+    spec.enospc = 0.10;
+    spec.eio = 0.05;
+    spec.after = 10;
+    io::ChaosFs chaos(io::RealVfs(), spec, /*salt=*/99);
+    io::ScopedVfs scoped(&chaos);
+    CampaignOptions options = SmallOptions(out_dir);
+    options.workers = 1;
+    *result = RunCampaign(options);
+    *stats = chaos.stats();
+  };
+
+  ScopedTempDir dir_a;
+  ScopedTempDir dir_b;
+  io::ChaosFsStats stats_a, stats_b;
+  CampaignResult result_a, result_b;
+  run_once(dir_a.path + "/out", &stats_a, &result_a);
+  run_once(dir_b.path + "/out", &stats_b, &result_b);
+
+  EXPECT_EQ(stats_a.ops, stats_b.ops);
+  EXPECT_EQ(stats_a.Classes(), stats_b.Classes());
+  EXPECT_EQ(result_a.error, result_b.error);
+  EXPECT_EQ(result_a.disk_full, result_b.disk_full);
+  EXPECT_EQ(result_a.journal_degraded, result_b.journal_degraded);
+  EXPECT_EQ(SignatureSet(result_a), SignatureSet(result_b));
+}
+
+}  // namespace
+}  // namespace tsvd::campaign
+
+#endif  // !_WIN32

@@ -1,0 +1,162 @@
+// Vfs seam: RealVfs POSIX roundtrips, process-wide install/restore, and the
+// whole-file helper's cleanup-on-failure contract (DESIGN.md §15).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/io/chaos_fs.h"
+#include "src/io/vfs.h"
+
+namespace tsvd::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScopedTempDir {
+  ScopedTempDir() {
+    static std::atomic<int> counter{0};
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    path = (fs::temp_directory_path() /
+            ("tsvd_vfs_test_" + std::to_string(stamp) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(VfsTest, TruncateWriteFsyncCloseRoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/file.txt";
+  Vfs* vfs = RealVfs();
+
+  std::unique_ptr<VfsFile> file;
+  ASSERT_EQ(vfs->Open(path, Vfs::OpenMode::kTruncate, &file), 0);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(vfs->Write(file.get(), std::string("hello ")), 0);
+  EXPECT_EQ(vfs->Write(file.get(), std::string("world")), 0);
+  EXPECT_EQ(vfs->Fsync(file.get()), 0);
+  EXPECT_EQ(vfs->Close(std::move(file)), 0);
+  EXPECT_EQ(ReadAll(path), "hello world");
+
+  // kTruncate over an existing file starts from scratch.
+  ASSERT_EQ(vfs->Open(path, Vfs::OpenMode::kTruncate, &file), 0);
+  EXPECT_EQ(vfs->Write(file.get(), std::string("x")), 0);
+  EXPECT_EQ(vfs->Close(std::move(file)), 0);
+  EXPECT_EQ(ReadAll(path), "x");
+}
+
+TEST(VfsTest, AppendModeLandsAtTheTail) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/log.txt";
+  Vfs* vfs = RealVfs();
+
+  std::unique_ptr<VfsFile> file;
+  ASSERT_EQ(vfs->Open(path, Vfs::OpenMode::kAppend, &file), 0);
+  EXPECT_EQ(vfs->Write(file.get(), std::string("one\n")), 0);
+  EXPECT_EQ(vfs->Close(std::move(file)), 0);
+  ASSERT_EQ(vfs->Open(path, Vfs::OpenMode::kAppend, &file), 0);
+  EXPECT_EQ(vfs->Write(file.get(), std::string("two\n")), 0);
+  EXPECT_EQ(vfs->Close(std::move(file)), 0);
+  EXPECT_EQ(ReadAll(path), "one\ntwo\n");
+}
+
+TEST(VfsTest, OpenOfUnreachablePathReportsErrno) {
+  ScopedTempDir dir;
+  Vfs* vfs = RealVfs();
+  std::unique_ptr<VfsFile> file;
+  const int err = vfs->Open(dir.path + "/no/such/dir/file.txt",
+                            Vfs::OpenMode::kTruncate, &file);
+  EXPECT_EQ(err, ENOENT);
+  EXPECT_EQ(file, nullptr);
+}
+
+TEST(VfsTest, RenameUnlinkMkdirTruncate) {
+  ScopedTempDir dir;
+  Vfs* vfs = RealVfs();
+
+  // mkdir -p semantics: nested create, then an existing dir is success.
+  const std::string nested = dir.path + "/a/b/c";
+  EXPECT_EQ(vfs->Mkdir(nested), 0);
+  EXPECT_TRUE(fs::is_directory(nested));
+  EXPECT_EQ(vfs->Mkdir(nested), 0);
+  EXPECT_EQ(vfs->FsyncDir(nested), 0);
+
+  const std::string from = nested + "/from.txt";
+  const std::string to = nested + "/to.txt";
+  std::unique_ptr<VfsFile> file;
+  ASSERT_EQ(vfs->Open(from, Vfs::OpenMode::kTruncate, &file), 0);
+  EXPECT_EQ(vfs->Write(file.get(), std::string("payload")), 0);
+  EXPECT_EQ(vfs->Close(std::move(file)), 0);
+
+  EXPECT_EQ(vfs->Rename(from, to), 0);
+  EXPECT_FALSE(fs::exists(from));
+  EXPECT_EQ(ReadAll(to), "payload");
+
+  EXPECT_EQ(vfs->Truncate(to, 3), 0);
+  EXPECT_EQ(ReadAll(to), "pay");
+
+  EXPECT_EQ(vfs->Unlink(to), 0);
+  EXPECT_FALSE(fs::exists(to));
+  EXPECT_NE(vfs->Unlink(to), 0);  // already gone
+}
+
+TEST(VfsTest, ScopedVfsInstallsAndRestores) {
+  ChaosFsSpec spec;  // no faults; identity decorator
+  ChaosFs chaos(RealVfs(), spec);
+  EXPECT_EQ(ActiveVfs(), RealVfs());
+  {
+    ScopedVfs scoped(&chaos);
+    EXPECT_EQ(ActiveVfs(), &chaos);
+    EXPECT_EQ(InstalledChaosFs(), &chaos);
+  }
+  EXPECT_EQ(ActiveVfs(), RealVfs());
+  EXPECT_EQ(InstalledChaosFs(), nullptr);
+}
+
+TEST(VfsTest, WriteFileThroughVfsWritesDurably) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/out.json";
+  EXPECT_EQ(WriteFileThroughVfs(path, "{\"ok\":true}", /*durable=*/true), 0);
+  EXPECT_EQ(ReadAll(path), "{\"ok\":true}");
+  EXPECT_EQ(WriteFileThroughVfs(path, "v2", /*durable=*/false), 0);
+  EXPECT_EQ(ReadAll(path), "v2");
+}
+
+TEST(VfsTest, WriteFileThroughVfsUnlinksPartialOnFailure) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/torn.json";
+  // Every write is a short write followed by ENOSPC: the helper must report the
+  // errno and remove the partial file rather than leave a torn one behind.
+  ChaosFsSpec spec;
+  spec.short_write = 1.0;
+  ChaosFs chaos(RealVfs(), spec);
+  int err = 0;
+  {
+    ScopedVfs scoped(&chaos);
+    err = WriteFileThroughVfs(path, std::string(1024, 'x'), /*durable=*/true);
+  }
+  EXPECT_EQ(err, ENOSPC);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_GE(chaos.stats().short_writes, 1u);
+}
+
+}  // namespace
+}  // namespace tsvd::io

@@ -8,6 +8,7 @@
 #include <csignal>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include <vector>
@@ -15,6 +16,7 @@
 #include "src/campaign/campaign.h"
 #include "src/campaign/json.h"
 #include "src/campaign/run_executor.h"
+#include "src/io/chaos_fs.h"
 #include "src/sandbox/sandbox.h"
 #include "src/tasks/thread_pool.h"
 #include "tools/flag_parser.h"
@@ -66,6 +68,21 @@ Usage: tsvd_campaign [--flag=value ...]
                    the journal and partial reports ("interrupted": true) are
                    flushed, and the tool exits 0; rerun with --resume
 
+ storage faults (see DESIGN.md §15):
+  --io_chaos=SPEC  deterministic storage-fault injection on every durable write
+                   (journal, trap store, reports, snapshots). SPEC is comma-
+                   separated key=value: seed=N, enospc=P, eio=P, short_write=P,
+                   fsync_fail=P, rename_fail=P, after=N (exempt first N ops),
+                   max_faults=N, crash_at=N (SIGKILL self at op N),
+                   path=SUBSTR (fault only matching paths). Same seed =>
+                   identical fault sequence. Injected fault counts are printed
+                   in the run summary and recorded in campaign.json.
+  disk full        ENOSPC on any durable write drains gracefully like a signal
+                   (partial reports flushed, exit 5; rerun with --resume)
+  journal EIO      any other journal failure drops to journal-less degraded
+                   mode: the campaign completes, reports are stamped
+                   "durability": "degraded", but it cannot be resumed
+
  process sandbox (POSIX only; elsewhere runs stay in-process):
   --sandbox            fork one child per run; a crash or hang kills the child only
   --run_timeout_ms=N   per-attempt watchdog deadline, SIGKILL on expiry; 0 disables
@@ -96,6 +113,10 @@ Usage: tsvd_campaign [--flag=value ...]
                    coordinator's job source)
 
   --help           this text
+
+ exit codes: 0 success (including a graceful signal drain), 2 usage or fatal
+             error, 5 disk-full drain (ENOSPC; journal consistent, --resume
+             continues once space is freed)
 )";
 
 // The --list-modules inventory. Archetypes are the distinct workload pattern names
@@ -227,9 +248,17 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("max_internal_errors", -1, -1, 1000000));
   const bool list_modules = flags.GetBool("list-modules", false);
   const bool list_json = flags.GetBool("json", false);
+  const std::string io_chaos = flags.GetString("io_chaos", "");
   flags.RejectUnknown();
   if (!flags.ok()) {
     std::fprintf(stderr, "tsvd_campaign: %s\nTry --help.\n", flags.error().c_str());
+    return 2;
+  }
+  std::string chaos_error;
+  const std::unique_ptr<io::ChaosFs> chaos =
+      io::InstallChaosFsFromSpec(io_chaos, /*salt=*/0, &chaos_error);
+  if (!chaos_error.empty()) {
+    std::fprintf(stderr, "tsvd_campaign: %s\nTry --help.\n", chaos_error.c_str());
     return 2;
   }
   if (list_modules) {
@@ -341,6 +370,33 @@ int main(int argc, char** argv) {
     if (!result.journal_path.empty()) {
       std::printf("  %s\n", result.journal_path.c_str());
     }
+  }
+  if (chaos != nullptr) {
+    // Per-class injected-fault counts, so a CI job driving a seeded schedule
+    // can assert from the output that the schedule actually fired.
+    const io::ChaosFsStats stats = chaos->stats();
+    std::printf("\nstorage chaos: %llu op(s)",
+                static_cast<unsigned long long>(stats.ops));
+    for (const auto& [cls, count] : stats.Classes()) {
+      std::printf(", %s=%llu", cls.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+  if (result.journal_degraded) {
+    std::fprintf(stderr,
+                 "tsvd_campaign: journal write failed (I/O error); campaign "
+                 "completed journal-less — reports are stamped \"durability\": "
+                 "\"degraded\" and this run cannot be resumed.\n");
+  }
+  if (result.disk_full) {
+    // The distinct disk-full verdict: consistent partial state on disk, but
+    // automation must know the campaign stopped for storage, not by choice.
+    std::fprintf(stderr,
+                 "tsvd_campaign: output device full (ENOSPC); drained gracefully "
+                 "— journal and partial reports flushed. Free space and rerun "
+                 "with --resume to continue.\n");
+    return 5;
   }
   if (result.interrupted) {
     // A drained campaign is a clean exit (the journal and partial reports are

@@ -65,6 +65,10 @@ Usage: tsvd_fleet [--flag=value ...]          # coordinator, spawns --agents=N a
   --chaos=SPEC     inject deterministic network faults on every agent and
                    federation link, e.g. "seed=7,drop_send=0.1,drop_recv=0.1,
                    dup=0.2,delay_ms=5" (see DESIGN.md S14 for all keys)
+  --auth_token=S   shared-secret join check: a hello without a matching token is
+                   answered with a framed error and counted (constant-time
+                   compare; forwarded to spawned agents). Use on tcp: listeners
+                   shared beyond one trust domain.
   --out=DIR        artifact directory, as tsvd_campaign: traps.tsvd, campaign.json,
                    campaign.sarif, journal.tsvdj (default "fleet-out")
   --resume         continue a dead fleet (or tsvd_campaign) journal in --out
@@ -89,14 +93,20 @@ Usage: tsvd_fleet [--flag=value ...]          # coordinator, spawns --agents=N a
                    for dead (default 30000)
   --heartbeat_ms=N liveness heartbeat cadence (default 0 = none)
   --chaos=SPEC --chaos_salt=N  fault injection on this agent's links
+  --auth_token=S   shared secret presented in the hello (must match the
+                   coordinator's --auth_token)
 
  exit codes (agent mode):
   0  campaign finished (or clean interrupt)
-  1  protocol/setup error (version mismatch, bad grant, refused join)
+  1  protocol/setup error (version mismatch, bad auth token, refused join)
   2  usage error
   3  coordinator unreachable: never reached within --hello_timeout_ms, or lost
      mid-campaign past --rpc_retry_ms
   4  evicted by the coordinator for missed heartbeats
+
+ exit codes (coordinator mode): 0 success (including a graceful signal drain),
+  2 usage or fatal error, 5 disk-full drain (ENOSPC on a durable write; journal
+  consistent, rerun with --resume once space is freed)
 
   --help           this text
 
@@ -172,6 +182,7 @@ int RunAgentMode(tsvd::tools::FlagParser& flags) {
   options.chaos = flags.GetString("chaos", "");
   options.chaos_salt = static_cast<uint64_t>(
       flags.GetInt("chaos_salt", 0, 0, std::numeric_limits<int64_t>::max()));
+  options.auth_token = flags.GetString("auth_token", "");
   flags.RejectUnknown();
   if (!flags.ok() || options.address.empty()) {
     std::fprintf(stderr, "tsvd_fleet --agent: %s\nTry --help.\n",
@@ -329,6 +340,7 @@ int main(int argc, char** argv) {
   const int heartbeat_ms =
       static_cast<int>(flags.GetInt("heartbeat_ms", 1000, 0, 600000));
   const std::string chaos = flags.GetString("chaos", "");
+  options.auth_token = flags.GetString("auth_token", "");
   options.federation.peers = SplitCommaList(flags.GetString("federate", ""));
   options.federation.interval_ms =
       static_cast<int>(flags.GetInt("federation_interval_ms", 1000, 10, 3600000));
@@ -388,6 +400,9 @@ int main(int argc, char** argv) {
       extra_flags.push_back("--chaos=" + chaos);
       extra_flags.push_back("--chaos_salt=" + std::to_string(i + 1));
     }
+    if (!options.auth_token.empty()) {
+      extra_flags.push_back("--auth_token=" + options.auth_token);
+    }
     const pid_t pid = SpawnAgent(self, address, name, work_dir, extra_flags);
     if (pid < 0) {
       std::fprintf(stderr, "tsvd_fleet: fork: %s\n", std::strerror(errno));
@@ -437,7 +452,8 @@ int main(int argc, char** argv) {
   std::printf(
       "\nunique bugs: %llu   runs executed: %llu   false positives: %d\n"
       "fleet: %llu agent join(s), %llu lease(s), %llu stolen, %llu duplicate "
-      "result(s), %llu replayed request(s), %llu eviction(s)\n",
+      "result(s), %llu replayed request(s), %llu eviction(s), %llu hello(s) "
+      "rejected by auth\n",
       static_cast<unsigned long long>(result.UniqueBugCount()),
       static_cast<unsigned long long>(result.RunsExecuted()),
       result.false_positives,
@@ -446,7 +462,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(fstats.leases_stolen),
       static_cast<unsigned long long>(fstats.duplicate_results),
       static_cast<unsigned long long>(fstats.duplicate_requests),
-      static_cast<unsigned long long>(fstats.agents_evicted));
+      static_cast<unsigned long long>(fstats.agents_evicted),
+      static_cast<unsigned long long>(fstats.hellos_rejected_auth));
   if (!options.federation.peers.empty()) {
     const fleet::FederationStats& fed = fed_stats;
     std::printf(
@@ -474,6 +491,19 @@ int main(int argc, char** argv) {
     std::printf("\nartifacts:\n  %s\n  %s\n  %s\n  %s\n", result.trap_path.c_str(),
                 result.json_path.c_str(), result.sarif_path.c_str(),
                 result.journal_path.c_str());
+  }
+  if (result.journal_degraded) {
+    std::fprintf(stderr,
+                 "tsvd_fleet: journal write failed (I/O error); campaign "
+                 "completed journal-less — reports are stamped \"durability\": "
+                 "\"degraded\" and this run cannot be resumed.\n");
+  }
+  if (result.disk_full) {
+    std::fprintf(stderr,
+                 "tsvd_fleet: output device full (ENOSPC); drained gracefully — "
+                 "journal and partial reports flushed. Free space and rerun with "
+                 "--resume to continue.\n");
+    return 5;
   }
   if (result.interrupted) {
     std::fprintf(stderr,
