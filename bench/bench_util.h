@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 
 namespace tsvd::bench {
 
@@ -22,6 +24,42 @@ inline double EnvDouble(const char* name, double fallback) {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Machine metadata stamped into benchmark JSON so numbers from different
+// runners are comparable (a 1-vCPU container and a 16-core bare-metal box
+// produce very different oversubscription behavior).
+
+inline unsigned HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;  // 0 means "unknown" per the standard
+}
+
+inline std::string CpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto key = line.find("model name");
+    if (key == std::string::npos) {
+      continue;
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      break;
+    }
+    auto start = line.find_first_not_of(" \t", colon + 1);
+    return start == std::string::npos ? "unknown" : line.substr(start);
+  }
+  return "unknown";
+}
+
+inline std::string CpuGovernor() {
+  std::ifstream in("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  std::string governor;
+  if (!(in >> governor) || governor.empty()) {
+    return "unknown";
+  }
+  return governor;
 }
 
 }  // namespace tsvd::bench

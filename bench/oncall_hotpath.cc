@@ -1,4 +1,4 @@
-// OnCall hot-path microbenchmark: ns per instrumented call at 1/2/4/8 threads.
+// OnCall hot-path microbenchmark: ns per instrumented call at 1..64 threads.
 //
 // TSVD's premise (Section 5.5: ~33% slowdown) only holds if the per-call cost of
 // the runtime is small. This bench drives Runtime::OnCall directly — the same
@@ -14,12 +14,31 @@
 //   trapping       shared objects with real (short) delays: traps arm, spring,
 //                  and decay — the full slow path, including parked time.
 //
-// Writes BENCH_oncall_hotpath.json next to the working directory. The baseline_
-// pre_pr block holds the numbers measured at commit 6196949 (pre hot-path
-// rework) on the same harness so every run reports the trajectory.
+// Metric: CPU-normalized ns per call,
+//
+//     ns = wall_us * 1000 * min(threads, hw_concurrency) / (iters * threads)
+//
+// For thread counts at or below the core count this is exactly wall ns per call
+// (per thread), the number that exposes cross-thread cache-line contention. Above
+// the core count the OS timeshares: wall time grows linearly with the thread
+// count even for perfectly contention-free code, so the raw wall number measures
+// the scheduler, not the runtime. The normalization divides that multiplexing
+// factor back out; a contention-free hot path reads roughly flat across the whole
+// 1..64 sweep on any machine. Oversubscribed counts are flagged in the JSON (and
+// with '*' in the table); set TSVD_BENCH_SKIP_OVERSUBSCRIBED=1 to skip them
+// entirely instead.
+//
+// Writes BENCH_oncall_hotpath.json next to the working directory, including a
+// machine block (hw_concurrency, cpu model, governor) so numbers from different
+// runners are never compared blind. The baseline_pre_pr block holds the wall-ns
+// numbers measured at commit 6196949 (pre hot-path rework) on the same harness
+// so every run reports the trajectory.
 //
 // Env overrides: TSVD_BENCH_ITERS (per-thread calls, default 1'000'000),
-// TSVD_BENCH_MAX_THREADS (default 8).
+// TSVD_BENCH_MAX_THREADS (default 64), TSVD_BENCH_SKIP_OVERSUBSCRIBED (default
+// 0), TSVD_BENCH_REPEATS (default 2; each cell reports the min across repeats,
+// the standard noise-robust estimator for single-sample microbenchmarks).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -49,8 +68,8 @@ constexpr ModeSpec kModes[] = {
 };
 
 // Numbers measured on this harness before the hot-path rework (commit 6196949):
-// Release build, 1M iters/thread, 1-vCPU container. Re-baseline only when the
-// harness itself changes shape.
+// Release build, 1M iters/thread, 1-vCPU container, raw wall ns per call.
+// Re-baseline only when the harness itself changes shape.
 struct Baseline {
   const char* mode;
   double ns_per_call[4];  // threads 1, 2, 4, 8
@@ -61,6 +80,7 @@ constexpr Baseline kPrePrBaseline[] = {
     {"trapping", {204.4, 469.3, 859.5, 1725.4}},
 };
 
+// Raw wall microseconds for one mode at one thread count.
 double RunMode(const ModeSpec& mode, int threads, long iters) {
   Config cfg;
   cfg.delay_us = mode.delay_us;
@@ -97,8 +117,13 @@ double RunMode(const ModeSpec& mode, int threads, long iters) {
   for (auto& w : workers) {
     w.join();
   }
-  const Micros wall_us = NowMicros() - t0;
-  return static_cast<double>(wall_us) * 1000.0 / static_cast<double>(iters);
+  return static_cast<double>(NowMicros() - t0);
+}
+
+std::string JsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
 }
 
 }  // namespace
@@ -107,39 +132,95 @@ double RunMode(const ModeSpec& mode, int threads, long iters) {
 int main() {
   using namespace tsvd;
   const long iters = bench::EnvInt("TSVD_BENCH_ITERS", 1'000'000);
-  const int max_threads = bench::EnvInt("TSVD_BENCH_MAX_THREADS", 8);
+  const int max_threads = bench::EnvInt("TSVD_BENCH_MAX_THREADS", 64);
+  const bool skip_oversub =
+      bench::EnvInt("TSVD_BENCH_SKIP_OVERSUBSCRIBED", 0) != 0;
+  const int repeats = std::max(1, bench::EnvInt("TSVD_BENCH_REPEATS", 2));
+  const unsigned hw = bench::HardwareConcurrency();
+  const std::string cpu_model = bench::CpuModel();
+  const std::string governor = bench::CpuGovernor();
 
-  bench::PrintHeader("OnCall hot path (ns per call)");
+  bench::PrintHeader("OnCall hot path (CPU-normalized ns per call)");
+  std::printf("machine: %u hw threads, %s, governor %s\n", hw,
+              cpu_model.c_str(), governor.c_str());
+
+  // Discarded warm-up: the very first measured cell otherwise absorbs one-time
+  // costs (page faults, lazy allocation, branch-predictor training) and reads
+  // 10-20% high, which a single-sample harness cannot average away.
+  RunMode(kModes[0], 1, std::min<long>(iters / 4, 250'000));
+
   std::string json = "{\n  \"bench\": \"oncall_hotpath\",\n";
   json += "  \"iters_per_thread\": " + std::to_string(iters) + ",\n";
-  json += "  \"modes\": {\n";
+  json +=
+      "  \"metric\": \"cpu-normalized ns per call: wall_us * 1000 * "
+      "min(threads, hw_concurrency) / (iters * threads)\",\n";
+  json += "  \"machine\": {\n";
+  json += "    \"hw_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "    \"cpu_model\": \"" + cpu_model + "\",\n";
+  json += "    \"governor\": \"" + governor + "\"\n";
+  json += "  },\n";
 
-  const int thread_counts[] = {1, 2, 4, 8};
+  const int thread_counts[] = {1, 2, 4, 8, 16, 32, 64};
+  std::string oversub_list;
+  for (int tc : thread_counts) {
+    if (tc <= max_threads && static_cast<unsigned>(tc) > hw && !skip_oversub) {
+      if (!oversub_list.empty()) {
+        oversub_list += ", ";
+      }
+      oversub_list += std::to_string(tc);
+    }
+  }
+  std::string modes_json;
+  std::string wall_json;
   bool first_mode = true;
   for (const ModeSpec& mode : kModes) {
     std::printf("%-16s", mode.name);
     if (!first_mode) {
-      json += ",\n";
+      modes_json += ",\n";
+      wall_json += ",\n";
     }
     first_mode = false;
-    json += std::string("    \"") + mode.name + "\": {";
+    modes_json += std::string("    \"") + mode.name + "\": {";
+    wall_json += std::string("    \"") + mode.name + "\": {";
     bool first_tc = true;
     for (int tc : thread_counts) {
       if (tc > max_threads) {
         continue;
       }
-      const double ns = RunMode(mode, tc, iters);
-      std::printf("  %dT: %8.1f", tc, ns);
+      const bool oversub = static_cast<unsigned>(tc) > hw;
+      if (oversub && skip_oversub) {
+        std::printf("  %2dT:    skip", tc);
+        continue;
+      }
+      double wall_us = RunMode(mode, tc, iters);
+      for (int r = 1; r < repeats; ++r) {
+        wall_us = std::min(wall_us, RunMode(mode, tc, iters));
+      }
+      const double wall_ns = wall_us * 1000.0 / static_cast<double>(iters);
+      const double norm_ns =
+          wall_ns * static_cast<double>(std::min<unsigned>(tc, hw)) /
+          static_cast<double>(tc);
+      std::printf("  %2dT: %7.1f%s", tc, norm_ns, oversub ? "*" : " ");
       if (!first_tc) {
-        json += ", ";
+        modes_json += ", ";
+        wall_json += ", ";
       }
       first_tc = false;
-      json += "\"" + std::to_string(tc) + "\": " + std::to_string(ns);
+      modes_json += "\"" + std::to_string(tc) + "\": " + JsonNumber(norm_ns);
+      wall_json += "\"" + std::to_string(tc) + "\": " + JsonNumber(wall_ns);
     }
     std::printf("\n");
-    json += "}";
+    modes_json += "}";
+    wall_json += "}";
   }
-  json += "\n  },\n  \"baseline_pre_pr\": {\n";
+  if (hw < 64) {
+    std::printf("(* = oversubscribed: normalized by cpu-time factor)\n");
+  }
+
+  json += "  \"oversubscribed_thread_counts\": [" + oversub_list + "],\n";
+  json += "  \"modes\": {\n" + modes_json + "\n  },\n";
+  json += "  \"wall_ns\": {\n" + wall_json + "\n  },\n";
+  json += "  \"baseline_pre_pr\": {\n";
   bool first_base = true;
   for (const Baseline& base : kPrePrBaseline) {
     if (!first_base) {
@@ -153,7 +234,7 @@ int main() {
         json += ", ";
       }
       json += "\"" + std::to_string(tcs[i]) +
-              "\": " + std::to_string(base.ns_per_call[i]);
+              "\": " + JsonNumber(base.ns_per_call[i]);
     }
     json += "}";
   }

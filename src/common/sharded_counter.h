@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/common/ids.h"
+#include "src/common/padded.h"
 
 namespace tsvd {
 
@@ -42,10 +43,17 @@ class ShardedCounter {
   }
 
  private:
-  static constexpr size_t kCells = 64;
-  struct alignas(64) Cell {
+  // Sized past any realistic live-thread count (64-thread scaling benches spawn
+  // fresh threads per mode × thread-count combination, and dense ThreadIds are
+  // never reused, so ids well beyond the peak thread count stay on the exact
+  // single-writer path instead of colliding on the shared fallback cell). 1024
+  // padded cells = 64KB per counter, paid once per Runtime.
+  static constexpr size_t kCells = 1024;
+  struct alignas(kCacheLineSize) Cell {
     std::atomic<uint64_t> value{0};
   };
+  static_assert(sizeof(Cell) == kCacheLineSize && alignof(Cell) == kCacheLineSize,
+                "each counter cell must own exactly one cache line");
   Cell cells_[kCells];
 };
 

@@ -118,6 +118,11 @@ ParkResult DelayEngine::Park(ThreadId tid, OpId op, Micros duration_us) {
       return result;
     }
     MaybeStartSentinelLocked();
+    // Refresh the watermark before callers start maintaining it (NoteProgress only
+    // stores it while parked_count_ is nonzero): the sentinel must never judge the
+    // fresh park against a watermark that went stale during a parkless stretch.
+    last_progress_us_.store(result.start_us, std::memory_order_relaxed);
+    parked_count_.fetch_add(1, std::memory_order_relaxed);
     parked_.push_back(&ticket);
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us);
@@ -129,6 +134,7 @@ ParkResult DelayEngine::Park(ThreadId tid, OpId op, Micros duration_us) {
     }
     result.reason = ticket.reason;
     parked_.remove(&ticket);
+    parked_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   result.end_us = NowMicros();
   const Micros slept = result.end_us - result.start_us;
@@ -182,9 +188,13 @@ size_t DelayEngine::CancelAllParked(WakeReason reason) {
 }
 
 void DelayEngine::NoteProgress(ThreadId tid, Micros now) {
-  last_progress_us_.store(now, std::memory_order_relaxed);
   if (tid < last_seen_.capacity()) {
-    last_seen_.Get(tid).store(now, std::memory_order_relaxed);
+    last_seen_.Get(tid).value.store(now, std::memory_order_relaxed);
+  }
+  // Only maintain the shared watermark while the sentinel could be consuming it;
+  // see the header comment. Park() seeds it when a parkless stretch ends.
+  if (parked_count_.load(std::memory_order_relaxed) != 0) {
+    last_progress_us_.store(now, std::memory_order_relaxed);
   }
 }
 
@@ -228,8 +238,8 @@ void DelayEngine::SentinelLoop() {
       }
       size_t active_outside = 0;
       for (size_t tid = 0; tid < last_seen_.capacity(); ++tid) {
-        const Micros seen =
-            last_seen_.Get(static_cast<ThreadId>(tid)).load(std::memory_order_relaxed);
+        const Micros seen = last_seen_.Get(static_cast<ThreadId>(tid))
+                                .value.load(std::memory_order_relaxed);
         if (seen == 0 || now - seen > grace) {
           continue;  // never instrumented / idle long enough to not count
         }

@@ -39,6 +39,7 @@
 #include "src/common/clock.h"
 #include "src/common/config.h"
 #include "src/common/ids.h"
+#include "src/common/padded.h"
 #include "src/common/per_thread.h"
 
 namespace tsvd {
@@ -84,10 +85,15 @@ class DelayEngine {
   // Cancels every active park, oldest first. Returns the number woken.
   size_t CancelAllParked(WakeReason reason);
 
-  // Progress heartbeat: called on every OnCall entry. Lock-free (one relaxed store
-  // to a global watermark plus one to the caller's own slot). `now` is the caller's
-  // already-taken timestamp — OnCall needs the clock anyway, and reading it once
-  // keeps the second vDSO call off the hot path.
+  // Progress heartbeat: called on every OnCall entry. Lock-free: one relaxed store
+  // to the caller's own cache-line-isolated slot, plus — only while at least one
+  // delay is actually parked — one to the global no-OnCall watermark. The sentinel
+  // is the watermark's only consumer and it only acts while parks are pending, so
+  // in the parkless steady state every thread hammering one shared watermark line
+  // would be pure cross-core invalidation traffic for nothing; the park counter
+  // gating it is read-mostly (written only when parks begin and end). `now` is the
+  // caller's already-taken timestamp — OnCall needs the clock anyway, and reading
+  // it once keeps the second vDSO call off the hot path.
   void NoteProgress(ThreadId tid, Micros now);
 
   // Lets the runtime fold its own admission rejections (e.g. the per-request
@@ -147,10 +153,14 @@ class DelayEngine {
   Micros gov_spent_us_ = 0;
   PerThread<ThreadBudget> thread_budgets_;
 
-  // Stall detection state. last_progress_us_ is the no-OnCall watermark;
-  // last_seen_ feeds the "every recently active thread is parked" check.
+  // Stall detection state. last_progress_us_ is the no-OnCall watermark, written
+  // by callers only while parked_count_ is nonzero (and refreshed at park entry so
+  // it is never stale when the sentinel starts judging). last_seen_ feeds the
+  // "every recently active thread is parked" check; slots are cache-line isolated
+  // because dense ThreadIds put concurrent writers on adjacent elements.
   std::atomic<Micros> last_progress_us_;
-  PerThread<std::atomic<Micros>> last_seen_;
+  std::atomic<uint32_t> parked_count_{0};
+  PerThread<CacheAligned<std::atomic<Micros>>> last_seen_;
 
   std::thread sentinel_;
   std::condition_variable sentinel_cv_;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/config.h"
+#include "src/common/padded.h"
 #include "src/common/per_thread.h"
 #include "src/core/access.h"
 #include "src/core/detector.h"
@@ -47,11 +48,17 @@ class HbInference {
     Micros end = 0;
   };
 
-  struct ThreadState {
+  // Line-aligned: `last_access` is stored on every OnAccess, and dense ThreadIds
+  // would otherwise pack adjacent threads' states onto one line — a per-call
+  // false-sharing write on the no-delay fast path.
+  struct alignas(kCacheLineSize) ThreadState {
     Micros last_access = 0;
     OpId credit_src = kInvalidOp;
     int credit_left = 0;
   };
+  static_assert(sizeof(ThreadState) == kCacheLineSize &&
+                    alignof(ThreadState) == kCacheLineSize,
+                "HB thread state must own exactly one cache line");
 
   const Config config_;
   TrapSet& trap_set_;

@@ -18,15 +18,16 @@ NearMissTracker::NearMissTracker(const Config& config)
 void NearMissTracker::RecordAndFindConflicts(const Access& access, ConflictBuffer& out) {
   Shard& shard = ShardFor(access.obj);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ObjHistory* hist = shard.last_hist;
-  if (shard.last_obj != access.obj || hist == nullptr) {
+  MruWay& way = MruFor(shard, access.tid);
+  ObjHistory* hist = way.hist;
+  if (way.obj != access.obj || hist == nullptr) {
     hist = &shard.objects[access.obj];
     if (hist->ring == nullptr) {
       // One allocation per object lifetime; later accesses are allocation-free.
       hist->ring = std::make_unique<Record[]>(history_);
     }
-    shard.last_obj = access.obj;
-    shard.last_hist = hist;
+    way.obj = access.obj;
+    way.hist = hist;
   }
   ObjHistory& history = *hist;
 
@@ -69,10 +70,11 @@ void NearMissTracker::MaybeSweep(Shard& shard, Micros now) {
     return;
   }
   shard.inserts_since_sweep = 0;
-  // Erasure invalidates the MRU pointer (unordered_map elements are otherwise
+  // Erasure invalidates the MRU pointers (unordered_map elements are otherwise
   // pointer-stable, including across rehash).
-  shard.last_obj = 0;
-  shard.last_hist = nullptr;
+  for (auto& way : shard.mru) {
+    way.value = MruWay{};
+  }
   for (auto it = shard.objects.begin(); it != shard.objects.end();) {
     const ObjHistory& history = it->second;
     const int newest = (history.head - 1 + history_) % history_;

@@ -22,6 +22,7 @@
 
 #include "src/common/config.h"
 #include "src/common/fixed_vector.h"
+#include "src/common/padded.h"
 #include "src/core/access.h"
 
 namespace tsvd {
@@ -71,18 +72,34 @@ class NearMissTracker {
   };
 
   static constexpr size_t kShards = 64;
-  struct alignas(64) Shard {
+  // MRU cache of the last history touched, one way per thread-id residue class
+  // (guarded by the shard mutex; invalidated wholesale on sweep). Accesses have
+  // strong per-object temporal locality *per thread*, so a thread's way usually
+  // replaces the hash lookup with one compare. The single shared entry this
+  // replaces was re-written on every cross-thread object change — under a shared
+  // object pool each thread evicted every other thread's entry, so the "cache"
+  // degenerated into a line all threads dirtied on every call while almost never
+  // hitting. Per-tid ways keep each thread's entry stable (and its writes on its
+  // own line) no matter how the other threads interleave.
+  static constexpr size_t kMruWays = 8;
+  struct MruWay {
+    ObjectId obj = 0;
+    ObjHistory* hist = nullptr;
+  };
+  struct alignas(kCacheLineSize) Shard {
     mutable std::mutex mu;
     std::unordered_map<ObjectId, ObjHistory> objects;
     uint64_t inserts_since_sweep = 0;
-    // MRU cache of the last history touched (guarded by mu; invalidated on sweep).
-    // Accesses have strong per-object temporal locality, so this usually replaces
-    // the hash lookup with one compare.
-    ObjectId last_obj = 0;
-    ObjHistory* last_hist = nullptr;
+    CacheAligned<MruWay> mru[kMruWays];
   };
+  static_assert(sizeof(Shard) % kCacheLineSize == 0 &&
+                    alignof(Shard) == kCacheLineSize,
+                "near-miss shards must not straddle a neighbor's cache line");
 
   Shard& ShardFor(ObjectId obj) { return shards_[Mix64(obj) % kShards]; }
+  static MruWay& MruFor(Shard& shard, ThreadId tid) {
+    return shard.mru[(tid - 1) & (kMruWays - 1)].value;
+  }
   void MaybeSweep(Shard& shard, Micros now);
 
   Micros window_us_;  // -1 = unwindowed (Table 3 ablation)

@@ -1,29 +1,55 @@
-// Concurrent-phase inference (Section 3.4.3).
+// Concurrent-phase inference (Section 3.4.3), rebuilt for flat thread scaling.
 //
-// A global ring buffer holds the thread ids of the most recently executed TSVD points.
-// The execution is in a concurrent phase iff the buffer contains points from more than
-// one thread. A TSVD point inside a sequential phase (initialization, clean-up,
-// join-after-fork) can never race, so near misses seen there are not dangerous.
+// The paper's detector is a global ring buffer of the most recently executed TSVD
+// points; the execution is in a concurrent phase iff the buffer holds points from
+// more than one thread. A TSVD point inside a sequential phase (initialization,
+// clean-up, join-after-fork) can never race, so near misses seen there are not
+// dangerous.
 //
-// Hot-path design: the naive implementation rescans all B slots on every call, which
-// put an O(B) loop (B = 64 worst case) on the OnCall fast path. Instead the detector
-// maintains the answer incrementally: a per-thread occupancy count plus a distinct-
-// thread counter, both updated only when a slot's thread actually changes. The steady
-// state of a phase — the same threads keep executing points — advances the shared
-// cursor, reads one ring slot (already holding the caller's id, so no write), and
-// answers from a single relaxed load: O(1), no locks, no scans.
+// Scaling history. The naive O(B)-rescan version put a 64-slot loop on every call.
+// The incremental rewrite (PR 5) got that to O(1) but kept two globally shared
+// mutable words — the ring cursor (`next_`, an RMW by every call) and the shared
+// ring slots themselves — so every OnCall still dirtied cache lines that every
+// other core was reading: per-call cost grew near-linearly with thread count.
 //
-// Invariant: ThreadId 0 is the "slot never filled" sentinel. CurrentThreadId() hands
-// out ids starting at 1 and never reuses 0 (see thread_id.h); RecordAndCheck asserts
-// this so a future id scheme cannot silently alias the sentinel and make a real
-// thread invisible to phase detection.
+// This version removes every globally shared write from the steady state:
+//
+//   * Per-shard phase rings. Threads hash (dense ThreadId, identity-folded) onto
+//     64 cache-line-isolated shards; a call appends a packed (tid, epoch) entry to
+//     its own shard's tiny ring. With up to 64 live threads no two threads share a
+//     shard, so ring writes are contention-free; beyond that, only aliased threads
+//     share a line, and the ring (rather than a single slot) keeps all of them
+//     visible to aggregation. In the steady state of a phase the shard's `last`
+//     entry already holds (tid, current epoch) and the call writes nothing at all.
+//
+//   * Epoch-sampled aggregation. The ">1 distinct thread executing?" answer is not
+//     recomputed per call. A sweeper — piggybacked on ordinary calls, no extra
+//     thread — periodically advances a global epoch and folds per-shard ring
+//     occupancy (entries stamped with the current or previous epoch are "recent")
+//     into one published distinct-thread count. The fast path answers from a
+//     single load-acquire of that read-mostly snapshot. One transition is handled
+//     eagerly so detection latency matches the old detector: while the published
+//     answer is still "one thread", the first record by a *different* thread
+//     sweeps inline, so the second thread's very first call flips the answer.
+//
+// The shared mutable state is thus: the snapshot + epoch line (written once per
+// sweep period, read-only between sweeps, so it stays resident in every core's
+// cache) and the sweep lock (one CAS per sweep period). Everything else a call
+// touches is shard-private.
+//
+// Invariant: ThreadId 0 is the "slot never filled" sentinel. CurrentThreadId()
+// hands out ids starting at 1 and never reuses 0 (see thread_id.h); RecordAndCheck
+// asserts this so a future id scheme cannot silently alias the sentinel and make a
+// real thread invisible to phase detection.
 #ifndef SRC_CORE_PHASE_DETECTOR_H_
 #define SRC_CORE_PHASE_DETECTOR_H_
 
 #include <atomic>
 #include <cassert>
+#include <cstring>
 
 #include "src/common/ids.h"
+#include "src/common/padded.h"
 
 namespace tsvd {
 
@@ -31,72 +57,163 @@ class PhaseDetector {
  public:
   static constexpr int kMaxBuffer = 64;
 
-  explicit PhaseDetector(int buffer_size) : size_(buffer_size) {
+  // `buffer_size` is the paper's phase-buffer knob. It no longer sizes a global
+  // ring; it scales the sweep period (how many shard-local calls make one epoch),
+  // preserving its role as "how much recent history keeps a thread in the phase".
+  explicit PhaseDetector(int buffer_size) {
     assert(buffer_size >= 1 && buffer_size <= kMaxBuffer);
-    for (auto& slot : slots_) {
-      slot.tid.store(0, std::memory_order_relaxed);
-    }
-    for (auto& count : counts_) {
-      count.store(0, std::memory_order_relaxed);
+    period_ = static_cast<uint32_t>(buffer_size) * 16;
+    if (period_ < 64) {
+      period_ = 64;
     }
   }
 
-  // Records that `tid` executed a TSVD point and returns whether the buffer currently
-  // spans more than one thread. Relaxed atomics throughout: the buffer is a heuristic;
-  // torn interleavings only perturb which accesses count as concurrent, never
-  // correctness. The slot exchange linearizes evictions, so every stored id is
-  // decremented exactly once and the occupancy counts never drift.
+  // Records that `tid` executed a TSVD point and returns whether the execution is
+  // currently in a concurrent phase. Relaxed atomics throughout the ring: the
+  // buffer is a heuristic; torn interleavings only perturb which accesses count as
+  // concurrent, never correctness.
   bool RecordAndCheck(ThreadId tid) {
     assert(tid != 0 && "ThreadId 0 is reserved as the empty-slot sentinel");
-    const ThreadId id = Fold(tid);
-    // The cursor must stay globally shared: it is what interleaves different
-    // threads' records across the ring. (A per-thread cursor was tried and reverted
-    // — threads with similar call counts sit at correlated positions and overwrite
-    // each other's entries in place, so the ring degenerates to the latest thread's
-    // id and real concurrency goes undetected.)
-    const uint64_t i = next_.v.fetch_add(1, std::memory_order_relaxed);
-    std::atomic<ThreadId>& slot = slots_[i % size_].tid;
-    // Steady state — the slot already holds this thread — needs no write at all:
-    // exchanging id for id cannot change any occupancy count, so skipping the RMW
-    // is observationally equivalent and keeps the one-thread phase loop read-only.
-    if (slot.load(std::memory_order_relaxed) == id) {
-      return distinct_.load(std::memory_order_relaxed) > 1;
-    }
-    const ThreadId old = slot.exchange(id, std::memory_order_relaxed);
-    if (old != id) {
-      if (counts_[id].fetch_add(1, std::memory_order_relaxed) == 0) {
-        distinct_.fetch_add(1, std::memory_order_relaxed);
+    Shard& shard = ShardFor(tid);
+    const uint32_t epoch = snapshot_.epoch.load(std::memory_order_relaxed);
+    const uint64_t packed = Pack(tid, epoch);
+    const uint64_t prev = shard.last.load(std::memory_order_relaxed);
+    if (prev != packed) {
+      // First record of (tid, epoch) in this shard: append to the shard ring.
+      // The cursor RMW is shard-private — contended only by threads aliased onto
+      // this shard, i.e. never with <= 64 live threads.
+      const uint32_t slot =
+          shard.cursor.fetch_add(1, std::memory_order_relaxed) & (kRingDepth - 1);
+      shard.ring[slot].store(packed, std::memory_order_relaxed);
+      shard.last.store(packed, std::memory_order_relaxed);
+      // Eager 1 -> >1 transition: the old global ring flipped the answer on the
+      // second thread's first call, and trap decisions downstream depend on that
+      // latency. Sweep inline only when a *different* thread appears while the
+      // published answer still says "one thread" — a lone thread refreshing its
+      // epoch stamp (TidOf(prev) == tid) never pays this.
+      if (TidOf(prev) != tid &&
+          snapshot_.distinct.load(std::memory_order_acquire) <= 1) {
+        Sweep(/*advance_epoch=*/false);
       }
-      if (old != 0 && counts_[old].fetch_sub(1, std::memory_order_relaxed) == 1) {
-        distinct_.fetch_sub(1, std::memory_order_relaxed);
-      }
     }
-    return distinct_.load(std::memory_order_relaxed) > 1;
+    // Epoch clock, piggybacked on ordinary calls: every `period_` calls into this
+    // shard, advance the epoch and re-aggregate. The counter is shard-private; a
+    // lost increment under aliasing only stretches the period, never corrupts it.
+    const uint32_t calls = shard.calls.load(std::memory_order_relaxed) + 1;
+    shard.calls.store(calls, std::memory_order_relaxed);
+    if (calls % period_ == 0) {
+      Sweep(/*advance_epoch=*/true);
+    }
+    return snapshot_.distinct.load(std::memory_order_acquire) > 1;
   }
 
+  // The published distinct-thread count of the last sweep. With stable phases and
+  // fewer than kFoldSlots dense live threads this converges to the exact number of
+  // distinct recording threads (see the determinism test).
+  uint32_t DistinctThreads() const {
+    return snapshot_.distinct.load(std::memory_order_acquire);
+  }
+
+  // Forces one epoch advance + aggregation, as the piggybacked clock would after
+  // `period_` calls. Deterministic from a single thread; tests and diagnostics use
+  // it instead of spinning out period-sized call loops.
+  void SweepNow() { Sweep(/*advance_epoch=*/true); }
+
+  // Shard-local calls per epoch advance (diagnostics; derived from buffer_size).
+  uint32_t SweepPeriod() const { return period_; }
+
  private:
-  // Occupancy is tracked per folded id so the count table stays a fixed 16KB even if
-  // the process churns through unbounded thread ids. Two threads folding together can
-  // only under-report concurrency (they look like one thread), mirroring the
+  static constexpr uint32_t kShards = 64;
+  static constexpr uint32_t kRingDepth = 4;  // packed (tid, epoch) entries per shard
+
+  // Occupancy is folded so the sweep bitmap stays a fixed 512B even if the process
+  // churns through unbounded thread ids. Two threads folding together can only
+  // under-report concurrency (they look like one thread), mirroring the
   // conservative direction of the paper's heuristic; with < 4096 live threads the
   // fold is the identity.
   static constexpr uint32_t kFoldSlots = 4096;
-  static ThreadId Fold(ThreadId tid) { return 1 + ((tid - 1) & (kFoldSlots - 1)); }
 
-  int size_;
-  // next_ is the single globally shared RMW of the fast path; keep it on its own
-  // cache line so its traffic does not invalidate the distinct-count line every
-  // caller reads.
-  struct alignas(64) PaddedU64 {
-    std::atomic<uint64_t> v{0};
+  static uint64_t Pack(ThreadId tid, uint32_t epoch) {
+    return (static_cast<uint64_t>(tid) << 32) | epoch;
+  }
+  static ThreadId TidOf(uint64_t packed) {
+    return static_cast<ThreadId>(packed >> 32);
+  }
+  static uint32_t EpochOf(uint64_t packed) {
+    return static_cast<uint32_t>(packed);
+  }
+
+  struct alignas(kCacheLineSize) Shard {
+    // Most recent (tid, epoch) written here: the steady-state write-skip check.
+    std::atomic<uint64_t> last{0};
+    std::atomic<uint32_t> cursor{0};
+    std::atomic<uint32_t> calls{0};
+    std::atomic<uint64_t> ring[kRingDepth] = {};
   };
-  PaddedU64 next_{};
-  struct alignas(64) Slot {
-    std::atomic<ThreadId> tid{0};
+  static_assert(sizeof(Shard) == kCacheLineSize,
+                "a phase shard must own exactly one cache line");
+  static_assert(alignof(Shard) == kCacheLineSize);
+
+  // Dense ThreadIds start at 1, so the fold is a perfect 1:1 shard assignment for
+  // up to kShards live threads — the hardware-conscious placement: each thread's
+  // phase line is private to (and stays in the cache of) the core running it.
+  Shard& ShardFor(ThreadId tid) { return shards_[(tid - 1) & (kShards - 1)]; }
+
+  // Folds per-shard occupancy into the published snapshot. An entry is "recent" if
+  // it is stamped with the current or the previous epoch, so a thread stays in the
+  // phase for one full period after its last call and ages out on the next sweep —
+  // the same role the old ring's eviction horizon played. Guarded by a try-lock:
+  // losing the race means a concurrent sweep is already folding a fresher view.
+  void Sweep(bool advance_epoch) {
+    uint32_t expected = 0;
+    if (!sweep_lock_.value.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+    uint32_t epoch = snapshot_.epoch.load(std::memory_order_relaxed);
+    if (advance_epoch) {
+      ++epoch;
+      snapshot_.epoch.store(epoch, std::memory_order_relaxed);
+    }
+    uint64_t seen[kFoldSlots / 64];
+    std::memset(seen, 0, sizeof(seen));
+    uint32_t distinct = 0;
+    for (const Shard& shard : shards_) {
+      for (const std::atomic<uint64_t>& entry : shard.ring) {
+        const uint64_t packed = entry.load(std::memory_order_relaxed);
+        const ThreadId tid = TidOf(packed);
+        // `epoch - EpochOf(...) <= 1` is wrap-safe: both live on the same modular
+        // clock, and a genuinely stale entry can only alias as recent once every
+        // 2^32 epochs.
+        if (tid == 0 || epoch - EpochOf(packed) > 1) {
+          continue;
+        }
+        const uint32_t fold = (tid - 1) & (kFoldSlots - 1);
+        uint64_t& word = seen[fold >> 6];
+        const uint64_t bit = uint64_t{1} << (fold & 63);
+        if ((word & bit) == 0) {
+          word |= bit;
+          ++distinct;
+        }
+      }
+    }
+    snapshot_.distinct.store(distinct, std::memory_order_release);
+    sweep_lock_.value.store(0, std::memory_order_release);
+  }
+
+  uint32_t period_;
+  Shard shards_[kShards];
+  // Read-mostly snapshot line: every call loads it, only sweeps store it. Epochs
+  // start at 1 so epoch 0 doubles as the rings' "never written" sentinel.
+  struct alignas(kCacheLineSize) Snapshot {
+    std::atomic<uint32_t> epoch{1};
+    std::atomic<uint32_t> distinct{0};
   };
-  Slot slots_[kMaxBuffer];
-  std::atomic<uint32_t> counts_[kFoldSlots + 1];
-  alignas(64) std::atomic<int32_t> distinct_{0};
+  static_assert(sizeof(Snapshot) == kCacheLineSize);
+  Snapshot snapshot_{};
+  // The only cross-shard RMW left, hit once per sweep — not per call.
+  CacheAligned<std::atomic<uint32_t>> sweep_lock_{};
 };
 
 }  // namespace tsvd

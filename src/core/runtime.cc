@@ -61,7 +61,7 @@ void Runtime::OnCallImpl(ObjectId obj, OpId op, OpKind kind) {
   access.concurrent_phase = phase_.RecordAndCheck(tid);
 
   oncall_count_.Add(tid);
-  coverage_.Record(op, access.concurrent_phase);
+  coverage_.Record(op, tid, access.concurrent_phase);
 
   // check_for_trap: catch a conflicting sleeper red-handed — and wake it, the
   // rest of its sleep is pure overhead now that the bug is on record.

@@ -23,6 +23,7 @@
 
 #include "src/common/config.h"
 #include "src/common/execution_context.h"
+#include "src/common/padded.h"
 #include "src/common/request_context.h"
 #include "src/common/sharded_counter.h"
 #include "src/core/delay_engine.h"
@@ -137,12 +138,16 @@ class Runtime {
   void RecordInternalError() noexcept;
 
   // Per-request delay budgets, sharded by request id so concurrent delaying threads
-  // of different requests do not serialize on one mutex.
-  static constexpr size_t kRequestBudgetShards = 16;
-  struct alignas(64) RequestBudgetShard {
+  // of different requests do not serialize on one mutex. 64-way so a 64-thread run
+  // where every thread carries its own request keeps roughly one request per shard.
+  static constexpr size_t kRequestBudgetShards = 64;
+  struct alignas(kCacheLineSize) RequestBudgetShard {
     std::mutex mu;
     std::unordered_map<RequestId, Micros> budgets;
   };
+  static_assert(sizeof(RequestBudgetShard) % kCacheLineSize == 0 &&
+                    alignof(RequestBudgetShard) == kCacheLineSize,
+                "budget shards must not straddle a neighbor's cache line");
   RequestBudgetShard& BudgetShardFor(RequestId request) {
     return request_budget_shards_[Mix64(request) % kRequestBudgetShards];
   }

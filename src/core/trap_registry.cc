@@ -15,7 +15,6 @@ TrapRegistry::Trap* TrapRegistry::Set(const Access& access, StackTrace stack) {
   // the vector once it takes the lock; ordered before Set() returns, so a trap armed
   // happens-before a racing access is always visible to its fast-path check.
   shard.armed.fetch_add(1, std::memory_order_release);
-  total_armed_.fetch_add(1, std::memory_order_release);
   return raw;
 }
 
@@ -33,7 +32,6 @@ bool TrapRegistry::Clear(Trap* trap) {
   }
   traps.pop_back();
   shard.armed.fetch_sub(1, std::memory_order_release);
-  total_armed_.fetch_sub(1, std::memory_order_release);
   return hit;
 }
 

@@ -13,9 +13,13 @@
 // the arming thread proceeds to sleep, and read with acquire ordering by checkers, so
 // any trap armed before a checker's access (in the happens-before sense) is never
 // missed: the fast path can only skip shards whose traps are still concurrently being
-// armed, which is indistinguishable from the checker arriving first. A global armed
-// count gives ArmedCount() — consulted on every delay admission under
-// serialize_delays — the same O(1) treatment.
+// armed, which is indistinguishable from the checker arriving first.
+//
+// ArmedCount() sums the per-shard counters instead of maintaining a global one:
+// the global counter was one more cache line every Set()/Clear() dirtied for all
+// cores, and the sum (64 acquire loads of read-mostly lines) only runs on the
+// serialize_delays admission path and in diagnostics — never in the per-call
+// steady state.
 #ifndef SRC_CORE_TRAP_REGISTRY_H_
 #define SRC_CORE_TRAP_REGISTRY_H_
 
@@ -24,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/padded.h"
 #include "src/common/scope_stack.h"
 #include "src/core/access.h"
 
@@ -68,27 +73,35 @@ class TrapRegistry {
     return CheckAndMarkSlow(shard, access);
   }
 
-  // Number of currently armed traps. O(1): a dedicated atomic maintained by
-  // Set()/Clear(); monotone-consistent rather than a locked snapshot, which is all
-  // the admission check and diagnostics need.
+  // Number of currently armed traps: the sum of the per-shard counters. O(kShards)
+  // acquire loads of read-mostly lines; monotone-consistent rather than a locked
+  // snapshot, which is all the admission check and diagnostics need. Off the
+  // per-call fast path (only serialize_delays admission and tests call it), so a
+  // shard scan here buys Set()/Clear() freedom from any globally shared write.
   size_t ArmedCount() const {
-    return static_cast<size_t>(total_armed_.load(std::memory_order_acquire));
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      n += shard.armed.load(std::memory_order_acquire);
+    }
+    return n;
   }
 
  private:
   static constexpr size_t kShards = 64;
-  struct alignas(64) Shard {
+  struct alignas(kCacheLineSize) Shard {
     mutable std::mutex mu;
     std::vector<std::unique_ptr<Trap>> traps;
     // Armed traps in this shard; nonzero forces checkers through the mutex.
     std::atomic<uint32_t> armed{0};
   };
+  static_assert(sizeof(Shard) % kCacheLineSize == 0 &&
+                    alignof(Shard) == kCacheLineSize,
+                "trap shards must not straddle a neighbor's cache line");
 
   Shard& ShardFor(ObjectId obj) { return shards_[Mix64(obj) % kShards]; }
   Conflict CheckAndMarkSlow(Shard& shard, const Access& access);
 
   Shard shards_[kShards];
-  std::atomic<int64_t> total_armed_{0};
 };
 
 }  // namespace tsvd

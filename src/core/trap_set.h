@@ -25,6 +25,7 @@
 
 #include "src/common/config.h"
 #include "src/common/ids.h"
+#include "src/common/padded.h"
 #include "src/common/per_thread.h"
 #include "src/report/bug_report.h"
 #include "src/report/trap_file.h"
@@ -83,11 +84,17 @@ class TrapSet {
   // Per-thread direct-mapped cache of pair encodings whose AddPair is a no-op.
   // Entries store EncodePair(pair) + 1 so 0 doubles as "empty"; `epoch` snapshots
   // removal_epoch_ at fill time and a mismatch discards the whole cache.
+  // Line-aligned: dense ThreadIds put neighboring threads' caches adjacent, and a
+  // cache spilling into a neighbor's line would turn every fill into cross-core
+  // invalidation traffic on the near-miss path.
   static constexpr size_t kPairCacheSlots = 32;
-  struct PairCache {
+  struct alignas(kCacheLineSize) PairCache {
     uint64_t epoch = 0;
     uint64_t entries[kPairCacheSlots] = {};
   };
+  static_assert(sizeof(PairCache) % kCacheLineSize == 0 &&
+                    alignof(PairCache) == kCacheLineSize,
+                "pair caches must not straddle a neighbor's cache line");
   static uint64_t EncodePair(const LocationPair& pair) {
     return ((static_cast<uint64_t>(pair.first) << 32) | pair.second) + 1;
   }

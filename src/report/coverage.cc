@@ -7,17 +7,18 @@
 namespace tsvd {
 
 CoverageTracker::~CoverageTracker() {
-  for (auto& slot : chunks_) {
-    delete[] slot.load(std::memory_order_acquire);
+  for (auto& lane : chunks_) {
+    for (auto& slot : lane) {
+      delete[] slot.load(std::memory_order_acquire);
+    }
   }
 }
 
-CoverageTracker::Cell* CoverageTracker::AllocateChunk(size_t index) {
+CoverageTracker::Cell* CoverageTracker::AllocateChunk(std::atomic<Cell*>& slot) {
   Cell* fresh = new Cell[kChunkOps];
   Cell* expected = nullptr;
-  if (chunks_[index].compare_exchange_strong(expected, fresh,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+  if (slot.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
     return fresh;
   }
   delete[] fresh;  // lost the race; use the winner's chunk
@@ -54,13 +55,19 @@ CoverageTracker::Entry CoverageTracker::Lookup(OpId op) const {
   if (op >= kMaxTracked) {
     return Entry{};
   }
-  const Cell* chunk = chunks_[op >> kChunkShift].load(std::memory_order_acquire);
-  if (chunk == nullptr) {
-    return Entry{};
+  Entry entry;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    const Cell* chunk =
+        chunks_[lane][op >> kChunkShift].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      continue;
+    }
+    const uint64_t packed =
+        chunk[op & (kChunkOps - 1)].packed.load(std::memory_order_relaxed);
+    entry.hits += HitsOf(packed);
+    entry.concurrent_hits += ConcurrentOf(packed);
   }
-  const uint64_t packed =
-      chunk[op & (kChunkOps - 1)].packed.load(std::memory_order_relaxed);
-  return Entry{HitsOf(packed), ConcurrentOf(packed)};
+  return entry;
 }
 
 std::string CoverageTracker::Render() const {

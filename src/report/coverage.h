@@ -4,10 +4,16 @@
 //
 // Record() runs on every OnCall, so it is lock-free: counts live in dense chunks of
 // relaxed atomics indexed by OpId (ids are interned densely; the table caps at
-// kMaxTracked, matching the trap set's call-site capacity). Chunks are allocated on
-// first touch with a CAS so an idle runtime costs a few pointers, not the full table.
-// Queries take no lock either — they read the same atomics and are monotone rather
-// than snapshot-consistent, which is all the end-of-run reporting needs.
+// kMaxTracked, matching the trap set's call-site capacity). The chunks are lane-
+// sharded by the caller's thread id: OpIds name *static* program locations, so the
+// same hot call sites recur across every thread, and a single table made each hot
+// cell a cache line all cores RMW on every call. With kLanes lanes a cell line is
+// contended only by the (tid mod kLanes)-congruent subset of threads — at 64
+// threads, 4 instead of 64 writers per line. Chunks are allocated per (lane, range)
+// on first touch with a CAS, so an idle runtime costs a few pointers and lanes only
+// materialize for thread ids that actually run. Queries take no lock either — they
+// sum the lanes' atomics and are monotone rather than snapshot-consistent, which is
+// all the end-of-run reporting needs.
 #ifndef SRC_REPORT_COVERAGE_H_
 #define SRC_REPORT_COVERAGE_H_
 
@@ -30,13 +36,14 @@ class CoverageTracker {
   CoverageTracker(const CoverageTracker&) = delete;
   CoverageTracker& operator=(const CoverageTracker&) = delete;
 
-  void Record(OpId op, bool concurrent_phase) {
+  void Record(OpId op, ThreadId tid, bool concurrent_phase) {
     if (op >= kMaxTracked) {
       return;  // uninterned / synthetic id beyond the dense range
     }
-    Cell* chunk = chunks_[op >> kChunkShift].load(std::memory_order_acquire);
+    auto& slot = chunks_[LaneFor(tid)][op >> kChunkShift];
+    Cell* chunk = slot.load(std::memory_order_acquire);
     if (chunk == nullptr) {
-      chunk = AllocateChunk(op >> kChunkShift);
+      chunk = AllocateChunk(slot);
     }
     // Both counters ride one RMW: total hits in the low half, concurrent hits in
     // the high half. A point would need 2^32 hits to carry between the halves —
@@ -65,33 +72,56 @@ class CoverageTracker {
   struct Cell {
     std::atomic<uint64_t> packed{0};
   };
+  // Cells are deliberately unpadded: the table is dense by OpId, and padding every
+  // op to a line would multiply a 512KB table by 8. Cross-thread isolation comes
+  // from the lanes, not from per-cell padding.
+  static_assert(sizeof(Cell) == 8);
   static uint64_t HitsOf(uint64_t packed) { return packed & 0xffffffffu; }
   static uint64_t ConcurrentOf(uint64_t packed) { return packed >> 32; }
 
+  static constexpr size_t kLanes = 16;
   static constexpr OpId kChunkShift = 12;  // 4096 ops per chunk (32KB)
   static constexpr OpId kChunkOps = 1 << kChunkShift;
   static constexpr size_t kNumChunks = kMaxTracked / kChunkOps;
 
-  Cell* AllocateChunk(size_t index);
-  // Visits every allocated cell with a nonzero hit count.
+  // Dense ThreadIds start at 1; keep the fold aligned with the phase detector's
+  // shard placement so a thread's hot lines stay with its core.
+  static size_t LaneFor(ThreadId tid) { return (tid - 1) & (kLanes - 1); }
+
+  Cell* AllocateChunk(std::atomic<Cell*>& slot);
+  // Visits every op with a nonzero hit count, with lane-summed totals.
   template <typename Fn>
   void ForEachHit(Fn&& fn) const {
     for (size_t c = 0; c < kNumChunks; ++c) {
-      const Cell* chunk = chunks_[c].load(std::memory_order_acquire);
-      if (chunk == nullptr) {
+      const Cell* lanes[kLanes];
+      bool any = false;
+      for (size_t lane = 0; lane < kLanes; ++lane) {
+        lanes[lane] = chunks_[lane][c].load(std::memory_order_acquire);
+        any = any || lanes[lane] != nullptr;
+      }
+      if (!any) {
         continue;
       }
       for (OpId i = 0; i < kChunkOps; ++i) {
-        const uint64_t packed = chunk[i].packed.load(std::memory_order_relaxed);
-        if (packed != 0) {
-          fn(static_cast<OpId>(c * kChunkOps + i), HitsOf(packed),
-             ConcurrentOf(packed));
+        uint64_t hits = 0;
+        uint64_t concurrent = 0;
+        for (size_t lane = 0; lane < kLanes; ++lane) {
+          if (lanes[lane] == nullptr) {
+            continue;
+          }
+          const uint64_t packed =
+              lanes[lane][i].packed.load(std::memory_order_relaxed);
+          hits += HitsOf(packed);
+          concurrent += ConcurrentOf(packed);
+        }
+        if (hits != 0) {
+          fn(static_cast<OpId>(c * kChunkOps + i), hits, concurrent);
         }
       }
     }
   }
 
-  std::atomic<Cell*> chunks_[kNumChunks] = {};
+  std::atomic<Cell*> chunks_[kLanes][kNumChunks] = {};
 };
 
 }  // namespace tsvd

@@ -1,7 +1,7 @@
 // Multi-thread stress tests for the lock-light OnCall hot paths.
 //
-// The fast paths (TrapRegistry's armed-count skip, PhaseDetector's incremental
-// distinct-thread counter, TrapSet's per-thread pair cache, ShardedCounter) trade
+// The fast paths (TrapRegistry's armed-count skip, PhaseDetector's per-shard
+// rings + epoch aggregation, TrapSet's per-thread pair cache, ShardedCounter) trade
 // locks for relaxed/acq-rel atomics; these tests pin down the guarantees that must
 // survive that trade and are run under ThreadSanitizer by the tsan-delay-engine CI
 // job.
@@ -111,31 +111,74 @@ TEST(HotPathStressTest, ConcurrentArmCheckClearChurn) {
   EXPECT_GT(conflicts.load(), 0);
 }
 
-// The incremental distinct-thread counter must never drift: after an arbitrary
-// multi-thread interleaving, one thread filling the whole buffer must read
-// "sequential" again, exactly as a scan-based implementation would.
+// The epoch-sampled distinct-thread aggregate must never drift: after an
+// arbitrary multi-thread interleaving, a single remaining thread must read
+// "sequential" again once the other threads' entries age past the epoch horizon.
 TEST(HotPathStressTest, PhaseDetectorCounterDoesNotDriftUnderContention) {
-  constexpr int kBuffer = 16;
-  PhaseDetector phase(kBuffer);
+  PhaseDetector phase(16);
+  std::atomic<int> concurrent_seen{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&phase, t] {
+    threads.emplace_back([&phase, &concurrent_seen, t] {
       for (int i = 0; i < 50'000; ++i) {
-        phase.RecordAndCheck(static_cast<ThreadId>(t + 1));
+        if (phase.RecordAndCheck(static_cast<ThreadId>(t + 1))) {
+          concurrent_seen.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& thread : threads) {
     thread.join();
   }
-  // Joins synchronize: the buffer now holds some mix of ids 1..4. Overwrite every
-  // slot from a single thread; from then on the answer must be stably sequential.
-  for (int i = 0; i < kBuffer; ++i) {
-    phase.RecordAndCheck(9);
-  }
-  for (int i = 0; i < 100; ++i) {
+  EXPECT_GT(concurrent_seen.load(), 0);
+  // Joins synchronize. Only thread 9 stays active: once its entries have been
+  // refreshed across two explicit epoch advances, every stale id 1..4 has aged
+  // out and the answer must be stably sequential from then on.
+  phase.RecordAndCheck(9);
+  phase.SweepNow();
+  phase.RecordAndCheck(9);
+  phase.SweepNow();
+  for (int i = 0; i < 1000; ++i) {
     EXPECT_FALSE(phase.RecordAndCheck(9)) << "distinct-thread count drifted";
   }
+}
+
+// 32 threads hammering the per-shard rings — one thread per shard at this count,
+// so every shard's write path and the shared published snapshot get concurrent
+// coverage. Run under TSan by the tsan-delay-engine CI job: the contention-free
+// claim of the sharded design is only credible if this is race-free.
+TEST(HotPathStressTest, PhaseDetectorThirtyTwoThreadShardStress) {
+  PhaseDetector phase(16);
+  constexpr int kThreads = 32;
+  std::atomic<uint64_t> concurrent_seen{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&phase, &concurrent_seen, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      uint64_t seen = 0;
+      for (int i = 0; i < 20'000; ++i) {
+        seen += phase.RecordAndCheck(static_cast<ThreadId>(t + 1)) ? 1 : 0;
+      }
+      concurrent_seen.fetch_add(seen, std::memory_order_relaxed);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Every thread but the very first to ever record must have observed the
+  // concurrent phase on the bulk of its calls.
+  EXPECT_GT(concurrent_seen.load(), static_cast<uint64_t>(kThreads));
+  // Drain back to one thread: the aggregate converges to exactly 1.
+  phase.RecordAndCheck(1);
+  phase.SweepNow();
+  phase.RecordAndCheck(1);
+  phase.SweepNow();
+  EXPECT_EQ(phase.DistinctThreads(), 1u);
+  EXPECT_FALSE(phase.RecordAndCheck(1));
 }
 
 // Pair-cache coherence: a pair removed by decay must be re-addable, and the

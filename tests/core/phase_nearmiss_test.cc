@@ -10,43 +10,65 @@ namespace {
 
 TEST(PhaseDetectorTest, SingleThreadIsSequential) {
   PhaseDetector phase(16);
-  for (int i = 0; i < 100; ++i) {
+  // Well past the sweep period, so the periodic epoch sweeps run too: a lone
+  // thread must never flip the phase concurrent.
+  for (int i = 0; i < 2000; ++i) {
     EXPECT_FALSE(phase.RecordAndCheck(1));
   }
 }
 
 TEST(PhaseDetectorTest, SecondThreadMakesConcurrent) {
   PhaseDetector phase(16);
-  phase.RecordAndCheck(1);
+  EXPECT_FALSE(phase.RecordAndCheck(1));
+  // The second thread's *first* call must already observe the concurrent phase:
+  // the 1 -> 2 transition sweeps eagerly instead of waiting for the periodic
+  // sweep (same detection latency as the old shared ring).
   EXPECT_TRUE(phase.RecordAndCheck(2));
+  EXPECT_TRUE(phase.RecordAndCheck(1));
 }
 
 TEST(PhaseDetectorTest, OldThreadEntriesAgeOut) {
   PhaseDetector phase(4);
   phase.RecordAndCheck(1);
   EXPECT_TRUE(phase.RecordAndCheck(2));
-  // Four entries from thread 2 evict thread 1 entirely (buffer size 4).
+  // Thread 1 stops; thread 2 keeps running across two epoch advances. Entries
+  // older than one epoch fall out of the aggregate, so the phase turns
+  // sequential again.
+  phase.SweepNow();
   phase.RecordAndCheck(2);
-  phase.RecordAndCheck(2);
-  phase.RecordAndCheck(2);
+  phase.SweepNow();
   EXPECT_FALSE(phase.RecordAndCheck(2));
+  EXPECT_EQ(phase.DistinctThreads(), 1u);
 }
 
-class PhaseBufferSizes : public ::testing::TestWithParam<int> {};
+// Satellite determinism check: with stable phases (every thread keeps recording),
+// epoch-sampled aggregation converges to the *exact* distinct-thread count, for
+// every shard occupancy up to one-thread-per-shard (64).
+class PhaseThreadCounts : public ::testing::TestWithParam<int> {};
 
-TEST_P(PhaseBufferSizes, EvictionHorizonMatchesBufferSize) {
-  const int size = GetParam();
-  PhaseDetector phase(size);
-  phase.RecordAndCheck(1);
-  // While thread 1's entry is within the last `size` records, the phase is
-  // concurrent; exactly after `size` records from thread 2, it is sequential again.
-  for (int i = 0; i < size - 1; ++i) {
-    EXPECT_TRUE(phase.RecordAndCheck(2)) << "i=" << i << " size=" << size;
+TEST_P(PhaseThreadCounts, EpochAggregationIsExactForStablePhases) {
+  const int n = GetParam();
+  PhaseDetector phase(16);
+  for (int round = 0; round < 3; ++round) {
+    for (int tid = 1; tid <= n; ++tid) {
+      phase.RecordAndCheck(static_cast<ThreadId>(tid));
+    }
   }
-  EXPECT_FALSE(phase.RecordAndCheck(2));
+  phase.SweepNow();
+  EXPECT_EQ(phase.DistinctThreads(), static_cast<uint32_t>(n));
+  // And back down: only thread 1 stays active, so after the other threads'
+  // entries age out of the epoch horizon the count converges to exactly 1.
+  phase.SweepNow();
+  phase.RecordAndCheck(1);
+  phase.SweepNow();
+  phase.RecordAndCheck(1);
+  phase.SweepNow();
+  EXPECT_EQ(phase.DistinctThreads(), 1u);
+  EXPECT_FALSE(phase.RecordAndCheck(1));
 }
 
-INSTANTIATE_TEST_SUITE_P(Sweep, PhaseBufferSizes, ::testing::Values(2, 4, 8, 16, 64));
+INSTANTIATE_TEST_SUITE_P(Sweep, PhaseThreadCounts,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
 
 Access At(ThreadId tid, ObjectId obj, OpId op, OpKind kind, Micros t,
           bool concurrent = true) {

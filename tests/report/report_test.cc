@@ -100,9 +100,9 @@ TEST(RunSummaryTest, MergeAccumulates) {
 
 TEST(CoverageTest, TracksHitsAndConcurrency) {
   CoverageTracker coverage;
-  coverage.Record(1, false);
-  coverage.Record(1, true);
-  coverage.Record(2, false);
+  coverage.Record(1, /*tid=*/1, false);
+  coverage.Record(1, /*tid=*/2, true);
+  coverage.Record(2, /*tid=*/1, false);
   EXPECT_EQ(coverage.PointsHit(), 2u);
   EXPECT_EQ(coverage.PointsHitConcurrently(), 1u);
   EXPECT_EQ(coverage.Lookup(1).hits, 2u);
@@ -110,6 +110,18 @@ TEST(CoverageTest, TracksHitsAndConcurrency) {
   const auto sequential = coverage.SequentialOnlyPoints();
   ASSERT_EQ(sequential.size(), 1u);
   EXPECT_EQ(sequential[0], 2u);
+}
+
+TEST(CoverageTest, SumsHitsAcrossThreadLanes) {
+  // Threads land on different internal lanes; totals must aggregate across all.
+  CoverageTracker coverage;
+  for (ThreadId tid = 1; tid <= 32; ++tid) {
+    coverage.Record(7, tid, tid % 2 == 0);
+  }
+  EXPECT_EQ(coverage.Lookup(7).hits, 32u);
+  EXPECT_EQ(coverage.Lookup(7).concurrent_hits, 16u);
+  EXPECT_EQ(coverage.PointsHit(), 1u);
+  EXPECT_EQ(coverage.PointsHitConcurrently(), 1u);
 }
 
 TEST(CoverageTest, LookupUnknownIsZero) {
